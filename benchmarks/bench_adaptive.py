@@ -1,0 +1,110 @@
+"""Section VI.C policy bench: the adaptive FGP fallback.
+
+The paper recommends falling back to full partitioning when modifier
+volume becomes a large fraction of the graph.  This bench compares three
+strategies on a *heavy* workload (batches around the quality cliff of
+Figure 8):
+
+* pure incremental iG-kway (fast, but cut drifts),
+* pure G-kway† (best cut, slowest),
+* the adaptive hybrid (occasional fallbacks bound the drift at a
+  fraction of the baseline's cost).
+
+Shape assertions: adaptive is much cheaper than always-FGP while its
+final cut stays within a modest factor of the always-FGP cut and beats
+(or matches) pure-incremental quality on heavy workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import once
+from repro import AdaptiveIGKway, GKwayDagger, IGKway, PartitionConfig
+from repro.eval.workloads import TraceConfig, generate_trace
+from repro.graph import circuit_graph
+
+_ITERATIONS = 12
+_MODIFIERS = 120  # heavy: ~6% of |V| per iteration
+
+
+def _run(strategy: str):
+    csr = circuit_graph(2000, 1.3, seed=21)
+    trace = generate_trace(
+        csr,
+        TraceConfig(
+            iterations=_ITERATIONS,
+            modifiers_per_iteration=_MODIFIERS,
+            seed=21,
+        ),
+    )
+    config = PartitionConfig(k=2, seed=21)
+    if strategy == "incremental":
+        system = IGKway(csr, config)
+    elif strategy == "baseline":
+        system = GKwayDagger(csr, config)
+    else:
+        system = AdaptiveIGKway(
+            csr, config, volume_threshold=0.25, batch_threshold=0.15
+        )
+    system.full_partition()
+    total = 0.0
+    for batch in trace:
+        report = system.apply(batch)
+        iteration = report.iteration if strategy == "adaptive" else report
+        total += (
+            iteration.modification_seconds
+            + iteration.partitioning_seconds
+        )
+    final_cut = (
+        system.cut_size()
+        if strategy != "baseline"
+        else system.cut_size()
+    )
+    fallbacks = (
+        system.fallbacks_taken if strategy == "adaptive" else 0
+    )
+    return total, final_cut, fallbacks
+
+
+@pytest.mark.parametrize(
+    "strategy", ["incremental", "adaptive", "baseline"]
+)
+def test_adaptive_policy(benchmark, strategy):
+    total, cut, fallbacks = once(benchmark, _run, strategy)
+    benchmark.extra_info["modeled_seconds"] = round(total, 4)
+    benchmark.extra_info["final_cut"] = cut
+    benchmark.extra_info["fallbacks"] = fallbacks
+    assert cut > 0
+
+
+def test_adaptive_tradeoff(benchmark):
+    """The hybrid sits between the extremes on cost and bounds the
+    quality drift (the Section VI.C claim)."""
+
+    def run_all():
+        return {
+            s: _run(s) for s in ("incremental", "adaptive", "baseline")
+        }
+
+    results = once(benchmark, run_all)
+    inc_time, inc_cut, _ = results["incremental"]
+    ada_time, ada_cut, ada_fallbacks = results["adaptive"]
+    bl_time, bl_cut, _ = results["baseline"]
+    benchmark.extra_info["times"] = {
+        "incremental": round(inc_time, 4),
+        "adaptive": round(ada_time, 4),
+        "baseline": round(bl_time, 4),
+    }
+    benchmark.extra_info["cuts"] = {
+        "incremental": inc_cut,
+        "adaptive": ada_cut,
+        "baseline": bl_cut,
+    }
+    # Heavy workload triggers fallbacks.
+    assert ada_fallbacks >= 1
+    # Cost ordering: incremental <= adaptive << always-FGP.
+    assert inc_time <= ada_time
+    assert ada_time < bl_time * 0.8
+    # Quality: adaptive stays within a modest factor of always-FGP.
+    assert ada_cut <= max(2.5 * bl_cut, bl_cut + 40)

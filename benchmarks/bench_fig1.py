@@ -1,0 +1,30 @@
+"""Figure 1: the cumulative runtime advantage of IGP over FGP.
+
+The motivation figure: as incremental iterations accumulate, the
+incremental flow's total runtime stays nearly flat while the
+re-partition-from-scratch flow grows linearly.  Shape assertions:
+
+* both cumulative curves are increasing,
+* the FGP curve grows much faster (the gap widens monotonically),
+* the final-ratio advantage is large.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import once
+from repro.eval.figures import build_fig1
+
+
+def test_fig1_igp_advantage(benchmark):
+    data = once(benchmark, build_fig1, graph="usb", iterations=15, seed=0)
+    ig = data.igp_cumulative
+    fgp = data.fgp_cumulative
+    assert np.all(np.diff(ig) > 0)
+    assert np.all(np.diff(fgp) > 0)
+    gap = fgp - ig
+    assert np.all(np.diff(gap) > 0), "FGP's disadvantage must widen"
+    final_ratio = fgp[-1] / ig[-1]
+    benchmark.extra_info["final_ratio"] = round(float(final_ratio), 1)
+    assert final_ratio > 5

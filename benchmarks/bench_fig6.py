@@ -1,0 +1,47 @@
+"""Figure 6: usb over incremental iterations at two k values.
+
+Paper claims: (1) at the first iteration there is no significant
+advantage (both flows just did an FGP); (2) the speedup grows with the
+number of incremental iterations; (3) the cut ratio stays comparable
+(within a few percent band on average) for both k values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import once
+from repro.eval.figures import build_fig6
+
+_ITERATIONS = 25
+
+
+def test_fig6_speedup_and_cut(benchmark):
+    data = once(
+        benchmark,
+        build_fig6,
+        graph="usb",
+        iterations=_ITERATIONS,
+        seed=0,
+        k_values=(2, 4),
+    )
+    for k, result in data.results.items():
+        speedups = result.cumulative_speedups()
+        # (1) FGP-dominated start: the cumulative ratio begins small...
+        assert speedups[0] < speedups[-1] / 2
+        # (2) ...and grows with iteration count (compare halves).
+        first_half = speedups[: _ITERATIONS // 2].mean()
+        second_half = speedups[_ITERATIONS // 2 :].mean()
+        assert second_half > first_half
+        # (3) comparable cut quality on average.
+        cut_ratios = np.array(
+            [r.cut_improvement for r in result.records]
+        )
+        assert 0.5 < cut_ratios.mean() < 2.0
+        benchmark.extra_info[f"k{k}_final_speedup"] = round(
+            float(speedups[-1]), 1
+        )
+        benchmark.extra_info[f"k{k}_cut_ratio"] = round(
+            float(cut_ratios.mean()), 3
+        )

@@ -1,0 +1,54 @@
+"""Figure 7: speedup and cut improvement at k in {2, 4, 8, 16, 32}.
+
+Paper claims: iG-kway is consistently faster regardless of k; the
+speedup *decreases* as k grows (each affected vertex must examine more
+candidate partitions, Algorithm 4's per-partition rescans); it remains
+well above 1 even at k = 32; and the cut stays comparable at every k.
+
+Two graphs stand in for the paper's four (tv80's circuit class and
+adaptive's mesh class); the full sweep is ``igkway-eval fig7``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import once
+from repro.eval.figures import build_fig7
+
+_K_VALUES = (2, 8, 32)
+
+
+@pytest.mark.parametrize("graph", ["tv80", "adaptive"])
+def test_fig7_k_sweep(benchmark, graph):
+    data = once(
+        benchmark,
+        build_fig7,
+        graphs=(graph,),
+        k_values=_K_VALUES,
+        iterations=4,
+        seed=0,
+    )
+    by_k = data.results[graph]
+    speedups = {k: by_k[k].part_speedup for k in _K_VALUES}
+    for k in _K_VALUES:
+        benchmark.extra_info[f"speedup_k{k}"] = round(speedups[k], 1)
+        # Consistently faster at every k, including k = 32.
+        assert speedups[k] > 3, f"k={k}: {speedups[k]:.1f}x"
+        # Comparable cut at every k.
+        assert 0.3 < by_k[k].cut_improvement < 3.5
+    if graph == "tv80":
+        # Circuit graphs reproduce the paper's declining k-curve: the
+        # per-partition bucket rescans of Algorithm 4 are a visible
+        # fraction of iG-kway's iteration cost.
+        assert speedups[2] > speedups[32], (
+            f"speedup should fall with k: {speedups}"
+        )
+    else:
+        # Known scale deviation (EXPERIMENTS.md): on the large mesh the
+        # k-independent |V|-warp dispatch dominates iG-kway's cost at
+        # reproduction scale, so the curve flattens instead of falling.
+        # We assert bounded variation rather than strict decline.
+        assert speedups[32] < speedups[2] * 1.4, (
+            f"k=32 should not outgrow k=2 substantially: {speedups}"
+        )

@@ -1,0 +1,94 @@
+"""Extension bench: iG-kway vs CPU-IGP vs G-kway† (three-way).
+
+The paper's related work argues CPU incremental partitioners "can
+become inefficient when handling large graphs or when affected regions
+are large" and that GPU-resident applications additionally pay CPU-GPU
+transfers per iteration.  This bench measures all three systems across
+small and large affected regions.
+
+Asserted shape (the honest version — see core/cpu_baseline.py):
+
+* both incremental systems beat re-partitioning from scratch by a wide
+  margin at every batch size.
+
+The CPU-vs-GPU incremental ordering is *reported, not asserted*: at
+reproduction scale both are dominated by batch-size-independent fixed
+terms (the CPU's |V|-proportional transfers, the GPU's per-|V| warp
+dispatch), so their relative growth with the affected region is a tie
+within model noise.  The regime where the GPU pulls away — multi-
+million-vertex graphs with thousands of affected vertices — is beyond
+this reproduction's scale; EXPERIMENTS.md discusses this.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import once
+from repro import GKwayDagger, IGKway, PartitionConfig
+from repro.core.cpu_baseline import CpuIncremental
+from repro.eval.workloads import TraceConfig, generate_trace
+from repro.graph import circuit_graph
+
+_GRAPH_SIZE = 6000
+_ITERATIONS = 6
+
+
+def _run(system_name: str, modifiers: int):
+    csr = circuit_graph(_GRAPH_SIZE, 1.35, seed=31)
+    trace = generate_trace(
+        csr,
+        TraceConfig(
+            iterations=_ITERATIONS,
+            modifiers_per_iteration=modifiers,
+            seed=31,
+        ),
+    )
+    config = PartitionConfig(k=4, seed=31)
+    system = {
+        "igkway": IGKway,
+        "cpu": CpuIncremental,
+        "fgp": GKwayDagger,
+    }[system_name](csr, config)
+    system.full_partition()
+    total = 0.0
+    for batch in trace:
+        report = system.apply(batch)
+        total += report.partitioning_seconds
+    return total, system.cut_size()
+
+
+@pytest.mark.parametrize("system_name", ["igkway", "cpu", "fgp"])
+@pytest.mark.parametrize("modifiers", [10, 300])
+def test_three_way(benchmark, system_name, modifiers):
+    total, cut = once(benchmark, _run, system_name, modifiers)
+    benchmark.extra_info["modeled_seconds"] = round(total, 5)
+    benchmark.extra_info["cut"] = cut
+    assert cut > 0
+
+
+def test_three_way_shape(benchmark):
+    def run_all():
+        out = {}
+        for mods in (10, 300):
+            out[mods] = {
+                name: _run(name, mods)[0]
+                for name in ("igkway", "cpu", "fgp")
+            }
+        return out
+
+    results = once(benchmark, run_all)
+    for mods, by_system in results.items():
+        benchmark.extra_info[f"mods{mods}"] = {
+            name: round(sec, 5) for name, sec in by_system.items()
+        }
+        # Incremental (either kind) crushes from-scratch FGP.
+        assert by_system["fgp"] > 5 * by_system["igkway"]
+        assert by_system["fgp"] > 5 * by_system["cpu"]
+    # Report (not assert) the growth trend with the affected region.
+    benchmark.extra_info["cpu_growth"] = round(
+        results[300]["cpu"] / results[10]["cpu"], 3
+    )
+    benchmark.extra_info["gpu_growth"] = round(
+        results[300]["igkway"] / results[10]["igkway"], 3
+    )

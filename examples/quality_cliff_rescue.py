@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""The Figure 8 quality cliff, and the Section VI.C rescue.
+
+The paper's Figure 8 shows that when modifier batches get large,
+iG-kway's incremental refinement loses the plot: the graph drifts away
+from the structure the partition was built for, and the cut degrades.
+The paper's advice: "applications can resort to FGP ... especially when
+the number of graph modifiers reaches 50% of the graph's size."
+
+This example demonstrates both halves on one heavy workload:
+
+* pure iG-kway — fast, but watch the cut climb;
+* `AdaptiveIGKway` — same incremental engine, plus the paper's fallback
+  policy, which periodically re-partitions and pulls the cut back down
+  at a fraction of always-FGP cost;
+* G-kway† — the quality reference, at full price.
+
+Run:  python examples/quality_cliff_rescue.py [--iterations 15]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import AdaptiveIGKway, GKwayDagger, IGKway, PartitionConfig
+from repro.eval.workloads import TraceConfig, generate_trace
+from repro.graph import circuit_graph
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--vertices", type=int, default=2500)
+    parser.add_argument("--iterations", type=int, default=15)
+    parser.add_argument("--modifiers", type=int, default=150,
+                        help="per iteration; ~6%% of |V| = heavy")
+    parser.add_argument("--seed", type=int, default=13)
+    args = parser.parse_args(argv)
+
+    csr = circuit_graph(args.vertices, edge_ratio=1.3, seed=args.seed)
+    trace = generate_trace(
+        csr,
+        TraceConfig(
+            iterations=args.iterations,
+            modifiers_per_iteration=args.modifiers,
+            seed=args.seed,
+        ),
+    )
+    config = PartitionConfig(k=2, seed=args.seed)
+    systems = {
+        "iG-kway": IGKway(csr, config),
+        "adaptive": AdaptiveIGKway(
+            csr, config, volume_threshold=0.25, batch_threshold=0.2
+        ),
+        "G-kway†": GKwayDagger(csr, config),
+    }
+    for system in systems.values():
+        system.full_partition()
+
+    print(
+        f"{args.modifiers} modifiers/iteration on {args.vertices} "
+        f"vertices (~{100 * args.modifiers / args.vertices:.0f}% of |V| "
+        f"per iteration)\n"
+    )
+    header = (
+        f"{'iter':>5} {'iG cut':>8} {'adaptive':>9} {'G† cut':>8}  "
+        f"{'(F = adaptive fell back)'}"
+    )
+    print(header)
+    print("-" * len(header))
+    totals = {name: 0.0 for name in systems}
+    for index, batch in enumerate(trace):
+        row = {}
+        flag = " "
+        for name, system in systems.items():
+            report = system.apply(batch)
+            iteration = report.iteration if name == "adaptive" else report
+            totals[name] += (
+                iteration.modification_seconds
+                + iteration.partitioning_seconds
+            )
+            row[name] = iteration.cut
+            if name == "adaptive" and report.used_fallback:
+                flag = "F"
+        print(
+            f"{index:>5} {row['iG-kway']:>8} {row['adaptive']:>8}{flag} "
+            f"{row['G-kway†']:>8}"
+        )
+
+    print("-" * len(header))
+    print("Totals (modeled GPU seconds):")
+    for name, seconds in totals.items():
+        print(f"  {name:<9} {seconds:>9.4f}s  final cut "
+              f"{systems[name].cut_size():>5}")
+    fallbacks = systems["adaptive"].fallbacks_taken
+    print(
+        f"\nThe adaptive policy fell back {fallbacks} time(s): it keeps "
+        f"the cut near the from-scratch reference at a fraction of "
+        f"G-kway†'s cost — the paper's Section VI.C recommendation, "
+        f"operationalized."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

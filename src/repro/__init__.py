@@ -1,0 +1,38 @@
+"""iG-kway reproduction: incremental k-way graph partitioning on a
+simulated GPU (Lee et al., DAC 2025).
+
+Quickstart::
+
+    from repro import IGKway, PartitionConfig
+    from repro.graph import circuit_graph, ModifierBatch, EdgeInsert
+
+    csr = circuit_graph(10_000, edge_ratio=1.3, seed=1)
+    ig = IGKway(csr, PartitionConfig(k=4))
+    ig.full_partition()
+    ig.apply(ModifierBatch([EdgeInsert(3, 77)]))
+    print(ig.cut_size())
+
+Package map:
+
+* :mod:`repro.core`      -- iG-kway and the G-kway† baseline,
+* :mod:`repro.partition` -- multilevel G-kway full partitioning,
+* :mod:`repro.graph`     -- CSR / bucket-list substrates, generators,
+* :mod:`repro.gpusim`    -- the warp-level GPU execution model,
+* :mod:`repro.eval`      -- benchmark harness for every paper table/figure.
+"""
+
+from repro.core.adaptive import AdaptiveIGKway
+from repro.core.baseline import GKwayDagger
+from repro.core.igkway import IGKway, IterationReport
+from repro.partition.config import PartitionConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IGKway",
+    "GKwayDagger",
+    "AdaptiveIGKway",
+    "IterationReport",
+    "PartitionConfig",
+    "__version__",
+]

@@ -1,0 +1,148 @@
+"""G-kway†: the paper's baseline (Section VI).
+
+G-kway has no incremental support, so for each incremental iteration the
+baseline must
+
+1. apply the modifiers to the CPU-side graph,
+2. rebuild the CSR on the CPU (charged as host operations proportional
+   to ``|V| + 2|E|``),
+3. re-upload the CSR over PCIe, and
+4. re-partition the whole graph from scratch with G-kway (using the
+   same constrained coarsening as iG-kway, per the paper's fair-
+   comparison setup).
+
+That per-iteration full cost is exactly what Figure 1 and Table I show
+iG-kway avoiding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.igkway import FullPartitionReport
+from repro.gpusim.context import GpuContext
+from repro.gpusim.device import A6000, DeviceSpec
+from repro.graph.csr import CSRGraph
+from repro.graph.modifiers import HostGraph, Modifier
+from repro.partition.config import PartitionConfig
+from repro.partition.gkway import GKwayPartitioner
+from repro.utils.errors import PartitionError
+
+
+@dataclass
+class BaselineIterationReport:
+    """Per-iteration outcome of G-kway† (mirrors ``IterationReport``)."""
+
+    modification_seconds: float
+    partitioning_seconds: float
+    cut: int
+    balanced: bool
+
+
+class GKwayDagger:
+    """The CSR-rebuilding, re-partitioning baseline.
+
+    Args:
+        csr: Initial graph.
+        config: Same configuration as the iG-kway run it is compared to.
+        ctx: Optional shared GPU context.
+    """
+
+    def __init__(
+        self,
+        csr: CSRGraph,
+        config: PartitionConfig,
+        ctx: GpuContext | None = None,
+        device: DeviceSpec = A6000,
+    ):
+        self.config = config
+        self.ctx = ctx if ctx is not None else GpuContext(device)
+        self.host = HostGraph.from_csr(csr)
+        self._partition: np.ndarray | None = None
+        self._id_map: np.ndarray | None = None
+        self._cut: int | None = None
+        self.iterations_applied = 0
+
+    def full_partition(self) -> FullPartitionReport:
+        """Initial FGP (identical to iG-kway's stage 1)."""
+        ledger = self.ctx.ledger
+        before = ledger.snapshot()
+        with ledger.section("full_partitioning"):
+            csr, id_map = self.host.to_csr()
+            self.ctx.reallocate("csr", csr.nbytes())
+            ledger.charge_h2d(csr.nbytes())
+            result = GKwayPartitioner(self.config, ctx=self.ctx).partition(
+                csr
+            )
+        self._partition = result.partition
+        self._id_map = id_map
+        self._cut = result.cut
+        seconds = ledger.model.seconds(ledger.total.diff(before))
+        return FullPartitionReport(
+            seconds=seconds,
+            cut=result.cut,
+            balanced=result.balanced,
+            num_levels=result.num_levels,
+        )
+
+    def apply(self, batch: Sequence[Modifier]) -> BaselineIterationReport:
+        """One incremental iteration: modify, rebuild, re-partition."""
+        if self._partition is None:
+            raise PartitionError(
+                "call full_partition() before applying modifiers"
+            )
+        ledger = self.ctx.ledger
+
+        before_mod = ledger.snapshot()
+        with ledger.section("modification"):
+            for modifier in batch:
+                self.host.apply(modifier)
+            # CPU CSR rebuild + PCIe re-upload: the incrementality tax.
+            ledger.charge_host_ops(self.host.rebuild_work())
+            csr, id_map = self.host.to_csr()
+            # The rebuilt CSR replaces the previous one on device.
+            self.ctx.reallocate("csr", csr.nbytes())
+            ledger.charge_h2d(csr.nbytes())
+        mod_seconds = ledger.model.seconds(ledger.total.diff(before_mod))
+
+        before_part = ledger.snapshot()
+        with ledger.section("partitioning"):
+            result = GKwayPartitioner(self.config, ctx=self.ctx).partition(
+                csr, seed=self.config.seed + self.iterations_applied + 1
+            )
+        part_seconds = ledger.model.seconds(ledger.total.diff(before_part))
+
+        self._partition = result.partition
+        self._id_map = id_map
+        self._cut = result.cut
+        self.iterations_applied += 1
+        return BaselineIterationReport(
+            modification_seconds=mod_seconds,
+            partitioning_seconds=part_seconds,
+            cut=result.cut,
+            balanced=result.balanced,
+        )
+
+    # -- queries -----------------------------------------------------------------
+
+    @property
+    def partition(self) -> np.ndarray:
+        """Labels of the compacted active subgraph (see :meth:`id_map`)."""
+        if self._partition is None:
+            raise PartitionError("not partitioned yet")
+        return self._partition
+
+    @property
+    def id_map(self) -> np.ndarray:
+        """Original vertex ID of each compacted vertex."""
+        if self._id_map is None:
+            raise PartitionError("not partitioned yet")
+        return self._id_map
+
+    def cut_size(self) -> int:
+        if self._cut is None:
+            raise PartitionError("not partitioned yet")
+        return self._cut

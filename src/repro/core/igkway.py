@@ -1,0 +1,221 @@
+"""iG-kway: the incremental k-way GPU graph partitioner (public API).
+
+Usage mirrors Figure 2 of the paper::
+
+    from repro import IGKway, PartitionConfig
+    from repro.graph import circuit_graph, ModifierBatch, EdgeInsert
+
+    csr = circuit_graph(10_000, 1.3, seed=1)
+    partitioner = IGKway(csr, PartitionConfig(k=4))
+    partitioner.full_partition()              # G-kway + constrained coarsening
+    report = partitioner.apply(ModifierBatch([EdgeInsert(3, 77)]))
+    print(report.cut, report.partitioning_seconds)
+
+``full_partition`` runs the multilevel partitioner once and uploads the
+graph into the bucket-list structure; every subsequent ``apply`` performs
+incremental graph modification (Algorithms 1-2), partition balancing
+(Algorithm 3) and parallel refinement (Algorithm 4) entirely "on
+device", charging the simulated-GPU cost ledger so runtime estimates can
+be compared against the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.balancing import (
+    BalanceStats,
+    balance_partition,
+    charge_boundary_bookkeeping,
+)
+from repro.core.modification import apply_batch
+from repro.core.refinement import RefineStats, refine_pseudo
+from repro.gpusim.context import GpuContext
+from repro.gpusim.device import A6000, DeviceSpec
+from repro.graph.bucketlist import BucketListGraph
+from repro.graph.csr import CSRGraph
+from repro.graph.modifiers import Modifier
+from repro.partition.config import PartitionConfig
+from repro.partition.gkway import GKwayPartitioner
+from repro.partition.metrics import cut_size_bucketlist
+from repro.partition.state import UNASSIGNED, PartitionState
+from repro.utils.errors import PartitionError
+
+
+@dataclass
+class IterationReport:
+    """Outcome of one incremental iteration.
+
+    Attributes:
+        modification_seconds: Modeled GPU time of the modifier kernels.
+        partitioning_seconds: Modeled GPU time of balancing+refinement.
+        cut: Weighted cut size after the iteration.
+        balanced: Whether the balance constraint holds.
+        balance_stats / refine_stats: Kernel diagnostics.
+    """
+
+    modification_seconds: float
+    partitioning_seconds: float
+    cut: int
+    balanced: bool
+    balance_stats: BalanceStats
+    refine_stats: RefineStats
+
+
+@dataclass
+class FullPartitionReport:
+    """Outcome of the initial full partitioning."""
+
+    seconds: float
+    cut: int
+    balanced: bool
+    num_levels: int
+
+
+class IGKway:
+    """Incremental k-way graph partitioner on the simulated GPU.
+
+    Args:
+        csr: The initial graph.
+        config: Partitioning configuration (k, epsilon, gamma, mode, ...).
+        ctx: Optional shared GPU context; a fresh one is created if
+            omitted.
+        device: Device spec for the fresh context.
+        capacity_factor: Vertex-ID headroom for future insertions.
+    """
+
+    def __init__(
+        self,
+        csr: CSRGraph,
+        config: PartitionConfig,
+        ctx: GpuContext | None = None,
+        device: DeviceSpec = A6000,
+        capacity_factor: float = 1.5,
+    ):
+        self.initial_csr = csr
+        self.config = config
+        self.ctx = ctx if ctx is not None else GpuContext(device)
+        self.capacity_factor = capacity_factor
+        self.graph: BucketListGraph | None = None
+        self.state: PartitionState | None = None
+        self.iterations_applied = 0
+
+    # -- stage 1: full partitioning -------------------------------------------
+
+    def full_partition(self) -> FullPartitionReport:
+        """Run G-kway with constrained coarsening; upload the bucket list."""
+        ledger = self.ctx.ledger
+        before = ledger.snapshot()
+        with ledger.section("full_partitioning"):
+            result = GKwayPartitioner(self.config, ctx=self.ctx).partition(
+                self.initial_csr
+            )
+            self.graph = BucketListGraph.from_csr(
+                self.initial_csr,
+                gamma=self.config.gamma,
+                capacity_factor=self.capacity_factor,
+            )
+            # Register the pre-allocated device structures (Section V.A:
+            # "we pre-allocate a large block of memory").
+            self.ctx.reallocate("bucket_list", self.graph.nbytes())
+            self.ctx.reallocate(
+                "partition", 8 * self.graph.capacity
+            )
+            ledger.charge_h2d(self.graph.nbytes())
+        seconds = ledger.model.seconds(ledger.total.diff(before))
+
+        partition = np.full(self.graph.capacity, UNASSIGNED, dtype=np.int64)
+        partition[: self.initial_csr.num_vertices] = result.partition
+        # The state snapshots graph.vwgt; weights of vertices inserted
+        # later reach it through the balancing kernel in modifier order.
+        self.state = PartitionState(
+            partition, self.graph.vwgt, self.config.k, self.config.epsilon
+        )
+        return FullPartitionReport(
+            seconds=seconds,
+            cut=result.cut,
+            balanced=result.balanced,
+            num_levels=result.num_levels,
+        )
+
+    # -- stage 2: incremental partitioning --------------------------------------
+
+    def apply(self, batch: Sequence[Modifier]) -> IterationReport:
+        """Apply one modifier batch and incrementally refine (Figure 2)."""
+        graph, state = self._require_partitioned()
+        ledger = self.ctx.ledger
+
+        before_mod = ledger.snapshot()
+        with ledger.section("modification"):
+            ops = apply_batch(self.ctx, graph, batch, mode=self.config.mode)
+        mod_seconds = ledger.model.seconds(ledger.total.diff(before_mod))
+
+        before_part = ledger.snapshot()
+        with ledger.section("partitioning"):
+            buffer, balance_stats = balance_partition(
+                self.ctx, graph, state, ops, mode=self.config.mode
+            )
+            refine_stats = refine_pseudo(
+                self.ctx,
+                graph,
+                state,
+                buffer,
+                mode=self.config.mode,
+                max_rounds=self.config.max_incremental_rounds,
+            )
+            charge_boundary_bookkeeping(self.ctx, graph)
+        part_seconds = ledger.model.seconds(ledger.total.diff(before_part))
+
+        self.iterations_applied += 1
+        return IterationReport(
+            modification_seconds=mod_seconds,
+            partitioning_seconds=part_seconds,
+            cut=self.cut_size(),
+            balanced=state.balanced(),
+            balance_stats=balance_stats,
+            refine_stats=refine_stats,
+        )
+
+    def run_trace(
+        self, trace: Sequence[Sequence[Modifier]]
+    ) -> list[IterationReport]:
+        """Apply every batch of ``trace`` in order; returns all reports.
+
+        Convenience wrapper for the common experiment loop::
+
+            reports = ig.run_trace(generate_trace(csr, TraceConfig(...)))
+        """
+        return [self.apply(batch) for batch in trace]
+
+    # -- queries --------------------------------------------------------------------
+
+    @property
+    def partition(self) -> np.ndarray:
+        """Current per-vertex labels (UNASSIGNED for deleted vertices)."""
+        _graph, state = self._require_partitioned()
+        return state.partition
+
+    def cut_size(self) -> int:
+        """Exact weighted cut of the current (modified) graph."""
+        graph, state = self._require_partitioned()
+        return cut_size_bucketlist(graph, state.partition)
+
+    def validate(self) -> None:
+        """Check graph and partition invariants (tests / debugging)."""
+        graph, state = self._require_partitioned()
+        graph.validate()
+        active = np.zeros(graph.capacity, dtype=bool)
+        active[graph.active_vertices()] = True
+        state.validate(active_mask=active)
+
+    def _require_partitioned(
+        self,
+    ) -> tuple[BucketListGraph, PartitionState]:
+        if self.graph is None or self.state is None:
+            raise PartitionError(
+                "call full_partition() before applying modifiers"
+            )
+        return self.graph, self.state

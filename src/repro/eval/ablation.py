@@ -1,0 +1,334 @@
+"""Programmatic ablation studies over the design choices.
+
+Each study isolates one design decision DESIGN.md calls out and measures
+its effect on quality and modeled runtime:
+
+* ``coarsening_study``  — constrained grouping (Section IV) vs plain
+  union-find: coarse-weight balance, final cut, FGP time.
+* ``gamma_study``       — spare buckets per vertex (Section V.A):
+  relocations suffered vs memory footprint under an insert-heavy burst.
+* ``filter_study``      — Algorithm 3's ``adj_ext > adj_int`` filter:
+  pseudo-set size and refinement moves with the filter active vs a
+  variant that parks every affected vertex.
+* ``fm_study``          — the reproduction's FM booster: cut vs time.
+
+The CLI target ``igkway-eval ablations`` renders all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.igkway import IGKway
+from repro.eval.workloads import TraceConfig, generate_trace
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import circuit_graph, mesh_graph_2d
+from repro.gpusim.context import GpuContext
+from repro.partition.coarsen import (
+    build_groups_constrained,
+    build_groups_unionfind,
+    coarse_weight_imbalance,
+)
+from repro.partition.config import PartitionConfig
+from repro.partition.gkway import GKwayPartitioner
+from repro.partition.unionfind import group_vertices
+
+
+@dataclass
+class AblationRow:
+    """One configuration's outcome within a study."""
+
+    label: str
+    metrics: Dict[str, float]
+
+
+@dataclass
+class AblationStudy:
+    """A titled list of rows plus the claim being tested."""
+
+    title: str
+    claim: str
+    rows: List[AblationRow]
+
+    def format(self) -> str:
+        keys: List[str] = []
+        for row in self.rows:
+            for key in row.metrics:
+                if key not in keys:
+                    keys.append(key)
+        label_width = max(len(row.label) for row in self.rows)
+        header = f"{'config':<{label_width}}" + "".join(
+            f"{key:>18}" for key in keys
+        )
+        lines = [self.title, f"  claim: {self.claim}", header,
+                 "-" * len(header)]
+        for row in self.rows:
+            cells = "".join(
+                f"{row.metrics.get(key, float('nan')):>18.4g}"
+                for key in keys
+            )
+            lines.append(f"{row.label:<{label_width}}" + cells)
+        return "\n".join(lines)
+
+
+def coarsening_study(
+    csr: CSRGraph | None = None, k: int = 8, seed: int = 3
+) -> AblationStudy:
+    """Constrained vs union-find coarsening (Section IV / Figure 3)."""
+    if csr is None:
+        csr = mesh_graph_2d(4096)
+    roots, labels = group_vertices(csr, match_iterations=3, seed=seed)
+    rows = []
+    for strategy, cmap in (
+        ("unionfind", build_groups_unionfind(roots)),
+        ("constrained", build_groups_constrained(roots, labels, 6)),
+    ):
+        ctx = GpuContext()
+        result = GKwayPartitioner(
+            PartitionConfig(k=k, seed=seed, coarsening=strategy),
+            ctx=ctx,
+        ).partition(csr)
+        rows.append(
+            AblationRow(
+                label=strategy,
+                metrics={
+                    "coarse_imbalance": coarse_weight_imbalance(
+                        cmap, csr.vwgt
+                    ),
+                    "cut": float(result.cut),
+                    "balanced": float(result.balanced),
+                    "fgp_seconds": ctx.ledger.seconds(),
+                },
+            )
+        )
+    return AblationStudy(
+        title="Coarsening strategy (Section IV)",
+        claim="constrained grouping flattens coarse vertex weights",
+        rows=rows,
+    )
+
+
+def gamma_study(
+    csr: CSRGraph | None = None, seed: int = 2
+) -> AblationStudy:
+    """Spare-bucket count vs relocations and footprint (Section V.A)."""
+    from repro.core.modification import apply_batch
+    from repro.graph.bucketlist import BucketListGraph
+    from repro.graph.modifiers import EdgeInsert, ModifierBatch
+
+    if csr is None:
+        csr = circuit_graph(600, 1.3, seed=seed)
+    rows = []
+    for gamma in (0, 1, 2, 4):
+        graph = BucketListGraph.from_csr(csr, gamma=gamma)
+        ctx = GpuContext()
+        before = graph.num_buckets_used
+        batch = ModifierBatch(
+            [EdgeInsert(0, v) for v in range(100, 140)]
+        )
+        apply_batch(ctx, graph, batch, mode="vector")
+        rows.append(
+            AblationRow(
+                label=f"gamma={gamma}",
+                metrics={
+                    "buckets_grown": float(
+                        graph.num_buckets_used - before
+                    ),
+                    "pool_mbytes": graph.nbytes() / 1e6,
+                    "mod_seconds": ctx.ledger.seconds(),
+                },
+            )
+        )
+    return AblationStudy(
+        title="Spare buckets gamma (Section V.A)",
+        claim="larger gamma absorbs insertion bursts without relocation",
+        rows=rows,
+    )
+
+
+def filter_study(
+    csr: CSRGraph | None = None, seed: int = 6, iterations: int = 5
+) -> AblationStudy:
+    """Algorithm 3's adj_ext > adj_int filter vs parking everything."""
+    from repro.core import balancing as balancing_module
+
+    if csr is None:
+        csr = circuit_graph(3000, 1.4, seed=seed)
+    trace = generate_trace(
+        csr,
+        TraceConfig(
+            iterations=iterations, modifiers_per_iteration=100, seed=seed
+        ),
+    )
+
+    def run(disable_filter: bool) -> Dict[str, float]:
+        original = balancing_module._filter_ext_gt_int
+        if disable_filter:
+            def park_everything(ctx, graph, state, candidates, mode):
+                return np.sort(
+                    np.asarray(candidates, dtype=np.int64)
+                )
+
+            balancing_module._filter_ext_gt_int = park_everything
+        try:
+            ig = IGKway(csr, PartitionConfig(k=2, seed=seed))
+            ig.full_partition()
+            pseudo = moves = 0
+            part_seconds = 0.0
+            for batch in trace:
+                report = ig.apply(batch)
+                pseudo += report.balance_stats.pseudo_total
+                moves += report.refine_stats.moves_applied
+                part_seconds += report.partitioning_seconds
+            return {
+                "pseudo_total": float(pseudo),
+                "moves": float(moves),
+                "part_seconds": part_seconds,
+                "final_cut": float(ig.cut_size()),
+            }
+        finally:
+            balancing_module._filter_ext_gt_int = original
+
+    rows = [
+        AblationRow("filter on (paper)", run(disable_filter=False)),
+        AblationRow("filter off", run(disable_filter=True)),
+    ]
+    return AblationStudy(
+        title="Affected-vertex filtering (Algorithm 3)",
+        claim="the filter shrinks the pseudo set and refinement work",
+        rows=rows,
+    )
+
+
+def fm_study(
+    csr: CSRGraph | None = None, k: int = 2, seed: int = 5
+) -> AblationStudy:
+    """FM refinement on/off in the full partitioner."""
+    if csr is None:
+        csr = mesh_graph_2d(2500)
+    rows = []
+    for fm_passes in (0, 1, 2):
+        ctx = GpuContext()
+        result = GKwayPartitioner(
+            PartitionConfig(k=k, seed=seed, fm_passes=fm_passes),
+            ctx=ctx,
+        ).partition(csr)
+        rows.append(
+            AblationRow(
+                label=f"fm_passes={fm_passes}",
+                metrics={
+                    "cut": float(result.cut),
+                    "fgp_seconds": ctx.ledger.seconds(),
+                },
+            )
+        )
+    return AblationStudy(
+        title="FM refinement passes",
+        claim="FM lowers the cut at modest modeled cost",
+        rows=rows,
+    )
+
+
+def refinement_study(
+    csr: CSRGraph | None = None, k: int = 4, seed: int = 9
+) -> AblationStudy:
+    """G-kway independent-set refinement vs Jet-style label propagation
+    (the two GPU refinement families, paper's [13] vs [2])."""
+    if csr is None:
+        csr = mesh_graph_2d(2500)
+    rows = []
+    for refinement in ("gkway", "jet"):
+        ctx = GpuContext()
+        result = GKwayPartitioner(
+            PartitionConfig(k=k, seed=seed, refinement=refinement),
+            ctx=ctx,
+        ).partition(csr)
+        rows.append(
+            AblationRow(
+                label=refinement,
+                metrics={
+                    "cut": float(result.cut),
+                    "balanced": float(result.balanced),
+                    "fgp_seconds": ctx.ledger.seconds(),
+                },
+            )
+        )
+    return AblationStudy(
+        title="Refinement family (G-kway [13] vs Jet [2])",
+        claim="both families deliver balanced partitions of similar cut",
+        rows=rows,
+    )
+
+
+def locality_study(
+    csr: CSRGraph | None = None, seed: int = 8, iterations: int = 5
+) -> AblationStudy:
+    """Workload locality: scattered random modifiers vs ECO-style
+    region bursts at the same modifier rate."""
+    from repro.eval.workloads import generate_region_burst_trace
+
+    if csr is None:
+        csr = circuit_graph(3000, 1.4, seed=seed)
+    traces = {
+        "random (TAU mix)": generate_trace(
+            csr,
+            TraceConfig(
+                iterations=iterations,
+                modifiers_per_iteration=100,
+                seed=seed,
+            ),
+        ),
+        "region burst (ECO)": generate_region_burst_trace(
+            csr,
+            iterations=iterations,
+            modifiers_per_iteration=100,
+            region_span=128,
+            seed=seed,
+        ),
+    }
+    rows = []
+    for label, trace in traces.items():
+        ig = IGKway(csr, PartitionConfig(k=2, seed=seed))
+        ig.full_partition()
+        affected = pseudo = 0
+        part_seconds = 0.0
+        for batch in trace:
+            report = ig.apply(batch)
+            affected += report.balance_stats.affected_marked
+            pseudo += report.balance_stats.pseudo_total
+            part_seconds += report.partitioning_seconds
+        rows.append(
+            AblationRow(
+                label=label,
+                metrics={
+                    "affected": float(affected),
+                    "pseudo": float(pseudo),
+                    "part_seconds": part_seconds,
+                    "final_cut": float(ig.cut_size()),
+                },
+            )
+        )
+    return AblationStudy(
+        title="Workload locality",
+        claim="incremental cost tracks the affected set, not |E|",
+        rows=rows,
+    )
+
+
+def run_all(seed: int = 0) -> List[AblationStudy]:
+    """Run every ablation study with defaults."""
+    return [
+        coarsening_study(seed=seed + 3),
+        gamma_study(seed=seed + 2),
+        filter_study(seed=seed + 6),
+        fm_study(seed=seed + 5),
+        refinement_study(seed=seed + 9),
+        locality_study(seed=seed + 8),
+    ]
+
+
+def format_all(studies: List[AblationStudy]) -> str:
+    return "\n\n".join(study.format() for study in studies)

@@ -1,0 +1,266 @@
+"""Command-line entry point.
+
+Two families of subcommands:
+
+* Paper artifacts — regenerate any table or figure::
+
+      igkway-eval table1 [--iterations 100] [--runs 1] [--out results/]
+      igkway-eval fig1 | fig6 | fig7 | fig8 | all
+
+* User graphs — run the incremental flow on your own METIS / edge-list
+  file and export the partition::
+
+      igkway-eval run --graph design.graph --k 8 --iterations 50 \\
+          --export partition.csv
+
+``python -m repro.eval.cli ...`` is equivalent to ``igkway-eval ...``.
+Text reports go to stdout; with ``--out`` each artifact is also written
+to ``<out>/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.eval import figures, tables
+
+
+def _emit(name: str, text: str, out_dir: Path | None) -> None:
+    print(text)
+    print()
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+
+
+# ---------------------------------------------------------------------------
+# Paper artifacts.
+# ---------------------------------------------------------------------------
+
+
+def run_table1(args: argparse.Namespace, out_dir: Path | None) -> None:
+    results = tables.build_table1(
+        iterations=args.iterations, seed=args.seed, runs=args.runs
+    )
+    text = tables.format_table1(results)
+    text += "\n\n" + tables.format_paper_comparison(results)
+    _emit("table1", text, out_dir)
+
+
+def run_fig1(args: argparse.Namespace, out_dir: Path | None) -> None:
+    data = figures.build_fig1(
+        iterations=min(args.iterations, 50), seed=args.seed
+    )
+    _emit("fig1", figures.format_fig1(data), out_dir)
+
+
+def run_fig6(args: argparse.Namespace, out_dir: Path | None) -> None:
+    data = figures.build_fig6(iterations=args.iterations, seed=args.seed)
+    _emit("fig6", figures.format_fig6(data), out_dir)
+
+
+def run_fig7(args: argparse.Namespace, out_dir: Path | None) -> None:
+    data = figures.build_fig7(
+        iterations=max(args.iterations // 5, 5), seed=args.seed
+    )
+    _emit("fig7", figures.format_fig7(data), out_dir)
+
+
+def run_fig8(args: argparse.Namespace, out_dir: Path | None) -> None:
+    data = figures.build_fig8(
+        iterations=max(args.iterations // 5, 5), seed=args.seed
+    )
+    _emit("fig8", figures.format_fig8(data), out_dir)
+
+
+def run_ablations(args: argparse.Namespace, out_dir: Path | None) -> None:
+    from repro.eval import ablation
+
+    studies = ablation.run_all(seed=args.seed)
+    _emit("ablations", ablation.format_all(studies), out_dir)
+
+
+def run_variance(args: argparse.Namespace, out_dir: Path | None) -> None:
+    from repro.eval.runner import run_replicates, variance_report
+
+    lines = [
+        "Run-to-run variance (paper averages 10 runs; this quantifies "
+        "the spread)",
+        f"{'graph':<10} {'runs':>5} {'speedup':>20} {'cut impr':>16}",
+    ]
+    for graph in ("usb", "tv80", "adaptive"):
+        replicates = run_replicates(
+            graph,
+            k=2,
+            iterations=max(args.iterations // 5, 5),
+            seed=args.seed,
+            runs=args.runs if args.runs > 1 else 3,
+        )
+        stats = variance_report(replicates)
+        lines.append(
+            f"{graph:<10} {stats['runs']:>5} "
+            f"{stats['speedup_mean']:>10.1f} ± "
+            f"{stats['speedup_std']:<7.1f} "
+            f"{stats['cut_improvement_mean']:>8.2f} ± "
+            f"{stats['cut_improvement_std']:<5.2f}"
+        )
+    _emit("variance", "\n".join(lines), out_dir)
+
+
+def run_selfcheck(args: argparse.Namespace, out_dir: Path | None) -> None:
+    from repro.eval import selfcheck
+
+    results = selfcheck.run_selfcheck(seed=args.seed)
+    _emit("selfcheck", selfcheck.format_results(results), out_dir)
+    if not all(r.passed for r in results):
+        raise SystemExit(1)
+
+
+_ARTIFACTS = {
+    "table1": run_table1,
+    "fig1": run_fig1,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "fig8": run_fig8,
+    "ablations": run_ablations,
+    "selfcheck": run_selfcheck,
+    "variance": run_variance,
+}
+
+
+# ---------------------------------------------------------------------------
+# User-graph runner.
+# ---------------------------------------------------------------------------
+
+
+def run_user_graph(args: argparse.Namespace) -> None:
+    from repro import AdaptiveIGKway, IGKway, PartitionConfig
+    from repro.eval.workloads import TraceConfig, generate_trace
+    from repro.graph.io import read_edge_list, read_metis
+
+    path = Path(args.graph)
+    if path.suffix in (".edges", ".txt", ".el"):
+        csr = read_edge_list(path)
+    else:
+        csr = read_metis(path)
+    print(
+        f"Loaded {path.name}: |V| = {csr.num_vertices}, "
+        f"|E| = {csr.num_edges}"
+    )
+    config = PartitionConfig(
+        k=args.k, epsilon=args.epsilon, seed=args.seed
+    )
+    if args.adaptive:
+        partitioner = AdaptiveIGKway(csr, config)
+    else:
+        partitioner = IGKway(csr, config)
+    report = partitioner.full_partition()
+    print(
+        f"Full partitioning: cut = {report.cut}, balanced = "
+        f"{report.balanced}, modeled GPU time = {report.seconds:.4f}s"
+    )
+    if args.iterations > 0:
+        trace = generate_trace(
+            csr,
+            TraceConfig(
+                iterations=args.iterations,
+                modifiers_per_iteration=args.modifiers,
+                seed=args.seed,
+            ),
+        )
+        total = 0.0
+        for batch in trace:
+            result = partitioner.apply(batch)
+            iteration = (
+                result.iteration if args.adaptive else result
+            )
+            total += (
+                iteration.modification_seconds
+                + iteration.partitioning_seconds
+            )
+        print(
+            f"{args.iterations} incremental iterations: total modeled "
+            f"GPU time {total:.4f}s, final cut "
+            f"{partitioner.cut_size()}"
+        )
+    if args.export:
+        from repro.core.serialize import export_partition_csv
+
+        inner = partitioner.inner if args.adaptive else partitioner
+        export_partition_csv(inner, args.export)
+        print(f"Partition written to {args.export}")
+
+
+# ---------------------------------------------------------------------------
+# Argument parsing.
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="igkway-eval",
+        description="iG-kway reproduction: regenerate paper artifacts "
+        "or partition your own graphs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in sorted(_ARTIFACTS) + ["all"]:
+        artifact = sub.add_parser(
+            name, help=f"regenerate {name}" if name != "all" else
+            "regenerate every table and figure",
+        )
+        artifact.add_argument(
+            "--iterations", type=int, default=100,
+            help="incremental iterations per experiment (paper: 100)",
+        )
+        artifact.add_argument(
+            "--runs", type=int, default=1,
+            help="independent runs to average (paper: 10)",
+        )
+        artifact.add_argument("--seed", type=int, default=0)
+        artifact.add_argument(
+            "--out", type=Path, default=None,
+            help="directory to also write each report into",
+        )
+
+    runner = sub.add_parser(
+        "run", help="partition a user graph (METIS or edge-list file)"
+    )
+    runner.add_argument("--graph", required=True, help="input file")
+    runner.add_argument("--k", type=int, default=2)
+    runner.add_argument("--epsilon", type=float, default=0.03)
+    runner.add_argument("--iterations", type=int, default=0,
+                        help="synthetic incremental iterations to apply")
+    runner.add_argument("--modifiers", type=int, default=50,
+                        help="modifiers per synthetic iteration")
+    runner.add_argument("--seed", type=int, default=0)
+    runner.add_argument(
+        "--adaptive", action="store_true",
+        help="use the FGP-fallback hybrid (Section VI.C policy)",
+    )
+    runner.add_argument("--export", default=None,
+                        help="write vertex,partition CSV here")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        run_user_graph(args)
+        return 0
+    targets = (
+        sorted(_ARTIFACTS) if args.command == "all" else [args.command]
+    )
+    for target in targets:
+        started = time.time()
+        print(f"=== {target} ===")
+        _ARTIFACTS[target](args, args.out)
+        print(f"[{target} took {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

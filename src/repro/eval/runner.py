@@ -1,0 +1,328 @@
+"""Experiment runner: drives iG-kway and G-kway† over the same trace.
+
+One :func:`run_experiment` call reproduces the measurement protocol of
+Section VI for one (graph, k, trace) combination:
+
+* both systems start from the same full partitioning configuration,
+* the same modifier trace is applied to both,
+* per-iteration modification and partitioning times come from the
+  simulated-GPU cost ledger (each system has its own context),
+* cut sizes are measured exactly on the evolving graph,
+* optionally everything is averaged over several runs with different
+  trace seeds (the paper averages over 10 runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.baseline import GKwayDagger
+from repro.core.igkway import IGKway
+from repro.eval.workloads import TraceConfig, generate_trace
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import make_benchmark_graph
+from repro.partition.config import PartitionConfig
+from repro.utils.seeding import derive_seed
+
+
+@dataclass
+class IterationRecord:
+    """Measurements of one incremental iteration for both systems."""
+
+    iteration: int
+    n_modifiers: int
+    ig_mod_seconds: float
+    ig_part_seconds: float
+    ig_cut: int
+    bl_mod_seconds: float
+    bl_part_seconds: float
+    bl_cut: int
+
+    @property
+    def part_speedup(self) -> float:
+        if self.ig_part_seconds <= 0:
+            return float("inf")
+        return self.bl_part_seconds / self.ig_part_seconds
+
+    @property
+    def cut_improvement(self) -> float:
+        """> 1 means iG-kway found the better (smaller) cut."""
+        if self.ig_cut == 0:
+            return 1.0 if self.bl_cut == 0 else float("inf")
+        return self.bl_cut / self.ig_cut
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured for one (graph, k, trace) experiment."""
+
+    name: str
+    k: int
+    num_vertices: int
+    num_edges: int
+    records: List[IterationRecord] = field(default_factory=list)
+    ig_fgp_seconds: float = 0.0
+    bl_fgp_seconds: float = 0.0
+    ig_fgp_cut: int = 0
+    bl_fgp_cut: int = 0
+    runs_averaged: int = 1
+
+    # -- Table I aggregates ---------------------------------------------------
+
+    @property
+    def ig_mod_total(self) -> float:
+        return sum(r.ig_mod_seconds for r in self.records)
+
+    @property
+    def bl_mod_total(self) -> float:
+        return sum(r.bl_mod_seconds for r in self.records)
+
+    @property
+    def ig_part_total(self) -> float:
+        return sum(r.ig_part_seconds for r in self.records)
+
+    @property
+    def bl_part_total(self) -> float:
+        return sum(r.bl_part_seconds for r in self.records)
+
+    @property
+    def part_speedup(self) -> float:
+        if self.ig_part_total <= 0:
+            return float("inf")
+        return self.bl_part_total / self.ig_part_total
+
+    @property
+    def mod_speedup(self) -> float:
+        if self.ig_mod_total <= 0:
+            return float("inf")
+        return self.bl_mod_total / self.ig_mod_total
+
+    @property
+    def ig_cut_mean(self) -> float:
+        return float(np.mean([r.ig_cut for r in self.records]))
+
+    @property
+    def bl_cut_mean(self) -> float:
+        return float(np.mean([r.bl_cut for r in self.records]))
+
+    @property
+    def cut_improvement(self) -> float:
+        if self.ig_cut_mean == 0:
+            return 1.0
+        return self.bl_cut_mean / self.ig_cut_mean
+
+    def cumulative_speedups(self) -> np.ndarray:
+        """Per-iteration cumulative total-runtime speedup (Figure 6).
+
+        Both cumulative sums include the initial full partitioning, so
+        the curve starts near 1x and climbs toward the per-iteration
+        asymptote as G-kway† keeps paying full cost.
+        """
+        ig = np.cumsum(
+            [self.ig_fgp_seconds]
+            + [r.ig_mod_seconds + r.ig_part_seconds for r in self.records]
+        )
+        bl = np.cumsum(
+            [self.bl_fgp_seconds]
+            + [r.bl_mod_seconds + r.bl_part_seconds for r in self.records]
+        )
+        return (bl / ig)[1:]
+
+
+def run_experiment(
+    graph: "str | CSRGraph",
+    k: int = 2,
+    iterations: int = 100,
+    modifiers_per_iteration: "int | tuple[int, int] | str" = "auto",
+    seed: int = 0,
+    runs: int = 1,
+    mode: str = "vector",
+    name: str | None = None,
+    epsilon: float = 0.03,
+) -> ExperimentResult:
+    """Run the Section VI protocol once (or ``runs`` times, averaged).
+
+    Args:
+        graph: A benchmark name from :data:`BENCHMARKS` or a CSR graph.
+        modifiers_per_iteration: Fixed count, ``(lo, hi)`` range, or
+            ``"auto"`` — the paper's relative rate (0.04%-0.15% of |V|
+            per iteration) applied to this graph's size, so scaled
+            graphs experience the same perturbation the paper's did.
+        runs: Independent repetitions with different trace seeds; times
+            and cuts are averaged element-wise across runs.
+    """
+    if isinstance(graph, str):
+        name = name or graph
+        csr = make_benchmark_graph(graph, seed=derive_seed(seed, "graph"))
+    else:
+        csr = graph
+        name = name or f"graph-{csr.num_vertices}v"
+    if modifiers_per_iteration == "auto":
+        from repro.eval.workloads import auto_modifier_range
+
+        modifiers_per_iteration = auto_modifier_range(csr.num_vertices)
+
+    per_run: List[ExperimentResult] = []
+    for run_index in range(max(1, runs)):
+        per_run.append(
+            _run_once(
+                csr,
+                name=name,
+                k=k,
+                iterations=iterations,
+                modifiers_per_iteration=modifiers_per_iteration,
+                seed=derive_seed(seed, "run", run_index),
+                mode=mode,
+                epsilon=epsilon,
+            )
+        )
+    return _average_runs(per_run)
+
+
+def _run_once(
+    csr: CSRGraph,
+    name: str,
+    k: int,
+    iterations: int,
+    modifiers_per_iteration: "int | tuple[int, int]",
+    seed: int,
+    mode: str,
+    epsilon: float,
+) -> ExperimentResult:
+    trace = generate_trace(
+        csr,
+        TraceConfig(
+            iterations=iterations,
+            modifiers_per_iteration=modifiers_per_iteration,
+            seed=derive_seed(seed, "trace"),
+        ),
+    )
+    config = PartitionConfig(
+        k=k, epsilon=epsilon, seed=derive_seed(seed, "part"), mode=mode
+    )
+    ig = IGKway(csr, config)
+    bl = GKwayDagger(csr, config)
+    ig_fgp = ig.full_partition()
+    bl_fgp = bl.full_partition()
+
+    result = ExperimentResult(
+        name=name,
+        k=k,
+        num_vertices=csr.num_vertices,
+        num_edges=csr.num_edges,
+        ig_fgp_seconds=ig_fgp.seconds,
+        bl_fgp_seconds=bl_fgp.seconds,
+        ig_fgp_cut=ig_fgp.cut,
+        bl_fgp_cut=bl_fgp.cut,
+    )
+    for index, batch in enumerate(trace):
+        ig_report = ig.apply(batch)
+        bl_report = bl.apply(batch)
+        result.records.append(
+            IterationRecord(
+                iteration=index,
+                n_modifiers=len(batch),
+                ig_mod_seconds=ig_report.modification_seconds,
+                ig_part_seconds=ig_report.partitioning_seconds,
+                ig_cut=ig_report.cut,
+                bl_mod_seconds=bl_report.modification_seconds,
+                bl_part_seconds=bl_report.partitioning_seconds,
+                bl_cut=bl_report.cut,
+            )
+        )
+    return result
+
+
+def run_replicates(
+    graph: "str | CSRGraph",
+    k: int = 2,
+    iterations: int = 20,
+    modifiers_per_iteration: "int | tuple[int, int] | str" = "auto",
+    seed: int = 0,
+    runs: int = 3,
+    name: str | None = None,
+) -> List[ExperimentResult]:
+    """Independent replicates of one experiment (no averaging).
+
+    Unlike ``run_experiment(runs=N)``, the per-run results are returned
+    individually so callers can report spread — the paper averages 10
+    runs; this is how to quantify what that averaging hides.
+    """
+    return [
+        run_experiment(
+            graph,
+            k=k,
+            iterations=iterations,
+            modifiers_per_iteration=modifiers_per_iteration,
+            seed=derive_seed(seed, "replicate", index),
+            runs=1,
+            name=name,
+        )
+        for index in range(max(1, runs))
+    ]
+
+
+def variance_report(
+    replicates: Sequence[ExperimentResult],
+) -> dict:
+    """Mean and spread of the headline metrics across replicates."""
+    speedups = np.array([r.part_speedup for r in replicates])
+    improvements = np.array([r.cut_improvement for r in replicates])
+    return {
+        "runs": len(replicates),
+        "speedup_mean": float(speedups.mean()),
+        "speedup_std": float(speedups.std()),
+        "speedup_min": float(speedups.min()),
+        "speedup_max": float(speedups.max()),
+        "cut_improvement_mean": float(improvements.mean()),
+        "cut_improvement_std": float(improvements.std()),
+    }
+
+
+def _average_runs(results: Sequence[ExperimentResult]) -> ExperimentResult:
+    """Element-wise average of several runs of the same experiment."""
+    if len(results) == 1:
+        return results[0]
+    base = results[0]
+    n_iter = min(len(r.records) for r in results)
+    averaged = ExperimentResult(
+        name=base.name,
+        k=base.k,
+        num_vertices=base.num_vertices,
+        num_edges=base.num_edges,
+        ig_fgp_seconds=float(
+            np.mean([r.ig_fgp_seconds for r in results])
+        ),
+        bl_fgp_seconds=float(
+            np.mean([r.bl_fgp_seconds for r in results])
+        ),
+        ig_fgp_cut=int(np.mean([r.ig_fgp_cut for r in results])),
+        bl_fgp_cut=int(np.mean([r.bl_fgp_cut for r in results])),
+        runs_averaged=len(results),
+    )
+    for i in range(n_iter):
+        rows = [r.records[i] for r in results]
+        averaged.records.append(
+            IterationRecord(
+                iteration=i,
+                n_modifiers=int(np.mean([x.n_modifiers for x in rows])),
+                ig_mod_seconds=float(
+                    np.mean([x.ig_mod_seconds for x in rows])
+                ),
+                ig_part_seconds=float(
+                    np.mean([x.ig_part_seconds for x in rows])
+                ),
+                ig_cut=int(round(np.mean([x.ig_cut for x in rows]))),
+                bl_mod_seconds=float(
+                    np.mean([x.bl_mod_seconds for x in rows])
+                ),
+                bl_part_seconds=float(
+                    np.mean([x.bl_part_seconds for x in rows])
+                ),
+                bl_cut=int(round(np.mean([x.bl_cut for x in rows]))),
+            )
+        )
+    return averaged

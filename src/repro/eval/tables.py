@@ -1,0 +1,116 @@
+"""Regeneration of the paper's Table I.
+
+``build_table1`` runs the full benchmark suite (all ten graphs, k = 2)
+and ``format_table1`` prints the same columns the paper reports:
+modification time, partitioning time, speedup and cut size for iG-kway
+vs G-kway†, plus the average row.  ``format_paper_comparison`` prints
+our measured values next to the paper's for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.eval.runner import ExperimentResult, run_experiment
+from repro.graph.generators import BENCHMARKS
+
+#: Row order of Table I in the paper.
+TABLE1_GRAPHS = [
+    "tv80",
+    "mem_ctrl",
+    "usb",
+    "vga_lcd",
+    "wb_dma",
+    "systemcase",
+    "des_perf",
+    "coAuthorsCiteseer",
+    "adaptive",
+    "NLR",
+]
+
+
+def build_table1(
+    iterations: int = 100,
+    modifiers_per_iteration: "int | tuple[int, int] | str" = "auto",
+    seed: int = 0,
+    runs: int = 1,
+    graphs: Sequence[str] | None = None,
+    k: int = 2,
+) -> Dict[str, ExperimentResult]:
+    """Run the Table I experiment on every benchmark graph."""
+    results: Dict[str, ExperimentResult] = {}
+    for name in graphs or TABLE1_GRAPHS:
+        results[name] = run_experiment(
+            name,
+            k=k,
+            iterations=iterations,
+            modifiers_per_iteration=modifiers_per_iteration,
+            seed=seed,
+            runs=runs,
+        )
+    return results
+
+
+def format_table1(results: Dict[str, ExperimentResult]) -> str:
+    """Render results in the paper's Table I layout."""
+    header = (
+        f"{'Name':<18} {'|V|':>8} {'|E|':>8} "
+        f"{'Mod iG(s)':>10} {'Mod G†(s)':>10} "
+        f"{'Part iG(s)':>11} {'Part G†(s)':>11} {'Speedup':>9} "
+        f"{'Cut iG':>8} {'Cut G†':>8} {'Impr.':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    speedups: List[float] = []
+    improvements: List[float] = []
+    for name, res in results.items():
+        speedups.append(res.part_speedup)
+        improvements.append(res.cut_improvement)
+        lines.append(
+            f"{name:<18} {res.num_vertices:>8} {res.num_edges:>8} "
+            f"{res.ig_mod_total:>10.3f} {res.bl_mod_total:>10.3f} "
+            f"{res.ig_part_total:>11.3f} {res.bl_part_total:>11.3f} "
+            f"{res.part_speedup:>8.2f}x "
+            f"{res.ig_cut_mean:>8.0f} {res.bl_cut_mean:>8.0f} "
+            f"{res.cut_improvement:>6.2f}"
+        )
+    if speedups:
+        avg_speedup = sum(speedups) / len(speedups)
+        avg_impr = sum(improvements) / len(improvements)
+        lines.append("-" * len(header))
+        lines.append(
+            f"{'Average':<18} {'':>8} {'':>8} {'':>10} {'':>10} "
+            f"{'':>11} {'':>11} {avg_speedup:>8.2f}x {'':>8} {'':>8} "
+            f"{avg_impr:>6.2f}"
+        )
+    return "\n".join(lines)
+
+
+def format_paper_comparison(results: Dict[str, ExperimentResult]) -> str:
+    """Our speedups and cut ratios next to the paper's reported values."""
+    header = (
+        f"{'Name':<18} {'Speedup (ours)':>15} {'Speedup (paper)':>16} "
+        f"{'Cut impr (ours)':>16} {'Cut impr (paper)':>17}"
+    )
+    lines = [header, "-" * len(header)]
+    ours_speedups: List[float] = []
+    paper_speedups: List[float] = []
+    for name, res in results.items():
+        spec = BENCHMARKS.get(name)
+        if spec is None:
+            continue
+        ours_speedups.append(res.part_speedup)
+        paper_speedups.append(spec.paper.speedup)
+        lines.append(
+            f"{name:<18} {res.part_speedup:>14.2f}x "
+            f"{spec.paper.speedup:>15.2f}x "
+            f"{res.cut_improvement:>16.2f} "
+            f"{spec.paper.cut_improvement:>17.2f}"
+        )
+    if ours_speedups:
+        lines.append("-" * len(header))
+        lines.append(
+            f"{'Average':<18} "
+            f"{sum(ours_speedups) / len(ours_speedups):>14.2f}x "
+            f"{sum(paper_speedups) / len(paper_speedups):>15.2f}x"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Simulated CUDA global-memory atomics.
+
+The simulator executes warps sequentially, so the operations themselves
+are trivially race-free; what matters is that they (a) return the *old*
+value like the CUDA intrinsics and (b) charge the ledger, because atomic
+contention is a real component of kernel cost (e.g. the ``atomicAdd`` on
+``vertex_in_pseudo_size`` in Algorithm 3 serializes across warps).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.context import GpuContext
+
+
+def atomic_add(
+    ctx: GpuContext, array: np.ndarray, index: int, value: object
+) -> object:
+    """``atomicAdd``: add ``value`` at ``array[index]``, return the old value."""
+    ctx.ledger.charge_atomics(1)
+    old = array[index]
+    array[index] = old + value
+    return old
+
+
+def atomic_sub(
+    ctx: GpuContext, array: np.ndarray, index: int, value: object
+) -> object:
+    """``atomicSub``: subtract ``value`` at ``array[index]``, return old."""
+    ctx.ledger.charge_atomics(1)
+    old = array[index]
+    array[index] = old - value
+    return old
+
+
+def atomic_max(
+    ctx: GpuContext, array: np.ndarray, index: int, value: object
+) -> object:
+    """``atomicMax``: store max(old, value), return old."""
+    ctx.ledger.charge_atomics(1)
+    old = array[index]
+    if value > old:
+        array[index] = value
+    return old
+
+
+def atomic_min(
+    ctx: GpuContext, array: np.ndarray, index: int, value: object
+) -> object:
+    """``atomicMin``: store min(old, value), return old."""
+    ctx.ledger.charge_atomics(1)
+    old = array[index]
+    if value < old:
+        array[index] = value
+    return old
+
+
+def atomic_cas(
+    ctx: GpuContext,
+    array: np.ndarray,
+    index: int,
+    compare: object,
+    value: object,
+) -> object:
+    """``atomicCAS``: conditional swap, returns the old value."""
+    ctx.ledger.charge_atomics(1)
+    old = array[index]
+    if old == compare:
+        array[index] = value
+    return old
+
+
+def atomic_exch(
+    ctx: GpuContext, array: np.ndarray, index: int, value: object
+) -> object:
+    """``atomicExch``: unconditional swap, returns the old value."""
+    ctx.ledger.charge_atomics(1)
+    old = array[index]
+    array[index] = value
+    return old

@@ -1,0 +1,91 @@
+"""Kernel launch framework for the warp-faithful execution path.
+
+``launch_warps`` runs a Python function once per warp, giving it a
+:class:`~repro.gpusim.warp.Warp` bound to the context.  The framework
+
+* charges one kernel launch,
+* overlaps compute and memory per kernel (via the ledger's kernel scope),
+* converts the *sum* of per-warp instruction counts into the device-serial
+  cost ``max(ceil(sum / resident_warps), longest_warp)`` — i.e. warps run
+  concurrently across SMs, limited by the slowest warp (critical path) and
+  by device occupancy.  This matches how the paper's dynamic warp
+  assignment from a centralized buffer balances irregular work.
+
+The vectorized kernels in :mod:`repro.core` do not use this module's
+per-warp loop; they charge the identical counts in bulk through
+``GpuContext.charge_wavefront`` inside a ``ledger.kernel()`` scope.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+from repro.gpusim.context import GpuContext
+from repro.gpusim.warp import Warp
+
+
+def launch_warps(
+    ctx: GpuContext,
+    work_items: Sequence[object],
+    body: Callable[[Warp, object], None],
+    name: str = "warp-grid",
+) -> None:
+    """Launch one warp per element of ``work_items``.
+
+    ``body(warp, item)`` is executed for each item with a fresh warp.
+    All per-warp charges made through the warp (or directly through the
+    ledger) are collected and re-priced for parallel execution.
+    """
+    ledger = ctx.ledger
+    with ledger.kernel(name):
+        if not len(work_items):
+            return
+        per_warp: list[int] = []
+        for item in work_items:
+            before = ledger.total.warp_instructions
+            warp = Warp(ctx)
+            body(warp, item)
+            per_warp.append(ledger.total.warp_instructions - before)
+        _reprice_for_parallelism(ctx, per_warp)
+
+
+def launch_threads(
+    ctx: GpuContext,
+    work_items: Sequence[object],
+    body: Callable[[int, object], None],
+    instructions_per_thread: int = 1,
+    name: str = "thread-grid",
+) -> None:
+    """Launch one *thread* per work item (e.g. Algorithm 3 lines 25-26).
+
+    Threads are grouped into warps of 32 for costing; ``body(i, item)``
+    runs sequentially in the simulator.
+    """
+    ledger = ctx.ledger
+    with ledger.kernel(name):
+        n = len(work_items)
+        if n == 0:
+            return
+        for i, item in enumerate(work_items):
+            body(i, item)
+        n_warps = math.ceil(n / 32)
+        ctx.charge_wavefront(n_warps, instructions_per_thread)
+        ledger.charge_transactions(n_warps)
+
+
+def _reprice_for_parallelism(ctx: GpuContext, per_warp: list[int]) -> None:
+    """Replace the serially-accumulated instruction sum with parallel cost.
+
+    The warp bodies charged ``sum(per_warp)`` instructions while the
+    simulator ran them one after another.  On the device they run
+    concurrently: the grid is throughput-bound at the instruction total,
+    but never cheaper than its critical path (the longest warp occupying
+    one SM, which counts ``sm_count``-fold against device throughput).
+    """
+    total = sum(per_warp)
+    if total == 0:
+        return
+    longest = max(per_warp)
+    parallel_cost = max(total, longest * ctx.device.sm_count)
+    ctx.ledger.adjust_instructions(parallel_cost - total)

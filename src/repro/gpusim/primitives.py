@@ -1,0 +1,152 @@
+"""Device-wide parallel primitives: scan, segmented scan, sort, compaction.
+
+These are the building blocks a CUDA implementation would take from CUB or
+Thrust.  The results are computed with NumPy; the cost charged to the
+ledger models the standard GPU algorithms:
+
+* scans        -- work-efficient Blelloch scan, ~2 passes over the data,
+* segmented scan -- scan with head flags, same asymptotics,
+* radix sort   -- 4 passes of 8-bit digits, each pass a histogram + scan
+                  + scatter,
+* compaction   -- predicate scan + scatter.
+
+Each primitive is one kernel (or a small fixed number of kernels) from the
+launch-overhead point of view.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.gpusim.context import GpuContext
+
+
+def _log2_ceil(n: int) -> int:
+    return max(1, math.ceil(math.log2(max(n, 2))))
+
+
+def _charge_scan(
+    ctx: GpuContext, n: int, passes: int = 2, name: str = "scan"
+) -> None:
+    n_warps = math.ceil(max(n, 1) / 32)
+    with ctx.ledger.kernel(name):
+        ctx.charge_wavefront(
+            n_warps,
+            instructions_per_warp=passes * _log2_ceil(n),
+            transactions_per_warp=passes,
+        )
+
+
+def inclusive_scan(ctx: GpuContext, values: np.ndarray) -> np.ndarray:
+    """Inclusive prefix sum of ``values``."""
+    values = np.asarray(values)
+    _charge_scan(ctx, values.size)
+    return np.cumsum(values)
+
+
+def exclusive_scan(ctx: GpuContext, values: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sum; element 0 of the result is 0."""
+    values = np.asarray(values)
+    _charge_scan(ctx, values.size)
+    out = np.zeros_like(values)
+    if values.size > 1:
+        out[1:] = np.cumsum(values[:-1])
+    return out
+
+
+def segmented_inclusive_scan(
+    ctx: GpuContext, values: np.ndarray, segment_ids: np.ndarray
+) -> np.ndarray:
+    """Inclusive scan that restarts at every segment boundary.
+
+    ``segment_ids`` must be non-decreasing (the layout the refinement
+    kernel builds for ``delta_p_wgt``: one contiguous segment per
+    partition, Figure 5 of the paper).
+    """
+    values = np.asarray(values)
+    segment_ids = np.asarray(segment_ids)
+    if values.shape != segment_ids.shape:
+        raise ValueError("values and segment_ids must have the same shape")
+    if values.size and np.any(np.diff(segment_ids) < 0):
+        raise ValueError("segment_ids must be sorted (contiguous segments)")
+    _charge_scan(ctx, values.size, passes=3, name="segmented-scan")
+    if values.size == 0:
+        return values.copy()
+    totals = np.cumsum(values)
+    # Subtract, within each segment, the running total at the previous
+    # segment's end; boundaries are where the segment id changes.
+    boundary = np.flatnonzero(np.diff(segment_ids)) + 1
+    offsets = np.zeros(values.size, dtype=totals.dtype)
+    if boundary.size:
+        seg_end_totals = totals[boundary - 1]
+        idx = np.zeros(values.size, dtype=np.int64)
+        idx[boundary] = 1
+        seg_index = np.cumsum(idx)  # 0 for first segment, 1 for second, ...
+        lookup = np.concatenate(([0], seg_end_totals))
+        offsets = lookup[seg_index]
+    return totals - offsets
+
+
+def sort_by_key(
+    ctx: GpuContext,
+    keys: np.ndarray,
+    values: np.ndarray | None = None,
+    descending: bool = False,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Stable radix sort of ``keys`` (optionally permuting ``values``).
+
+    Charged as a 4-pass LSD radix sort over 32-bit keys; each pass reads
+    and writes every element once plus a digit-histogram scan.
+    """
+    keys = np.asarray(keys)
+    n = keys.size
+    n_warps = math.ceil(max(n, 1) / 32)
+    for _pass in range(4):
+        with ctx.ledger.kernel("radix-pass"):
+            ctx.charge_wavefront(
+                n_warps, instructions_per_warp=8, transactions_per_warp=3
+            )
+        _charge_scan(ctx, 256)
+    order = np.argsort(-keys if descending else keys, kind="stable")
+    sorted_keys = keys[order]
+    sorted_values = None if values is None else np.asarray(values)[order]
+    return sorted_keys, sorted_values
+
+
+def compact(
+    ctx: GpuContext, values: np.ndarray, predicate: np.ndarray
+) -> np.ndarray:
+    """Stream compaction: keep ``values[i]`` where ``predicate[i]``.
+
+    Used to gather scattered affected vertices into the centralized
+    ``vertex_in_pseudo`` buffer in the vectorized path.
+    """
+    values = np.asarray(values)
+    predicate = np.asarray(predicate, dtype=bool)
+    if values.shape[0] != predicate.shape[0]:
+        raise ValueError("values and predicate must have the same length")
+    _charge_scan(ctx, values.shape[0], name="compact-scan")
+    n_warps = math.ceil(max(values.shape[0], 1) / 32)
+    with ctx.ledger.kernel("compact-scatter"):
+        ctx.charge_wavefront(
+            n_warps, instructions_per_warp=2, transactions_per_warp=2
+        )
+    return values[predicate]
+
+
+def reduce_sum(ctx: GpuContext, values: np.ndarray) -> object:
+    """Device-wide sum reduction (tree reduction cost)."""
+    values = np.asarray(values)
+    _charge_scan(ctx, values.size, passes=1)
+    return values.sum() if values.size else 0
+
+
+def reduce_max(ctx: GpuContext, values: np.ndarray) -> object:
+    """Device-wide max reduction; raises on empty input."""
+    values = np.asarray(values)
+    if values.size == 0:
+        raise ValueError("reduce_max of empty array")
+    _charge_scan(ctx, values.size, passes=1)
+    return values.max()

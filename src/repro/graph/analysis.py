@@ -1,0 +1,187 @@
+"""Graph structure analysis.
+
+Used by the experiment reports to verify that the synthetic benchmark
+graphs reproduce the *structure class* of the paper's inputs (DESIGN.md
+substitution table): circuit netlists are sparse, low-variance, highly
+local; meshes are regular with bounded degree; co-authorship graphs are
+heavy-tailed and clustered; NLR-like triangulations sit in between.
+
+Everything here is host-side analysis — no GPU cost is charged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.utils.seeding import make_rng
+
+
+@dataclass(frozen=True)
+class DegreeStats:
+    """Summary statistics of the degree distribution."""
+
+    minimum: int
+    maximum: int
+    mean: float
+    median: float
+    std: float
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """std / mean — low for meshes/circuits, high for social graphs."""
+        if self.mean == 0:
+            return 0.0
+        return self.std / self.mean
+
+
+def degree_statistics(csr: CSRGraph) -> DegreeStats:
+    """Degree distribution summary of ``csr``."""
+    degrees = csr.degrees()
+    if degrees.size == 0:
+        return DegreeStats(0, 0, 0.0, 0.0, 0.0)
+    return DegreeStats(
+        minimum=int(degrees.min()),
+        maximum=int(degrees.max()),
+        mean=float(degrees.mean()),
+        median=float(np.median(degrees)),
+        std=float(degrees.std()),
+    )
+
+
+def connected_components(csr: CSRGraph) -> np.ndarray:
+    """Component label per vertex (hook-to-minimum + pointer jumping).
+
+    The same parallel union-find style used by the coarsening kernels,
+    run host-side until fixpoint.
+    """
+    n = csr.num_vertices
+    parent = np.arange(n, dtype=np.int64)
+    degrees = csr.degrees()
+    src = np.repeat(np.arange(n), degrees)
+    dst = csr.adjncy
+    while True:
+        roots = parent
+        while True:
+            jumped = roots[roots]
+            if np.array_equal(jumped, roots):
+                break
+            roots = jumped
+        lo = np.minimum(roots[src], roots[dst])
+        hi = np.maximum(roots[src], roots[dst])
+        hooks = lo < hi
+        if not np.any(hooks):
+            return roots
+        parent = roots.copy()
+        parent[hi[hooks]] = lo[hooks]
+
+
+def component_sizes(csr: CSRGraph) -> np.ndarray:
+    """Sizes of all connected components, descending."""
+    labels = connected_components(csr)
+    sizes = np.bincount(labels, minlength=csr.num_vertices)
+    sizes = sizes[sizes > 0]
+    return np.sort(sizes)[::-1]
+
+
+def largest_component_fraction(csr: CSRGraph) -> float:
+    """Fraction of vertices inside the largest component."""
+    if csr.num_vertices == 0:
+        return 0.0
+    return float(component_sizes(csr)[0]) / csr.num_vertices
+
+
+def sampled_clustering_coefficient(
+    csr: CSRGraph, samples: int = 500, seed: int = 0
+) -> float:
+    """Average local clustering coefficient over a vertex sample.
+
+    For each sampled vertex with degree >= 2, the fraction of its
+    neighbor pairs that are themselves connected.  High for community
+    graphs and triangulations, ~0 for grid meshes and forests.
+    """
+    n = csr.num_vertices
+    rng = make_rng(seed, "clustering")
+    eligible = np.flatnonzero(csr.degrees() >= 2)
+    if eligible.size == 0:
+        return 0.0
+    picks = rng.choice(
+        eligible, size=min(samples, eligible.size), replace=False
+    )
+    total = 0.0
+    for u in picks:
+        nbrs = csr.neighbors(int(u))
+        nbr_set = set(int(v) for v in nbrs)
+        links = 0
+        for v in nbrs:
+            links += sum(
+                1 for w in csr.neighbors(int(v)) if int(w) in nbr_set
+            )
+        d = nbrs.size
+        total += links / (d * (d - 1))
+    return total / picks.size
+
+
+def edge_span_statistics(csr: CSRGraph) -> tuple[float, float]:
+    """(median, 90th-percentile) |u - v| edge span.
+
+    Small spans indicate placement locality (circuit netlists, meshes
+    with row-major numbering); large spans indicate unstructured graphs.
+    """
+    edges, _weights = csr.edge_array()
+    if edges.shape[0] == 0:
+        return 0.0, 0.0
+    spans = np.abs(edges[:, 0] - edges[:, 1])
+    return float(np.median(spans)), float(np.percentile(spans, 90))
+
+
+def classify_structure(csr: CSRGraph) -> str:
+    """Heuristic structure class of a graph.
+
+    Returns one of ``"forest-like"``, ``"mesh-like"``, ``"circuit-like"``
+    or ``"social-like"`` — the four classes the benchmark suite spans.
+    """
+    ratio = csr.num_edges / max(csr.num_vertices, 1)
+    stats = degree_statistics(csr)
+    clustering = sampled_clustering_coefficient(csr, samples=200)
+    if ratio < 1.0:
+        return "forest-like"
+    if stats.coefficient_of_variation > 1.0 or (
+        clustering > 0.2 and stats.maximum > 8 * max(stats.mean, 1)
+    ):
+        return "social-like"
+    if ratio >= 1.8 and stats.coefficient_of_variation < 0.35:
+        return "mesh-like"
+    return "circuit-like"
+
+
+def graph_summary(csr: CSRGraph) -> dict:
+    """One-stop structural summary used by the experiment reports."""
+    stats = degree_statistics(csr)
+    median_span, p90_span = edge_span_statistics(csr)
+    return {
+        "vertices": csr.num_vertices,
+        "edges": csr.num_edges,
+        "edge_vertex_ratio": round(
+            csr.num_edges / max(csr.num_vertices, 1), 3
+        ),
+        "degree_min": stats.minimum,
+        "degree_max": stats.maximum,
+        "degree_mean": round(stats.mean, 2),
+        "degree_cv": round(stats.coefficient_of_variation, 3),
+        "clustering": round(sampled_clustering_coefficient(csr), 3),
+        "largest_component": round(largest_component_fraction(csr), 3),
+        "median_edge_span": median_span,
+        "p90_edge_span": p90_span,
+        "structure_class": classify_structure(csr),
+    }
+
+
+def format_summary(summary: dict) -> str:
+    """Aligned text rendering of :func:`graph_summary` output."""
+    width = max(len(key) for key in summary)
+    return "\n".join(
+        f"{key:<{width}} : {value}" for key, value in summary.items()
+    )

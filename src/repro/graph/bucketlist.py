@@ -1,0 +1,441 @@
+"""The paper's bucket-list graph representation (Section V.A, Figure 4).
+
+Neighbors of each vertex are stored in *buckets* of 32 slots — one slot
+per warp lane — so a warp can scan a whole bucket with a single coalesced
+load and combine per-lane results with ``__ballot_sync``.  Vertex ``u``
+initially owns ``ceil(D(u) / 32) + gamma`` contiguous buckets, the
+``gamma`` spare buckets absorbing future edge insertions.  All buckets
+live in one pre-allocated pool; a tail pointer tracks how many are in
+use, so growing a vertex (or inserting a new one) is a pointer bump, and
+*no modifier ever rebuilds the structure*.
+
+Deviation from the paper's notation (documented in DESIGN.md): we store
+``bucket_start[u]`` and ``bucket_count[u]`` instead of a monotonic
+``bucket_ptr`` array, because appending buckets for re-inserted vertices
+at the pool tail breaks monotonicity for interior vertices.  The paper's
+``bucket_ptr[u + 1] - bucket_ptr[u]`` is exactly ``bucket_count[u]``.
+
+Empty slots hold :data:`EMPTY` (the paper's ∅).  Edge weights are kept in
+``slot_wgt``, aligned slot-for-slot with ``bucket_list``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.modifiers import HostGraph
+from repro.utils.errors import CapacityError, GraphConsistencyError
+
+#: Sentinel for an empty slot (the paper's ∅).
+EMPTY = np.int64(-1)
+
+#: Slots per bucket == CUDA warp size (Section V.A).
+SLOTS_PER_BUCKET = 32
+
+#: Vertex status values (Algorithm 2's ``vertex_status`` array).
+STATUS_DELETED = np.uint8(0)
+STATUS_ACTIVE = np.uint8(1)
+
+
+class BucketListGraph:
+    """GPU-resident dynamic undirected graph stored in 32-slot buckets.
+
+    The arrays below are "device memory"; kernels in :mod:`repro.core`
+    operate on them through the warp model.  Host-side helper methods
+    (``neighbors``, ``degree``, ``to_host_graph`` ...) exist for tests,
+    verification and reporting and are never charged to the GPU ledger.
+
+    Attributes:
+        bucket_list: ``int64[pool_slots]`` neighbor IDs, EMPTY when free.
+        slot_wgt: ``int64[pool_slots]`` edge weights aligned with slots.
+        bucket_start: ``int64[capacity]`` first bucket index of each vertex.
+        bucket_count: ``int64[capacity]`` buckets owned by each vertex.
+        vertex_status: ``uint8[capacity]`` ACTIVE / DELETED flags.
+        vwgt: ``int64[capacity]`` vertex weights.
+        num_vertices: current vertex-ID high-water mark.
+        num_buckets_used: pool tail pointer.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        pool_buckets: int,
+        gamma: int = 1,
+    ):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if pool_buckets <= 0:
+            raise ValueError("pool_buckets must be positive")
+        if gamma < 0:
+            raise ValueError("gamma must be non-negative")
+        self.gamma = gamma
+        self.capacity = capacity
+        self.pool_buckets = pool_buckets
+        pool_slots = pool_buckets * SLOTS_PER_BUCKET
+        self.bucket_list = np.full(pool_slots, EMPTY, dtype=np.int64)
+        self.slot_wgt = np.zeros(pool_slots, dtype=np.int64)
+        self.bucket_start = np.zeros(capacity, dtype=np.int64)
+        self.bucket_count = np.zeros(capacity, dtype=np.int64)
+        self.vertex_status = np.full(capacity, STATUS_DELETED, dtype=np.uint8)
+        self.vwgt = np.ones(capacity, dtype=np.int64)
+        self.num_vertices = 0
+        self.num_buckets_used = 0
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_csr(
+        cls,
+        csr: CSRGraph,
+        gamma: int = 1,
+        capacity_factor: float = 1.5,
+        pool_slack_buckets: int | None = None,
+    ) -> "BucketListGraph":
+        """Build the bucket list from a CSR (the initial FGP output graph).
+
+        Args:
+            csr: Source graph.
+            gamma: Spare buckets per vertex (paper default: 1).
+            capacity_factor: Vertex-ID capacity as a multiple of ``n``,
+                reserving room for future vertex insertions.
+            pool_slack_buckets: Extra buckets kept free at the pool tail
+                for vertices inserted later; defaults to one bucket per
+                reserved vertex slot.
+        """
+        n = csr.num_vertices
+        capacity = max(n, int(math.ceil(n * capacity_factor)))
+        degrees = csr.degrees()
+        counts = np.ceil(degrees / SLOTS_PER_BUCKET).astype(np.int64) + gamma
+        counts = np.maximum(counts, 1)
+        needed = int(counts.sum())
+        if pool_slack_buckets is None:
+            pool_slack_buckets = max(capacity - n, n // 4) + 64
+        graph = cls(capacity, needed + pool_slack_buckets, gamma=gamma)
+        graph.num_vertices = n
+        graph.bucket_count[:n] = counts
+        graph.bucket_start[1:n] = np.cumsum(counts[:-1])
+        graph.num_buckets_used = needed
+        graph.vertex_status[:n] = STATUS_ACTIVE
+        graph.vwgt[:n] = csr.vwgt
+        # Scatter neighbors into the head slots of each vertex's buckets.
+        slot_base = graph.bucket_start[:n] * SLOTS_PER_BUCKET
+        positions = (
+            np.repeat(slot_base, degrees)
+            + _ramp(degrees)
+        )
+        graph.bucket_list[positions] = csr.adjncy
+        graph.slot_wgt[positions] = csr.adjwgt
+        return graph
+
+    @classmethod
+    def from_host_graph(
+        cls,
+        host: HostGraph,
+        gamma: int = 1,
+        capacity_factor: float = 1.5,
+    ) -> "BucketListGraph":
+        """Build from a :class:`HostGraph`, preserving vertex IDs.
+
+        Unlike :meth:`from_csr` this keeps deleted IDs as deleted slots,
+        which is what a long-running incremental session looks like.
+        """
+        n = host.num_vertex_slots
+        capacity = max(n, int(math.ceil(n * capacity_factor)))
+        degrees = np.array([host.degree(u) for u in range(n)], dtype=np.int64)
+        counts = np.ceil(degrees / SLOTS_PER_BUCKET).astype(np.int64) + gamma
+        counts = np.maximum(counts, 1)
+        needed = int(counts.sum())
+        graph = cls(capacity, needed + (capacity - n + 1), gamma=gamma)
+        graph.num_vertices = n
+        graph.bucket_count[:n] = counts
+        graph.bucket_start[1:n] = np.cumsum(counts[:-1])
+        graph.num_buckets_used = needed
+        for u in range(n):
+            if host.is_active(u):
+                graph.vertex_status[u] = STATUS_ACTIVE
+                graph.vwgt[u] = host.vwgt[u]
+                base = graph.bucket_start[u] * SLOTS_PER_BUCKET
+                for offset, (v, w) in enumerate(host.neighbors(u).items()):
+                    graph.bucket_list[base + offset] = v
+                    graph.slot_wgt[base + offset] = w
+        return graph
+
+    # -- slot geometry -----------------------------------------------------------
+
+    def slot_range(self, u: int) -> tuple[int, int]:
+        """Return ``(first_slot, n_slots)`` of vertex ``u``'s buckets."""
+        start = int(self.bucket_start[u]) * SLOTS_PER_BUCKET
+        n_slots = int(self.bucket_count[u]) * SLOTS_PER_BUCKET
+        return start, n_slots
+
+    def slots(self, u: int) -> np.ndarray:
+        """View of ``u``'s slot values (including EMPTY slots)."""
+        start, n_slots = self.slot_range(u)
+        return self.bucket_list[start : start + n_slots]
+
+    def slot_weights(self, u: int) -> np.ndarray:
+        start, n_slots = self.slot_range(u)
+        return self.slot_wgt[start : start + n_slots]
+
+    def slot_index_arrays(
+        self, vertices: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Flattened slot indices for a set of vertices.
+
+        Returns ``(slot_indices, owner)`` where ``slot_indices`` is every
+        slot position belonging to a vertex in ``vertices`` (in vertex
+        order) and ``owner[i]`` is the index *into ``vertices``* that owns
+        slot ``slot_indices[i]``.  This is the gather pattern the
+        vectorized kernels use to process many warps at once.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        n_slots = self.bucket_count[vertices] * SLOTS_PER_BUCKET
+        base = self.bucket_start[vertices] * SLOTS_PER_BUCKET
+        slot_indices = np.repeat(base, n_slots) + _ramp(n_slots)
+        owner = np.repeat(np.arange(vertices.size), n_slots)
+        return slot_indices, owner
+
+    # -- host-side queries ---------------------------------------------------------
+
+    def is_active(self, u: int) -> bool:
+        return bool(self.vertex_status[u] == STATUS_ACTIVE)
+
+    def active_vertices(self) -> np.ndarray:
+        return np.flatnonzero(
+            self.vertex_status[: self.num_vertices] == STATUS_ACTIVE
+        )
+
+    def num_active_vertices(self) -> int:
+        return int(
+            (self.vertex_status[: self.num_vertices] == STATUS_ACTIVE).sum()
+        )
+
+    def degree(self, u: int) -> int:
+        return int((self.slots(u) != EMPTY).sum())
+
+    def degrees(self, vertices: np.ndarray | None = None) -> np.ndarray:
+        if vertices is None:
+            vertices = np.arange(self.num_vertices)
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if vertices.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        slot_idx, owner = self.slot_index_arrays(vertices)
+        filled = self.bucket_list[slot_idx] != EMPTY
+        return np.bincount(
+            owner[filled], minlength=vertices.size
+        ).astype(np.int64)
+
+    def neighbors(self, u: int) -> np.ndarray:
+        values = self.slots(u)
+        return values[values != EMPTY]
+
+    def neighbor_weights(self, u: int) -> np.ndarray:
+        values = self.slots(u)
+        return self.slot_weights(u)[values != EMPTY]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return bool(np.any(self.slots(u) == v))
+
+    def edge_weight(self, u: int, v: int) -> int:
+        values = self.slots(u)
+        hits = np.flatnonzero(values == v)
+        if hits.size == 0:
+            raise KeyError(f"edge ({u}, {v}) not present")
+        return int(self.slot_weights(u)[hits[0]])
+
+    def num_edges(self) -> int:
+        active = self.active_vertices()
+        if active.size == 0:
+            return 0
+        return int(self.degrees(active).sum()) // 2
+
+    def total_active_weight(self) -> int:
+        active = self.active_vertices()
+        return int(self.vwgt[active].sum())
+
+    def nbytes(self) -> int:
+        """Device-memory footprint (used for transfer cost accounting)."""
+        return (
+            self.bucket_list.nbytes
+            + self.slot_wgt.nbytes
+            + self.bucket_start.nbytes
+            + self.bucket_count.nbytes
+            + self.vertex_status.nbytes
+            + self.vwgt.nbytes
+        )
+
+    def fill_ratio(self) -> float:
+        """Fraction of in-use pool slots holding a neighbor (diagnostics)."""
+        used_slots = self.num_buckets_used * SLOTS_PER_BUCKET
+        if used_slots == 0:
+            return 0.0
+        filled = int((self.bucket_list[:used_slots] != EMPTY).sum())
+        return filled / used_slots
+
+    # -- allocation ------------------------------------------------------------------
+
+    def allocate_buckets(self, n_buckets: int) -> int:
+        """Bump the pool tail by ``n_buckets``; returns the first bucket.
+
+        Mirrors the paper's "pre-allocate a large block of memory ... and
+        use a pointer to track the current number of buckets".
+        """
+        if n_buckets <= 0:
+            raise ValueError("n_buckets must be positive")
+        if self.num_buckets_used + n_buckets > self.pool_buckets:
+            raise CapacityError(
+                f"bucket pool exhausted: need {n_buckets} more buckets, "
+                f"{self.pool_buckets - self.num_buckets_used} free; "
+                f"increase gamma or the pool slack"
+            )
+        start = self.num_buckets_used
+        self.num_buckets_used += n_buckets
+        first_slot = start * SLOTS_PER_BUCKET
+        last_slot = self.num_buckets_used * SLOTS_PER_BUCKET
+        self.bucket_list[first_slot:last_slot] = EMPTY
+        self.slot_wgt[first_slot:last_slot] = 0
+        return start
+
+    def new_vertex_id(self) -> int:
+        """Reserve the next vertex ID from the capacity region."""
+        if self.num_vertices >= self.capacity:
+            raise CapacityError(
+                f"vertex capacity {self.capacity} exhausted; rebuild with a "
+                f"larger capacity_factor"
+            )
+        u = self.num_vertices
+        self.num_vertices += 1
+        return u
+
+    def relocate_with_extra_buckets(self, u: int, extra: int = 1) -> int:
+        """Move ``u``'s buckets to the pool tail with ``extra`` more buckets.
+
+        This is the overflow path when every slot of ``u`` is full and an
+        edge insertion arrives: instead of failing (the strict reading of
+        Algorithm 1), the vertex's slots are copied into a fresh, larger
+        allocation.  Returns the number of slots copied so callers can
+        charge the move to the ledger.  The old buckets are abandoned in
+        place (the pool is append-only, like the paper's).
+        """
+        old_start, old_slots = self.slot_range(u)
+        old_count = int(self.bucket_count[u])
+        new_count = old_count + extra
+        new_bucket = self.allocate_buckets(new_count)
+        new_start = new_bucket * SLOTS_PER_BUCKET
+        self.bucket_list[new_start : new_start + old_slots] = self.bucket_list[
+            old_start : old_start + old_slots
+        ]
+        self.slot_wgt[new_start : new_start + old_slots] = self.slot_wgt[
+            old_start : old_start + old_slots
+        ]
+        # Abandon (and blank) the old region so stale values can never be
+        # observed by a later scan of a vertex that reuses the range.
+        self.bucket_list[old_start : old_start + old_slots] = EMPTY
+        self.slot_wgt[old_start : old_start + old_slots] = 0
+        self.bucket_start[u] = new_bucket
+        self.bucket_count[u] = new_count
+        return old_slots
+
+    # -- export / verification ----------------------------------------------------------
+
+    def to_host_graph(self) -> HostGraph:
+        """Materialize the active subgraph as a :class:`HostGraph`."""
+        host = HostGraph(self.num_vertices)
+        for u in range(self.num_vertices):
+            host.active[u] = self.is_active(u)
+            host.vwgt[u] = int(self.vwgt[u])
+        for u in range(self.num_vertices):
+            if not self.is_active(u):
+                continue
+            values = self.slots(u)
+            weights = self.slot_weights(u)
+            mask = values != EMPTY
+            for v, w in zip(values[mask], weights[mask]):
+                host.adj[u][int(v)] = int(w)
+        return host
+
+    def to_csr(self) -> tuple[CSRGraph, np.ndarray]:
+        """Compact the active subgraph to CSR (returns ``(csr, id_map)``)."""
+        return self.to_host_graph().to_csr()
+
+    def validate(self) -> None:
+        """Check every structural invariant; raises on violation.
+
+        Invariants: deleted vertices have no filled slots pointing *to*
+        them and none of their own; adjacency is symmetric with equal
+        weights; no self-loops; no duplicate neighbors; bucket ranges
+        stay within the pool and do not overlap.
+        """
+        n = self.num_vertices
+        # Bucket ranges within pool and non-overlapping.
+        intervals = []
+        for u in range(n):
+            start = int(self.bucket_start[u])
+            count = int(self.bucket_count[u])
+            if count <= 0:
+                raise GraphConsistencyError(f"vertex {u} owns no buckets")
+            if start < 0 or start + count > self.num_buckets_used:
+                raise GraphConsistencyError(
+                    f"vertex {u} bucket range [{start}, {start + count}) "
+                    f"outside used pool [0, {self.num_buckets_used})"
+                )
+            intervals.append((start, start + count, u))
+        intervals.sort()
+        for (s1, e1, u1), (s2, e2, u2) in zip(intervals, intervals[1:]):
+            if s2 < e1:
+                raise GraphConsistencyError(
+                    f"buckets of vertices {u1} and {u2} overlap"
+                )
+        # Per-vertex slot content checks.
+        adjacency: dict[tuple[int, int], int] = {}
+        for u in range(n):
+            values = self.slots(u)
+            weights = self.slot_weights(u)
+            mask = values != EMPTY
+            nbrs = values[mask]
+            if not self.is_active(u):
+                if nbrs.size:
+                    raise GraphConsistencyError(
+                        f"deleted vertex {u} still has neighbors"
+                    )
+                continue
+            if np.any(nbrs == u):
+                raise GraphConsistencyError(f"vertex {u} has a self-loop")
+            if np.unique(nbrs).size != nbrs.size:
+                raise GraphConsistencyError(
+                    f"vertex {u} has duplicate neighbor slots"
+                )
+            if nbrs.size and (nbrs.min() < 0 or nbrs.max() >= n):
+                raise GraphConsistencyError(
+                    f"vertex {u} references an out-of-range neighbor"
+                )
+            for v, w in zip(nbrs, weights[mask]):
+                if not self.is_active(int(v)):
+                    raise GraphConsistencyError(
+                        f"vertex {u} references deleted vertex {int(v)}"
+                    )
+                adjacency[(u, int(v))] = int(w)
+        for (u, v), w in adjacency.items():
+            if adjacency.get((v, u)) != w:
+                raise GraphConsistencyError(
+                    f"asymmetric edge ({u}, {v}): {w} vs "
+                    f"{adjacency.get((v, u))}"
+                )
+
+
+def _ramp(lengths: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(L)`` for each L in ``lengths``.
+
+    >>> _ramp(np.array([2, 0, 3]))
+    array([0, 1, 0, 1, 2])
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    ends = np.cumsum(lengths)
+    starts = ends - lengths
+    return np.arange(total, dtype=np.int64) - np.repeat(starts, lengths)

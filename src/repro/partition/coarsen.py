@@ -1,0 +1,212 @@
+"""Graph coarsening: subset formation and contraction (Section IV).
+
+Two strategies are implemented on top of the union-find grouping:
+
+* ``"unionfind"`` — plain G-kway: every union-find subset collapses into
+  one coarse vertex.  Subset sizes vary wildly, so coarse vertex weights
+  become imbalanced (Figure 3a), which later hurts partition balance.
+* ``"constrained"`` — the paper's contribution: subset members are
+  sorted by their join iteration (earlier = closer to the subset core)
+  and chopped into groups of fixed size ``s``; each group becomes one
+  coarse vertex (Figure 3b).  Weights stay balanced while nearby
+  vertices still merge together.
+
+:func:`contract` builds the coarse CSR: group weights are summed, edges
+between groups aggregate their weights, intra-group edges vanish.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpusim.context import GpuContext
+from repro.graph.csr import CSRGraph
+from repro.partition.unionfind import group_vertices
+
+
+@dataclass
+class CoarsenLevel:
+    """One level of the multilevel hierarchy.
+
+    Attributes:
+        fine: The graph that was coarsened.
+        coarse: The resulting smaller graph.
+        cmap: ``cmap[v]`` = coarse vertex containing fine vertex ``v``.
+    """
+
+    fine: CSRGraph
+    coarse: CSRGraph
+    cmap: np.ndarray
+
+
+def build_groups_unionfind(roots: np.ndarray) -> np.ndarray:
+    """G-kway grouping: one coarse vertex per union-find subset."""
+    _, cmap = np.unique(roots, return_inverse=True)
+    return cmap.astype(np.int64)
+
+
+def build_groups_constrained(
+    roots: np.ndarray,
+    join_iteration: np.ndarray,
+    group_size: int,
+) -> np.ndarray:
+    """Constrained grouping: sort by join iteration, chop into groups.
+
+    Within each subset, members are ordered by ``(join_iteration,
+    vertex_id)`` — the paper's "sort the vertices based on their labels"
+    — and consecutive runs of ``group_size`` become one coarse vertex.
+    """
+    n = roots.shape[0]
+    order = np.lexsort((np.arange(n), join_iteration, roots))
+    sorted_roots = roots[order]
+    # Rank of each vertex within its subset, in sorted order.
+    new_subset = np.ones(n, dtype=bool)
+    new_subset[1:] = sorted_roots[1:] != sorted_roots[:-1]
+    subset_start = np.maximum.accumulate(
+        np.where(new_subset, np.arange(n), 0)
+    )
+    rank_in_subset = np.arange(n) - subset_start
+    # New coarse vertex at each subset start and every s-th member.
+    new_group = new_subset | (rank_in_subset % group_size == 0)
+    group_of_sorted = np.cumsum(new_group) - 1
+    cmap = np.empty(n, dtype=np.int64)
+    cmap[order] = group_of_sorted
+    return cmap
+
+
+def contract(
+    csr: CSRGraph, cmap: np.ndarray, ctx: GpuContext | None = None
+) -> CSRGraph:
+    """Contract ``csr`` along ``cmap`` into the coarse graph.
+
+    Parallel fine edges between the same pair of groups merge, summing
+    weights; intra-group edges disappear (their weight is the cut the
+    coarsening "locks in").
+    """
+    n_coarse = int(cmap.max()) + 1 if cmap.size else 0
+    degrees = csr.degrees()
+    src = np.repeat(np.arange(csr.num_vertices), degrees)
+    csrc = cmap[src]
+    cdst = cmap[csr.adjncy]
+    keep = csrc != cdst
+    csrc, cdst = csrc[keep], cdst[keep]
+    weights = csr.adjwgt[keep]
+    if ctx is not None:
+        _charge_contract(ctx, csr)
+    # Aggregate parallel directed arcs.
+    keys = csrc * np.int64(n_coarse) + cdst
+    unique_keys, inverse = np.unique(keys, return_inverse=True)
+    agg_wgt = np.bincount(
+        inverse, weights=weights, minlength=unique_keys.size
+    ).astype(np.int64)
+    out_src = (unique_keys // n_coarse).astype(np.int64)
+    out_dst = (unique_keys % n_coarse).astype(np.int64)
+    out_degrees = np.bincount(out_src, minlength=n_coarse)
+    xadj = np.zeros(n_coarse + 1, dtype=np.int64)
+    np.cumsum(out_degrees, out=xadj[1:])
+    vwgt = np.bincount(
+        cmap, weights=csr.vwgt, minlength=n_coarse
+    ).astype(np.int64)
+    return CSRGraph(xadj=xadj, adjncy=out_dst, adjwgt=agg_wgt, vwgt=vwgt)
+
+
+def coarsen_once(
+    csr: CSRGraph,
+    strategy: str,
+    group_size: int,
+    match_iterations: int,
+    seed: int,
+    ctx: GpuContext | None = None,
+    mode: str = "vector",
+) -> CoarsenLevel:
+    """Run one full coarsening step (group + contract)."""
+    roots, join_iteration = group_vertices(
+        csr, match_iterations=match_iterations, seed=seed, ctx=ctx,
+        mode=mode,
+    )
+    if strategy == "constrained":
+        if ctx is not None:
+            _charge_constrained_sort(ctx, csr.num_vertices)
+        cmap = build_groups_constrained(roots, join_iteration, group_size)
+    elif strategy == "unionfind":
+        cmap = build_groups_unionfind(roots)
+    else:
+        raise ValueError(f"unknown coarsening strategy {strategy!r}")
+    coarse = contract(csr, cmap, ctx=ctx)
+    return CoarsenLevel(fine=csr, coarse=coarse, cmap=cmap)
+
+
+def coarsen_to_size(
+    csr: CSRGraph,
+    target_vertices: int,
+    min_coarsen_rate: float,
+    strategy: str,
+    group_size: int,
+    match_iterations: int,
+    seed: int,
+    ctx: GpuContext | None = None,
+    max_levels: int = 64,
+    mode: str = "vector",
+) -> list[CoarsenLevel]:
+    """Coarsen until the target size, the rate floor, or the level cap.
+
+    Termination mirrors Section VI: stop when the vertex count drops
+    below the target or when an iteration keeps more than
+    ``min_coarsen_rate`` of the vertices (coarsening has stalled).
+    """
+    levels: list[CoarsenLevel] = []
+    current = csr
+    for level_index in range(max_levels):
+        if current.num_vertices <= target_vertices:
+            break
+        level = coarsen_once(
+            current,
+            strategy=strategy,
+            group_size=group_size,
+            match_iterations=match_iterations,
+            seed=seed + level_index,
+            ctx=ctx,
+            mode=mode,
+        )
+        levels.append(level)
+        shrank_to = level.coarse.num_vertices / current.num_vertices
+        current = level.coarse
+        if shrank_to > min_coarsen_rate:
+            break
+    return levels
+
+
+def coarse_weight_imbalance(cmap: np.ndarray, vwgt: np.ndarray) -> float:
+    """max / mean coarse vertex weight — the metric Figure 3 is about.
+
+    Plain union-find coarsening produces a high value (a few huge
+    subsets); constrained coarsening keeps it near 1.
+    """
+    weights = np.bincount(cmap, weights=vwgt)
+    if weights.size == 0:
+        return 1.0
+    return float(weights.max() / weights.mean())
+
+
+def _charge_constrained_sort(ctx: GpuContext, n: int) -> None:
+    """Sorting (root, join_iteration) pairs: 2 radix-sort passes' worth."""
+    n_warps = math.ceil(max(n, 1) / 32)
+    for _ in range(2):
+        with ctx.ledger.kernel("constrained-sort"):
+            ctx.charge_wavefront(
+                n_warps, instructions_per_warp=8, transactions_per_warp=3
+            )
+
+
+def _charge_contract(ctx: GpuContext, csr: CSRGraph) -> None:
+    """Contraction: gather + sort + reduce over all arcs (a few radix
+    passes' worth of work per arc)."""
+    arcs = csr.adjncy.size
+    n_warps = math.ceil(max(arcs, 1) / 32)
+    with ctx.ledger.kernel("contract"):
+        ctx.charge_wavefront(
+            n_warps, instructions_per_warp=16, transactions_per_warp=4
+        )

@@ -1,0 +1,190 @@
+"""Fiduccia–Mattheyses-style k-way boundary refinement.
+
+The independent-set pass in :mod:`repro.partition.refine` only ever
+applies positive-gain moves, so it converges to a shallow local minimum.
+G-kway's real refinement climbs out of such minima; we reproduce that
+with a classic FM pass:
+
+* every boundary vertex gets a candidate move to its best feasible
+  partition, prioritized by gain,
+* moves are applied greedily (each vertex moves at most once per pass),
+  *including negative-gain moves*, while tracking the running cut,
+* at the end, the move sequence is rolled back to its best prefix —
+  hill-climbing with a safety net.
+
+The implementation uses a lazy max-heap: entries are re-validated
+against the live connectivity table when popped, which avoids the
+textbook bucket-list gain structure while keeping the same behavior.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+
+import numpy as np
+
+from repro.gpusim.context import GpuContext
+from repro.graph.csr import CSRGraph
+from repro.partition.metrics import max_partition_weight
+from repro.partition.refine import connectivity_matrix
+
+
+def _best_move(
+    conn_row: np.ndarray,
+    current: int,
+    vertex_weight: int,
+    part_weights: np.ndarray,
+    w_pmax: int,
+) -> tuple[int, int] | None:
+    """Best feasible (gain, target) for one vertex, or None."""
+    k = conn_row.shape[0]
+    best_gain = None
+    best_target = None
+    for p in range(k):
+        if p == current:
+            continue
+        if part_weights[p] + vertex_weight > w_pmax:
+            continue
+        gain = int(conn_row[p] - conn_row[current])
+        if (
+            best_gain is None
+            or gain > best_gain
+            or (gain == best_gain and part_weights[p]
+                < part_weights[best_target])
+        ):
+            best_gain = gain
+            best_target = p
+    if best_gain is None:
+        return None
+    return best_gain, best_target
+
+
+def fm_pass(
+    csr: CSRGraph,
+    partition: np.ndarray,
+    part_weights: np.ndarray,
+    k: int,
+    w_pmax: int,
+    max_moves: int | None = None,
+) -> int:
+    """One FM pass with rollback; returns the realized cut *improvement*.
+
+    Mutates ``partition`` and ``part_weights`` in place.  Every vertex
+    moves at most once; the sequence of applied moves is rolled back to
+    the prefix with the best cumulative gain, so the cut never gets
+    worse.
+    """
+    n = csr.num_vertices
+    conn = connectivity_matrix(csr, partition, k).astype(np.int64)
+    vwgt = csr.vwgt
+    if max_moves is None:
+        max_moves = n
+
+    heap: list[tuple[int, int, int, int]] = []
+    for v in range(n):
+        current = int(partition[v])
+        internal = conn[v, current]
+        external = int(conn[v].sum()) - internal
+        if external == 0:
+            continue  # not a boundary vertex
+        move = _best_move(conn[v], current, int(vwgt[v]), part_weights,
+                          w_pmax)
+        if move is not None:
+            gain, target = move
+            heapq.heappush(heap, (-gain, v, target, gain))
+
+    locked = np.zeros(n, dtype=bool)
+    applied: list[tuple[int, int]] = []  # (vertex, source partition)
+    cumulative = 0
+    best_cumulative = 0
+    best_prefix = 0
+
+    while heap and len(applied) < max_moves:
+        _neg, v, target, stamped_gain = heapq.heappop(heap)
+        if locked[v]:
+            continue
+        current = int(partition[v])
+        move = _best_move(conn[v], current, int(vwgt[v]), part_weights,
+                          w_pmax)
+        if move is None:
+            continue
+        gain, live_target = move
+        if gain != stamped_gain or live_target != target:
+            # Stale entry: re-push with the fresh values.
+            heapq.heappush(heap, (-gain, v, live_target, gain))
+            continue
+        # Apply the move.
+        locked[v] = True
+        partition[v] = target
+        part_weights[current] -= int(vwgt[v])
+        part_weights[target] += int(vwgt[v])
+        applied.append((v, current))
+        cumulative += gain
+        if cumulative > best_cumulative:
+            best_cumulative = cumulative
+            best_prefix = len(applied)
+        # Update neighbor connectivity and refresh their heap entries.
+        start, end = csr.xadj[v], csr.xadj[v + 1]
+        for w, wgt in zip(csr.adjncy[start:end], csr.adjwgt[start:end]):
+            w = int(w)
+            conn[w, current] -= wgt
+            conn[w, target] += wgt
+            if not locked[w]:
+                refreshed = _best_move(
+                    conn[w], int(partition[w]), int(vwgt[w]),
+                    part_weights, w_pmax,
+                )
+                if refreshed is not None:
+                    heapq.heappush(
+                        heap, (-refreshed[0], w, refreshed[1], refreshed[0])
+                    )
+
+    # Roll back past the best prefix.
+    for v, source in reversed(applied[best_prefix:]):
+        target = int(partition[v])
+        partition[v] = source
+        part_weights[target] -= int(vwgt[v])
+        part_weights[source] += int(vwgt[v])
+    return best_cumulative
+
+
+def fm_refine(
+    csr: CSRGraph,
+    partition: np.ndarray,
+    k: int,
+    epsilon: float,
+    passes: int = 2,
+    ctx: GpuContext | None = None,
+    max_moves: int | None = None,
+) -> np.ndarray:
+    """Run up to ``passes`` FM passes; returns the refined partition."""
+    partition = np.asarray(partition, dtype=np.int64).copy()
+    part_weights = np.bincount(
+        partition, weights=csr.vwgt, minlength=k
+    ).astype(np.int64)
+    w_pmax = max_partition_weight(csr.total_vertex_weight(), k, epsilon)
+    if max_moves is None:
+        max_moves = csr.num_vertices
+    for _pass in range(passes):
+        if ctx is not None:
+            _charge_fm_pass(ctx, csr, k)
+        improvement = fm_pass(
+            csr, partition, part_weights, k, w_pmax, max_moves=max_moves
+        )
+        if improvement == 0:
+            break
+    return partition
+
+
+def _charge_fm_pass(ctx: GpuContext, csr: CSRGraph, k: int) -> None:
+    """Charged like two boundary-refinement passes (gain maintenance)."""
+    arcs = csr.adjncy.size
+    n_warps = math.ceil(max(csr.num_vertices, 1) / 32)
+    arcs_per_warp = math.ceil(arcs / max(n_warps, 1))
+    with ctx.ledger.kernel("fm-pass"):
+        ctx.charge_wavefront(
+            n_warps,
+            instructions_per_warp=8 + 6 * arcs_per_warp + 2 * k,
+            transactions_per_warp=2 + 8 * arcs_per_warp,
+        )

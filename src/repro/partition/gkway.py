@@ -1,0 +1,172 @@
+"""G-kway: multilevel full graph partitioning (Section IV).
+
+The pipeline is the classic three-phase multilevel scheme the paper
+builds on:
+
+1. **Coarsening** — union-find grouping with either plain (G-kway) or
+   constrained (iG-kway, Section IV) group formation, contracted level
+   by level until ``35 * k`` vertices or the shrink-rate floor.
+2. **Initial partitioning** — a small portfolio on the coarsest graph.
+3. **Uncoarsening** — project each level's partition to the finer graph,
+   rebalance if projection broke the constraint, then run
+   independent-set boundary refinement.
+
+``GKwayPartitioner`` is used twice in this repository: once by iG-kway
+for the initial full partition, and once per incremental iteration by
+the G-kway† baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpusim.context import GpuContext
+from repro.graph.csr import CSRGraph
+from repro.partition.coarsen import coarsen_to_size
+from repro.partition.config import PartitionConfig
+from repro.partition.fm import fm_refine
+from repro.partition.initial import initial_partition
+from repro.partition.metrics import (
+    cut_size_csr,
+    is_balanced,
+    max_partition_weight,
+)
+from repro.partition.refine import rebalance_csr, refine_csr
+from repro.utils.errors import PartitionError
+
+
+@dataclass
+class FullPartitionResult:
+    """Outcome of one full (from-scratch) partitioning run.
+
+    Attributes:
+        partition: ``int64[n]`` labels in ``[0, k)``.
+        cut: Weighted cut size.
+        part_weights: ``int64[k]`` partition weights.
+        num_levels: Coarsening levels used.
+        coarsest_vertices: Vertex count of the coarsest graph.
+        balanced: Whether the balance constraint is met.
+    """
+
+    partition: np.ndarray
+    cut: int
+    part_weights: np.ndarray
+    num_levels: int
+    coarsest_vertices: int
+    balanced: bool
+
+
+class GKwayPartitioner:
+    """Multilevel k-way full graph partitioner.
+
+    Args:
+        config: All tunables (k, epsilon, coarsening strategy, ...).
+        ctx: Optional simulated GPU; when given, every stage charges the
+            context's cost ledger so the experiment harness can estimate
+            device runtime.
+    """
+
+    def __init__(
+        self, config: PartitionConfig, ctx: GpuContext | None = None
+    ):
+        self.config = config
+        self.ctx = ctx
+
+    def partition(
+        self, csr: CSRGraph, seed: int | None = None
+    ) -> FullPartitionResult:
+        """Partition ``csr`` from scratch into ``config.k`` parts."""
+        cfg = self.config
+        if csr.num_vertices < cfg.k:
+            raise PartitionError(
+                f"cannot split {csr.num_vertices} vertices into {cfg.k} parts"
+            )
+        seed = cfg.seed if seed is None else seed
+
+        levels = coarsen_to_size(
+            csr,
+            target_vertices=cfg.coarsen_until,
+            min_coarsen_rate=cfg.min_coarsen_rate,
+            strategy=cfg.coarsening,
+            group_size=cfg.group_size,
+            match_iterations=cfg.match_iterations,
+            seed=seed,
+            ctx=self.ctx,
+            mode=cfg.mode,
+        )
+        coarsest = levels[-1].coarse if levels else csr
+        part = initial_partition(
+            coarsest,
+            k=cfg.k,
+            epsilon=cfg.epsilon,
+            tries=cfg.initial_tries,
+            seed=seed,
+        )
+        for level in reversed(levels):
+            part = part[level.cmap]
+            part = self._balance_and_refine(level.fine, part, seed)
+        if not levels:
+            part = self._balance_and_refine(csr, part, seed)
+
+        part_weights = np.bincount(
+            part, weights=csr.vwgt, minlength=cfg.k
+        ).astype(np.int64)
+        total = csr.total_vertex_weight()
+        return FullPartitionResult(
+            partition=part,
+            cut=cut_size_csr(csr, part),
+            part_weights=part_weights,
+            num_levels=len(levels),
+            coarsest_vertices=coarsest.num_vertices,
+            balanced=is_balanced(part_weights, total, cfg.k, cfg.epsilon),
+        )
+
+    def _balance_and_refine(
+        self, csr: CSRGraph, part: np.ndarray, seed: int
+    ) -> np.ndarray:
+        cfg = self.config
+        w_pmax = max_partition_weight(
+            csr.total_vertex_weight(), cfg.k, cfg.epsilon
+        )
+        part_weights = np.bincount(
+            part, weights=csr.vwgt, minlength=cfg.k
+        ).astype(np.int64)
+        if int(part_weights.max()) > w_pmax:
+            part = rebalance_csr(
+                csr, part, cfg.k, cfg.epsilon, ctx=self.ctx
+            )
+        if cfg.refinement == "jet":
+            from repro.partition.jet import jet_refine
+
+            part = jet_refine(
+                csr,
+                part,
+                k=cfg.k,
+                epsilon=cfg.epsilon,
+                passes=3 * cfg.refine_passes,
+                ctx=self.ctx,
+            )
+        else:
+            part = refine_csr(
+                csr,
+                part,
+                k=cfg.k,
+                epsilon=cfg.epsilon,
+                passes=cfg.refine_passes,
+                seed=seed,
+                ctx=self.ctx,
+                mode=cfg.mode,
+            )
+        if cfg.fm_passes > 0 and csr.num_vertices <= cfg.fm_max_vertices:
+            part = fm_refine(
+                csr,
+                part,
+                k=cfg.k,
+                epsilon=cfg.epsilon,
+                passes=cfg.fm_passes,
+                ctx=self.ctx,
+                max_moves=cfg.fm_max_moves,
+            )
+        return part

@@ -1,0 +1,148 @@
+"""Partition quality metrics: cut size, balance, boundaries, gains.
+
+Definitions follow Section II of the paper:
+
+* cut size  = sum of ``W_e`` over edges whose endpoints are in different
+  partitions,
+* partition weight ``W_p`` = sum of vertex weights in ``p``,
+* balance constraint ``W_p <= (1 + eps) * total / k``,
+* ``adj_ext(v)`` / ``adj_int(v)`` = neighbors in another / the same
+  partition.
+
+These functions are host-side "ground truth" used for reporting and
+testing; they never charge the GPU ledger.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.graph.bucketlist import EMPTY, BucketListGraph
+from repro.graph.csr import CSRGraph
+
+
+def max_partition_weight(total_weight: int, k: int, epsilon: float) -> int:
+    """``W_pmax = (1 + eps) * total / k`` (Section II), rounded up."""
+    return int(math.ceil((1.0 + epsilon) * total_weight / k))
+
+
+def cut_size_csr(csr: CSRGraph, partition: np.ndarray) -> int:
+    """Weighted cut of a CSR graph under ``partition``."""
+    src = np.repeat(np.arange(csr.num_vertices), csr.degrees())
+    crossing = partition[src] != partition[csr.adjncy]
+    return int(csr.adjwgt[crossing].sum()) // 2
+
+
+def cut_size_bucketlist(
+    graph: BucketListGraph, partition: np.ndarray
+) -> int:
+    """Weighted cut of the active subgraph of a bucket-list graph."""
+    active = graph.active_vertices()
+    if active.size == 0:
+        return 0
+    slot_idx, owner = graph.slot_index_arrays(active)
+    nbrs = graph.bucket_list[slot_idx]
+    filled = nbrs != EMPTY
+    src = active[owner[filled]]
+    dst = nbrs[filled]
+    weights = graph.slot_wgt[slot_idx][filled]
+    crossing = partition[src] != partition[dst]
+    return int(weights[crossing].sum()) // 2
+
+
+def partition_weights(
+    vwgt: np.ndarray, partition: np.ndarray, k: int
+) -> np.ndarray:
+    """``W_p`` for each partition; ignores vertices with partition < 0
+    or >= k (deleted vertices and the pseudo-partition)."""
+    valid = (partition >= 0) & (partition < k)
+    return np.bincount(
+        partition[valid], weights=vwgt[valid], minlength=k
+    ).astype(np.int64)
+
+
+def imbalance(part_weights: np.ndarray, total_weight: int, k: int) -> float:
+    """Achieved imbalance: ``max(W_p) * k / total - 1``."""
+    if total_weight == 0:
+        return 0.0
+    return float(part_weights.max()) * k / total_weight - 1.0
+
+
+def is_balanced(
+    part_weights: np.ndarray, total_weight: int, k: int, epsilon: float
+) -> bool:
+    """True iff every partition satisfies the balance constraint."""
+    return int(part_weights.max()) <= max_partition_weight(
+        total_weight, k, epsilon
+    )
+
+
+def boundary_vertices_csr(
+    csr: CSRGraph, partition: np.ndarray
+) -> np.ndarray:
+    """Vertices with at least one external neighbor (``adj_ext != 0``)."""
+    src = np.repeat(np.arange(csr.num_vertices), csr.degrees())
+    crossing = partition[src] != partition[csr.adjncy]
+    is_boundary = np.zeros(csr.num_vertices, dtype=bool)
+    is_boundary[src[crossing]] = True
+    return np.flatnonzero(is_boundary)
+
+
+def cut_matrix(
+    csr: CSRGraph, partition: np.ndarray, k: int
+) -> np.ndarray:
+    """``k x k`` matrix of inter-partition edge weight.
+
+    Entry ``(i, j)`` with ``i != j`` is the total weight of edges between
+    partitions ``i`` and ``j`` (the matrix is symmetric); the diagonal
+    holds each partition's internal edge weight.  The upper-triangle sum
+    equals :func:`cut_size_csr`.  CAD schedulers use this to weigh
+    communication between the engines each partition is assigned to.
+    """
+    src = np.repeat(np.arange(csr.num_vertices), csr.degrees())
+    keys = partition[src] * np.int64(k) + partition[csr.adjncy]
+    flat = np.bincount(keys, weights=csr.adjwgt, minlength=k * k)
+    matrix = flat.reshape(k, k).astype(np.int64)
+    # Each undirected internal edge contributes both of its arcs to the
+    # diagonal; off-diagonal entries see one arc per direction already.
+    np.fill_diagonal(matrix, np.diagonal(matrix) // 2)
+    return matrix
+
+
+def boundary_sizes(
+    csr: CSRGraph, partition: np.ndarray, k: int
+) -> np.ndarray:
+    """Number of boundary vertices per partition."""
+    boundary = boundary_vertices_csr(csr, partition)
+    return np.bincount(partition[boundary], minlength=k).astype(np.int64)
+
+
+def external_internal_degrees(
+    graph: BucketListGraph, partition: np.ndarray, vertices: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(adj_ext, adj_int)`` counts for each vertex in ``vertices``.
+
+    Matches the warp computation of Algorithm 3 lines 16-21: a neighbor
+    counts as external iff its partition differs from the vertex's
+    current partition.  Pseudo-partition and deleted markers compare like
+    ordinary labels, exactly as ``partition[nbr]`` does on the GPU.
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    if vertices.size == 0:
+        zero = np.zeros(0, dtype=np.int64)
+        return zero, zero
+    slot_idx, owner = graph.slot_index_arrays(vertices)
+    nbrs = graph.bucket_list[slot_idx]
+    filled = nbrs != EMPTY
+    owner = owner[filled]
+    nbr_part = partition[nbrs[filled]]
+    own_part = partition[vertices][owner]
+    ext = np.bincount(
+        owner[nbr_part != own_part], minlength=vertices.size
+    ).astype(np.int64)
+    internal = np.bincount(
+        owner[nbr_part == own_part], minlength=vertices.size
+    ).astype(np.int64)
+    return ext, internal

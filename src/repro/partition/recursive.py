@@ -1,0 +1,130 @@
+"""Recursive bisection initial partitioning.
+
+The multilevel literature's other standard way to seed a k-way
+partition: split the graph in two, recurse on each side.  Included in
+the initial-partitioning portfolio because direct k-way growing degrades
+for large k on small coarsest graphs, while bisection trees stay sharp —
+exactly the regime of the paper's Figure 7 sweep (k up to 32).
+
+Non-power-of-two ``k`` is supported by splitting k into
+``floor(k/2) / ceil(k/2)`` and sizing the two sides proportionally; each
+bisection refines with per-side weight caps (the generalized
+:func:`~repro.partition.refine.refine_pass`).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.partition.refine import refine_pass
+from repro.utils.seeding import derive_seed, make_rng
+
+
+def _bisect(
+    csr: CSRGraph,
+    k_left: int,
+    k_right: int,
+    epsilon: float,
+    seed: int,
+    refine_passes: int = 4,
+) -> np.ndarray:
+    """Split ``csr`` into two sides weighted ``k_left : k_right``.
+
+    Returns a 0/1 label per vertex.  Seeding is BFS-order based (like
+    the direct initial partitioner); refinement uses per-side caps.
+    """
+    from repro.partition.initial import bfs_order
+
+    n = csr.num_vertices
+    total = csr.total_vertex_weight()
+    fraction = k_left / (k_left + k_right)
+    rng = make_rng(seed, "bisect")
+    order = bfs_order(csr, int(rng.integers(0, n)))
+    cum = np.cumsum(csr.vwgt[order])
+    midpoints = cum - csr.vwgt[order] / 2.0
+    labels_sorted = (midpoints > fraction * total).astype(np.int64)
+    partition = np.empty(n, dtype=np.int64)
+    partition[order] = labels_sorted
+
+    caps = np.array(
+        [
+            math.ceil((1.0 + epsilon) * total * fraction),
+            math.ceil((1.0 + epsilon) * total * (1.0 - fraction)),
+        ],
+        dtype=np.int64,
+    )
+    part_weights = np.bincount(
+        partition, weights=csr.vwgt, minlength=2
+    ).astype(np.int64)
+    for _pass in range(refine_passes):
+        if refine_pass(csr, partition, part_weights, 2, caps) == 0:
+            break
+    return partition
+
+
+def recursive_bisection(
+    csr: CSRGraph,
+    k: int,
+    epsilon: float,
+    seed: int = 0,
+    refine_passes: int = 4,
+) -> np.ndarray:
+    """Partition ``csr`` into ``k`` parts by recursive bisection."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    partition = np.zeros(csr.num_vertices, dtype=np.int64)
+    _recurse(
+        csr,
+        np.arange(csr.num_vertices, dtype=np.int64),
+        k,
+        0,
+        epsilon,
+        seed,
+        refine_passes,
+        partition,
+    )
+    return partition
+
+
+def _recurse(
+    csr: CSRGraph,
+    vertices: np.ndarray,
+    k: int,
+    label_offset: int,
+    epsilon: float,
+    seed: int,
+    refine_passes: int,
+    out: np.ndarray,
+) -> None:
+    if k == 1 or vertices.size == 0:
+        out[vertices] = label_offset
+        return
+    sub, mapping = csr.subgraph(vertices)
+    k_left = k // 2
+    k_right = k - k_left
+    sides = _bisect(
+        sub,
+        k_left,
+        k_right,
+        epsilon,
+        derive_seed(seed, "split", label_offset, k),
+        refine_passes,
+    )
+    left = mapping[sides == 0]
+    right = mapping[sides == 1]
+    _recurse(
+        csr, left, k_left, label_offset, epsilon, seed, refine_passes, out
+    )
+    _recurse(
+        csr,
+        right,
+        k_right,
+        label_offset + k_left,
+        epsilon,
+        seed,
+        refine_passes,
+        out,
+    )

@@ -1,0 +1,173 @@
+"""Mutable partition state shared by the partitioners.
+
+``PartitionState`` owns the per-vertex partition array plus the cached
+partition weights and the balance constraint.  Two reserved labels extend
+the ``0 .. k-1`` partition IDs:
+
+* :data:`UNASSIGNED` (-1): deleted vertices,
+* :data:`PSEUDO` (k): the paper's pseudo-partition holding affected
+  vertices between balancing and refinement (Section V.C).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partition.metrics import (
+    is_balanced,
+    max_partition_weight,
+    partition_weights,
+)
+from repro.utils.errors import PartitionError
+
+#: Partition label of deleted / not-yet-assigned vertices.
+UNASSIGNED = np.int64(-1)
+
+
+class PartitionState:
+    """Partition assignment + cached weights for ``k`` partitions.
+
+    The pseudo-partition is labelled ``k`` (one past the real
+    partitions); its accumulated weight is tracked separately and never
+    counts toward the balance constraint — that is the whole point of
+    parking affected vertices there.
+    """
+
+    def __init__(
+        self,
+        partition: np.ndarray,
+        vwgt: np.ndarray,
+        k: int,
+        epsilon: float,
+    ):
+        self.k = int(k)
+        self.epsilon = float(epsilon)
+        self.partition = np.asarray(partition, dtype=np.int64).copy()
+        if self.partition.ndim != 1:
+            raise PartitionError("partition must be one-dimensional")
+        # Snapshot, not a view: the graph's weight array may be rewritten
+        # by modification kernels *before* the balancing kernel accounts
+        # for the change (e.g. a delete + re-insert with a new weight in
+        # one batch); the state's weights advance only through
+        # ``set_vertex_weight``/``move`` in modifier order.
+        self._vwgt = np.asarray(vwgt, dtype=np.int64).copy()
+        if self._vwgt.shape != self.partition.shape:
+            raise PartitionError("vwgt and partition must align")
+        self.part_weights = partition_weights(self._vwgt, self.partition, k)
+        self.pseudo_weight = int(
+            self._vwgt[self.partition == self.pseudo_label].sum()
+        )
+
+    # -- labels ------------------------------------------------------------------
+
+    @property
+    def pseudo_label(self) -> int:
+        """The pseudo-partition's label (``k``)."""
+        return self.k
+
+    # -- weights -----------------------------------------------------------------
+
+    def total_weight(self) -> int:
+        """Weight of all vertices currently assigned or pseudo-parked."""
+        return int(self.part_weights.sum()) + self.pseudo_weight
+
+    def w_pmax(self) -> int:
+        """Current ``W_pmax`` from the live total weight."""
+        return max_partition_weight(self.total_weight(), self.k, self.epsilon)
+
+    def balanced(self) -> bool:
+        return is_balanced(
+            self.part_weights, self.total_weight(), self.k, self.epsilon
+        )
+
+    # -- vertex transitions ---------------------------------------------------------
+
+    def vertex_weight(self, u: int) -> int:
+        return int(self._vwgt[u])
+
+    def set_vertex_weight(self, u: int, weight: int) -> None:
+        """Update a vertex's weight, keeping cached sums consistent."""
+        old = int(self._vwgt[u])
+        label = int(self.partition[u])
+        self._vwgt[u] = weight
+        if 0 <= label < self.k:
+            self.part_weights[label] += weight - old
+        elif label == self.pseudo_label:
+            self.pseudo_weight += weight - old
+
+    def move(self, u: int, target: int) -> None:
+        """Move vertex ``u`` to ``target`` (a real label, PSEUDO or
+        UNASSIGNED), updating cached weights."""
+        source = int(self.partition[u])
+        if source == target:
+            return
+        weight = int(self._vwgt[u])
+        if 0 <= source < self.k:
+            self.part_weights[source] -= weight
+        elif source == self.pseudo_label:
+            self.pseudo_weight -= weight
+        if 0 <= target < self.k:
+            self.part_weights[target] += weight
+        elif target == self.pseudo_label:
+            self.pseudo_weight += weight
+        elif target != UNASSIGNED:
+            raise PartitionError(f"invalid target label {target}")
+        self.partition[u] = target
+
+    def move_many(self, vertices: np.ndarray, target: int) -> None:
+        """Bulk :meth:`move` of several vertices to one label."""
+        for u in np.asarray(vertices, dtype=np.int64):
+            self.move(int(u), target)
+
+    # -- consistency ------------------------------------------------------------------
+
+    def recompute(self) -> None:
+        """Recompute cached weights from scratch (after bulk edits)."""
+        self.part_weights = partition_weights(
+            self._vwgt, self.partition, self.k
+        )
+        self.pseudo_weight = int(
+            self._vwgt[self.partition == self.pseudo_label].sum()
+        )
+
+    def validate(self, active_mask: np.ndarray | None = None) -> None:
+        """Check label ranges and cached-weight consistency.
+
+        Args:
+            active_mask: If given, every active vertex must have a label
+                in ``[0, k]`` (real or pseudo) and every inactive vertex
+                must be UNASSIGNED.
+        """
+        labels = self.partition
+        if np.any((labels < UNASSIGNED) | (labels > self.pseudo_label)):
+            raise PartitionError("partition label out of range")
+        expected = partition_weights(self._vwgt, labels, self.k)
+        if not np.array_equal(expected, self.part_weights):
+            raise PartitionError(
+                f"cached part_weights {self.part_weights} != recomputed "
+                f"{expected}"
+            )
+        expected_pseudo = int(
+            self._vwgt[labels == self.pseudo_label].sum()
+        )
+        if expected_pseudo != self.pseudo_weight:
+            raise PartitionError(
+                f"cached pseudo_weight {self.pseudo_weight} != "
+                f"{expected_pseudo}"
+            )
+        if active_mask is not None:
+            active_mask = np.asarray(active_mask, dtype=bool)
+            if np.any(labels[active_mask] == UNASSIGNED):
+                raise PartitionError("active vertex is UNASSIGNED")
+            if np.any(labels[~active_mask] != UNASSIGNED):
+                raise PartitionError("deleted vertex still has a label")
+
+    def copy(self) -> "PartitionState":
+        out = PartitionState.__new__(PartitionState)
+        out.k = self.k
+        out.epsilon = self.epsilon
+        out.partition = self.partition.copy()
+        out._vwgt = self._vwgt.copy()
+        out.part_weights = self.part_weights.copy()
+        out.pseudo_weight = self.pseudo_weight
+        return out

@@ -1,0 +1,150 @@
+"""Parallel union-find vertex grouping (G-kway's coarsening front end).
+
+G-kway groups vertices into subsets with a parallel union-find: in each
+iteration every still-ungrouped vertex selects a neighbor (heaviest edge,
+random tie-break) and the two subsets are united.  The key extra signal
+iG-kway needs (Section IV) is *when* each vertex joined its subset —
+vertices that joined later are structurally farther from the subset's
+core — so :func:`group_vertices` also returns a ``join_iteration`` label
+per vertex, exactly the ``(n)`` annotations of Figure 3.
+
+The implementation is the standard GPU-style hook-to-minimum union-find:
+all hooks write ``parent[max(r, t)] = min(r, t)``, which is trivially
+acyclic, followed by pointer-jumping to full path compression.  Lost
+hooks (two subsets hooking onto the same root in one round) are retried
+in later rounds, matching the parallel semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.context import GpuContext
+from repro.graph.csr import CSRGraph
+from repro.utils.seeding import make_rng
+
+_NO_NEIGHBOR = np.int64(-1)
+
+
+def find_roots(parent: np.ndarray) -> np.ndarray:
+    """Fully compress ``parent`` by pointer jumping; returns the roots."""
+    roots = parent.copy()
+    while True:
+        nxt = roots[roots]
+        if np.array_equal(nxt, roots):
+            return roots
+        roots = nxt
+
+
+def select_neighbors(
+    csr: CSRGraph, priorities: np.ndarray, eligible: np.ndarray
+) -> np.ndarray:
+    """Each eligible vertex's selected neighbor (heaviest edge wins).
+
+    Ties on edge weight are broken by per-arc random ``priorities`` so
+    repeated runs with different seeds explore different matchings, like
+    G-kway's GPU scheduler nondeterminism — but deterministically for a
+    fixed seed.  Returns ``_NO_NEIGHBOR`` for isolated or non-eligible
+    vertices.
+    """
+    n = csr.num_vertices
+    selected = np.full(n, _NO_NEIGHBOR, dtype=np.int64)
+    degrees = csr.degrees()
+    has_nbrs = (degrees > 0) & eligible
+    if not np.any(has_nbrs):
+        return selected
+    # Composite key: weight first, then random priority.
+    key = csr.adjwgt.astype(np.int64) * np.int64(1 << 20) + priorities
+    starts = csr.xadj[:-1]
+    seg_max = np.maximum.reduceat(key, np.minimum(starts, key.size - 1))
+    src = np.repeat(np.arange(n), degrees)
+    is_max = key == seg_max[src]
+    arc_index = np.arange(key.size, dtype=np.int64)
+    masked = np.where(is_max, arc_index, np.int64(key.size))
+    first_max = np.minimum.reduceat(
+        masked, np.minimum(starts, max(key.size - 1, 0))
+    )
+    valid = has_nbrs & (degrees > 0)
+    selected[valid] = csr.adjncy[first_max[valid]]
+    return selected
+
+
+def group_vertices(
+    csr: CSRGraph,
+    match_iterations: int = 3,
+    seed: int = 0,
+    ctx: GpuContext | None = None,
+    mode: str = "vector",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Group vertices into subsets; label each with its join iteration.
+
+    Returns ``(roots, join_iteration)`` where ``roots[v]`` identifies the
+    subset of ``v`` (a representative vertex ID) and
+    ``join_iteration[v]`` is the 1-based iteration in which ``v`` was
+    merged into a subset of size > 1, or 0 if ``v`` stayed a singleton
+    (or was a subset seed that only ever *received* members in iteration
+    1 — seeds sort first, which is what constrained grouping wants).
+    """
+    n = csr.num_vertices
+    rng = make_rng(seed, "unionfind")
+    parent = np.arange(n, dtype=np.int64)
+    join_iteration = np.zeros(n, dtype=np.int64)
+
+    for iteration in range(1, match_iterations + 1):
+        roots = find_roots(parent)
+        sizes = np.bincount(roots, minlength=n)
+        single = sizes[roots] == 1
+        if not np.any(single):
+            break
+        priorities = rng.integers(
+            0, 1 << 20, size=csr.adjncy.size, dtype=np.int64
+        )
+        if mode == "warp" and ctx is not None:
+            from repro.partition.warp_kernels import select_neighbors_warp
+
+            selected = select_neighbors_warp(ctx, csr, priorities, single)
+        else:
+            selected = select_neighbors(csr, priorities, single)
+            if ctx is not None:
+                _charge_match_iteration(ctx, csr)
+        hookers = np.flatnonzero(selected != _NO_NEIGHBOR)
+        if hookers.size == 0:
+            break
+        own_root = roots[hookers]
+        target_root = roots[selected[hookers]]
+        differs = own_root != target_root
+        own_root = own_root[differs]
+        target_root = target_root[differs]
+        if own_root.size == 0:
+            break
+        hi = np.maximum(own_root, target_root)
+        lo = np.minimum(own_root, target_root)
+        # Parallel hook: last write wins on conflicts, like atomicExch.
+        parent[hi] = lo
+        new_roots = find_roots(parent)
+        new_sizes = np.bincount(new_roots, minlength=n)
+        newly_grouped = (
+            single & (new_sizes[new_roots] > 1) & (join_iteration == 0)
+        )
+        join_iteration[newly_grouped] = iteration
+
+    return find_roots(parent), join_iteration
+
+
+def _charge_match_iteration(ctx: GpuContext, csr: CSRGraph) -> None:
+    """One matching round: every warp serves 32 vertices; per arc it
+    loads the neighbor, its root and weight and updates the best
+    candidate (~4 instructions), then hooks via atomics."""
+    import math
+
+    n_warps = math.ceil(max(csr.num_vertices, 1) / 32)
+    arcs = csr.adjncy.size
+    arcs_per_warp = math.ceil(arcs / max(n_warps, 1))
+    # Scattered CSR reads: neighbor ID, its union-find root and the edge
+    # weight live in different segments (~3 transactions per arc).
+    with ctx.ledger.kernel("uf-match"):
+        ctx.charge_wavefront(
+            n_warps,
+            instructions_per_warp=4 + 4 * arcs_per_warp,
+            transactions_per_warp=2 + 3 * arcs_per_warp,
+        )

@@ -1,0 +1,115 @@
+"""Warp-faithful kernels for the full-partitioning substrate.
+
+The incremental kernels (Algorithms 1-4) have lane-level warp
+implementations in :mod:`repro.core`; this module provides the same
+treatment for the two data-dependent kernels of the G-kway FGP pipeline,
+so that ``PartitionConfig(mode="warp")`` exercises warp semantics end to
+end:
+
+* :func:`select_neighbors_warp` — union-find matching's best-neighbor
+  selection: one warp per vertex, lanes load 32 CSR arcs at a time,
+  reduce the (weight, priority) key with a warp max-reduction, and the
+  first lane holding the maximum wins (same tie-breaking as the
+  vectorized :func:`~repro.partition.unionfind.select_neighbors`).
+* :func:`connectivity_matrix_warp` — boundary refinement's gain input:
+  one warp per vertex accumulating a per-partition connectivity
+  histogram in "shared memory".
+
+Both are differentially tested for bit-identical outputs against their
+vectorized counterparts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.context import FULL_MASK, WARP_SIZE, GpuContext
+from repro.gpusim.kernel import launch_warps
+from repro.gpusim.warp import Warp
+from repro.graph.csr import CSRGraph
+
+_NO_NEIGHBOR = np.int64(-1)
+
+
+def select_neighbors_warp(
+    ctx: GpuContext,
+    csr: CSRGraph,
+    priorities: np.ndarray,
+    eligible: np.ndarray,
+) -> np.ndarray:
+    """Warp-faithful twin of ``unionfind.select_neighbors``.
+
+    The composite key is ``weight * 2^20 + priority`` exactly as in the
+    vectorized path; among equal keys the *first arc in CSR order* wins,
+    which the warp reproduces by masking the ballot of key-equal lanes
+    and taking the lowest arc index.
+    """
+    n = csr.num_vertices
+    selected = np.full(n, _NO_NEIGHBOR, dtype=np.int64)
+    key = csr.adjwgt.astype(np.int64) * np.int64(1 << 20) + priorities
+    work = [int(u) for u in np.flatnonzero(eligible) if csr.degree(u) > 0]
+
+    def body(warp: Warp, u: int) -> None:
+        start = int(csr.xadj[u])
+        end = int(csr.xadj[u + 1])
+        best_key = None
+        best_arc = None
+        for chunk in range(start, end, WARP_SIZE):
+            lanes = chunk + warp.lane_id
+            valid = lanes < end
+            safe = np.where(valid, lanes, start)
+            lane_keys = warp.load(key, safe)
+            lane_keys = np.where(valid, lane_keys, -1)
+            chunk_best = warp.reduce_min_sync(FULL_MASK, -lane_keys)
+            chunk_best = -int(chunk_best)
+            # First lane holding the maximum key wins the chunk.
+            hit = warp.ballot_sync(
+                FULL_MASK, (lane_keys == chunk_best) & valid
+            )
+            first_lane = (hit & -hit).bit_length() - 1
+            arc = chunk + first_lane
+            if best_key is None or chunk_best > best_key:
+                best_key = chunk_best
+                best_arc = arc
+        if best_arc is not None:
+            selected[u] = csr.adjncy[best_arc]
+
+    launch_warps(ctx, work, body, name="uf-match-select")
+    return selected
+
+
+def connectivity_matrix_warp(
+    ctx: GpuContext,
+    csr: CSRGraph,
+    partition: np.ndarray,
+    k: int,
+) -> np.ndarray:
+    """Warp-faithful twin of ``refine.connectivity_matrix``.
+
+    Each warp owns one vertex and builds its ``k``-bin histogram of
+    neighbor-partition edge weight in shared memory; lanes read 32 arcs
+    per step and accumulate with (simulated) shared-memory atomics.
+    """
+    n = csr.num_vertices
+    conn = np.zeros((n, k), dtype=np.float64)
+
+    def body(warp: Warp, u: int) -> None:
+        start = int(csr.xadj[u])
+        end = int(csr.xadj[u + 1])
+        histogram = np.zeros(k, dtype=np.int64)  # shared memory
+        for chunk in range(start, end, WARP_SIZE):
+            lanes = chunk + warp.lane_id
+            valid = lanes < end
+            safe = np.where(valid, lanes, start)
+            nbrs = warp.load(csr.adjncy, safe)
+            weights = warp.load(csr.adjwgt, safe)
+            parts = warp.load(partition, nbrs)
+            warp.charge(instructions=2)  # histogram atomics
+            np.add.at(
+                histogram, parts[valid], weights[valid]
+            )
+        conn[u] = histogram
+
+    work = [int(u) for u in range(n) if csr.degree(u) > 0]
+    launch_warps(ctx, work, body, name="refine-gains")
+    return conn

@@ -1,0 +1,22 @@
+"""Small shared utilities: seeds, errors, formatting helpers."""
+
+from repro.utils.errors import (
+    BucketListFullError,
+    CapacityError,
+    GraphConsistencyError,
+    ModifierError,
+    PartitionError,
+    ReproError,
+)
+from repro.utils.seeding import derive_seed, make_rng
+
+__all__ = [
+    "ReproError",
+    "GraphConsistencyError",
+    "BucketListFullError",
+    "CapacityError",
+    "ModifierError",
+    "PartitionError",
+    "derive_seed",
+    "make_rng",
+]

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class.  The subclasses mirror the main failure domains: graph
+consistency, bucket-list capacity, modifier application, and partitioning.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class GraphConsistencyError(ReproError):
+    """An invariant of a graph data structure was violated.
+
+    Raised by the validation routines in :mod:`repro.graph` when, for
+    example, an adjacency is not symmetric or an edge references a deleted
+    vertex.
+    """
+
+
+class CapacityError(ReproError):
+    """A pre-allocated capacity (vertex IDs or bucket pool) was exhausted.
+
+    The bucket-list structure pre-allocates memory exactly like the CUDA
+    implementation does; running out mirrors a device-side allocation
+    failure and is reported eagerly instead of silently reallocating.
+    """
+
+
+class BucketListFullError(CapacityError):
+    """A vertex's buckets are full and the bucket pool cannot grow.
+
+    Matches the failure mode of Algorithm 1 in the paper when the warp
+    scans every bucket of ``u`` without finding an empty slot and no spare
+    bucket can be appended.
+    """
+
+
+class ModifierError(ReproError):
+    """A graph modifier could not be applied (e.g. deleting a missing edge)."""
+
+
+class PartitionError(ReproError):
+    """A partitioning operation failed or produced an invalid state."""

@@ -1,0 +1,43 @@
+"""Deterministic seeding helpers.
+
+Every stochastic component of the library (graph generators, modifier
+traces, initial partitioning, tie-breaking) receives an explicit seed.
+These helpers derive independent child seeds from a parent seed and a
+string tag so that, for example, iteration 17 of a modifier trace is
+reproducible regardless of how many random draws earlier iterations made.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+_MASK64 = (1 << 64) - 1
+
+
+def derive_seed(parent: int, *tags: object) -> int:
+    """Derive a stable 64-bit child seed from ``parent`` and ``tags``.
+
+    The derivation hashes the parent seed together with the string
+    representation of each tag, so distinct tags give statistically
+    independent streams while remaining fully deterministic.
+
+    >>> derive_seed(42, "trace", 3) == derive_seed(42, "trace", 3)
+    True
+    >>> derive_seed(42, "trace", 3) != derive_seed(42, "trace", 4)
+    True
+    """
+    hasher = hashlib.blake2b(digest_size=8)
+    hasher.update(str(int(parent) & _MASK64).encode())
+    for tag in tags:
+        hasher.update(b"\x1f")
+        hasher.update(str(tag).encode())
+    return int.from_bytes(hasher.digest(), "little") & _MASK64
+
+
+def make_rng(seed: int, *tags: object) -> np.random.Generator:
+    """Create a NumPy generator for ``seed`` (optionally derived via tags)."""
+    if tags:
+        seed = derive_seed(seed, *tags)
+    return np.random.default_rng(seed)

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GpuContext
+from repro.graph import (
+    BucketListGraph,
+    CSRGraph,
+    HostGraph,
+    circuit_graph,
+    mesh_graph_2d,
+)
+
+
+@pytest.fixture
+def ctx() -> GpuContext:
+    """A fresh simulated-GPU context."""
+    return GpuContext()
+
+
+@pytest.fixture
+def tiny_csr() -> CSRGraph:
+    """The 4-vertex example graph of the paper's Figure 4 (a):
+
+    v0 - v1, v0 - v2, v1 - v2, v2 - v3.
+    """
+    edges = np.array([[0, 1], [0, 2], [1, 2], [2, 3]])
+    return CSRGraph.from_edges(4, edges)
+
+
+@pytest.fixture
+def tiny_bucketlist(tiny_csr: CSRGraph) -> BucketListGraph:
+    return BucketListGraph.from_csr(tiny_csr, gamma=1)
+
+
+@pytest.fixture
+def small_circuit() -> CSRGraph:
+    """A 300-vertex circuit-like graph (fast, deterministic)."""
+    return circuit_graph(300, edge_ratio=1.4, seed=11)
+
+
+@pytest.fixture
+def small_mesh() -> CSRGraph:
+    """A 16x16 grid mesh."""
+    return mesh_graph_2d(256)
+
+
+@pytest.fixture
+def small_host(small_circuit: CSRGraph) -> HostGraph:
+    return HostGraph.from_csr(small_circuit)
+
+
+def random_csr(
+    rng: np.random.Generator, n: int, density: float = 2.0
+) -> CSRGraph:
+    """Random graph helper for property-style tests."""
+    m = int(n * density)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    mask = src != dst
+    lo = np.minimum(src[mask], dst[mask])
+    hi = np.maximum(src[mask], dst[mask])
+    edges = np.unique(np.stack([lo, hi], axis=1), axis=0)
+    return CSRGraph.from_edges(n, edges)

@@ -1,0 +1,156 @@
+"""Adaptive hybrid partitioner (the Section VI.C fallback policy)."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import AdaptiveIGKway
+from repro.eval.workloads import TraceConfig, generate_trace
+from repro.graph import EdgeInsert, ModifierBatch, circuit_graph
+from repro.partition import PartitionConfig
+
+
+@pytest.fixture
+def adaptive(small_circuit):
+    partitioner = AdaptiveIGKway(
+        small_circuit, PartitionConfig(k=2, seed=2)
+    )
+    partitioner.full_partition()
+    return partitioner
+
+
+class TestTriggers:
+    def test_small_batches_stay_incremental(self, adaptive):
+        report = adaptive.apply(ModifierBatch([EdgeInsert(0, 250)]))
+        assert not report.used_fallback
+        assert report.fallback_reason is None
+        assert adaptive.fallbacks_taken == 0
+
+    def test_big_batch_triggers_fallback(self, small_circuit):
+        adaptive = AdaptiveIGKway(
+            small_circuit,
+            PartitionConfig(k=2, seed=2),
+            batch_threshold=0.05,
+        )
+        adaptive.full_partition()
+        # 5% of 300 vertices = 15 modifiers.
+        trace = generate_trace(
+            small_circuit,
+            TraceConfig(iterations=1, modifiers_per_iteration=30, seed=4),
+        )
+        report = adaptive.apply(trace[0])
+        assert report.used_fallback
+        assert "batch" in report.fallback_reason
+        assert adaptive.fallbacks_taken == 1
+
+    def test_volume_accumulates_until_fallback(self, small_circuit):
+        adaptive = AdaptiveIGKway(
+            small_circuit,
+            PartitionConfig(k=2, seed=2),
+            volume_threshold=0.2,
+            batch_threshold=0.15,
+        )
+        adaptive.full_partition()
+        trace = generate_trace(
+            small_circuit,
+            TraceConfig(iterations=10, modifiers_per_iteration=20, seed=4),
+        )
+        fallback_iterations = []
+        for index, batch in enumerate(trace):
+            report = adaptive.apply(batch)
+            if report.used_fallback:
+                fallback_iterations.append(index)
+        # 20 per iteration vs threshold 0.2 * 300 = 60 -> every ~3rd.
+        assert fallback_iterations
+        assert fallback_iterations[0] in (1, 2, 3)
+        # The counter resets after each fallback.
+        assert adaptive.modifiers_since_full < 60
+
+    def test_fallback_resets_volume(self, small_circuit):
+        adaptive = AdaptiveIGKway(
+            small_circuit,
+            PartitionConfig(k=2, seed=2),
+            volume_threshold=0.1,
+        )
+        adaptive.full_partition()
+        trace = generate_trace(
+            small_circuit,
+            TraceConfig(iterations=2, modifiers_per_iteration=30, seed=4),
+        )
+        first = adaptive.apply(trace[0])
+        assert first.used_fallback
+        assert adaptive.modifiers_since_full == 0
+
+    def test_invalid_thresholds_rejected(self, small_circuit):
+        with pytest.raises(ValueError):
+            AdaptiveIGKway(
+                small_circuit, PartitionConfig(k=2), volume_threshold=0.0
+            )
+        with pytest.raises(ValueError):
+            AdaptiveIGKway(
+                small_circuit, PartitionConfig(k=2), drift_threshold=1.0
+            )
+
+
+class TestFallbackQuality:
+    def test_fallback_restores_reference_cut(self, small_circuit):
+        adaptive = AdaptiveIGKway(
+            small_circuit,
+            PartitionConfig(k=2, seed=2),
+            batch_threshold=0.05,
+        )
+        adaptive.full_partition()
+        trace = generate_trace(
+            small_circuit,
+            TraceConfig(iterations=1, modifiers_per_iteration=40, seed=4),
+        )
+        report = adaptive.apply(trace[0])
+        assert report.used_fallback
+        # After the fallback the reference cut tracks the fresh FGP.
+        assert adaptive.reference_cut == report.iteration.cut
+        assert report.iteration.balanced
+        adaptive.validate()
+
+    def test_partition_consistent_after_fallback(self, small_circuit):
+        adaptive = AdaptiveIGKway(
+            small_circuit,
+            PartitionConfig(k=4, seed=2),
+            batch_threshold=0.02,
+        )
+        adaptive.full_partition()
+        trace = generate_trace(
+            small_circuit,
+            TraceConfig(iterations=3, modifiers_per_iteration=25, seed=5),
+        )
+        for batch in trace:
+            adaptive.apply(batch)
+        adaptive.validate()
+        labels = adaptive.partition[
+            adaptive.graph.active_vertices()
+        ]
+        assert labels.min() >= 0
+        assert labels.max() < 4
+
+    def test_incremental_path_unchanged(self, small_circuit):
+        """With huge thresholds the adaptive wrapper is pure iG-kway."""
+        from repro import IGKway
+
+        trace = generate_trace(
+            small_circuit,
+            TraceConfig(iterations=3, modifiers_per_iteration=15, seed=6),
+        )
+        adaptive = AdaptiveIGKway(
+            small_circuit,
+            PartitionConfig(k=2, seed=2),
+            volume_threshold=100.0,
+            batch_threshold=100.0,
+            drift_threshold=1000.0,
+        )
+        adaptive.full_partition()
+        plain = IGKway(small_circuit, PartitionConfig(k=2, seed=2))
+        plain.full_partition()
+        for batch in trace:
+            a = adaptive.apply(batch)
+            b = plain.apply(batch)
+            assert not a.used_fallback
+            assert a.iteration.cut == b.cut
+        assert np.array_equal(adaptive.partition, plain.partition)

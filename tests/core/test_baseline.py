@@ -1,0 +1,87 @@
+"""G-kway† baseline: rebuild + repartition per iteration."""
+
+import numpy as np
+import pytest
+
+from repro import GKwayDagger, PartitionConfig
+from repro.eval.workloads import TraceConfig, generate_trace
+from repro.graph import EdgeInsert, ModifierBatch, VertexDelete
+from repro.partition import cut_size_csr, is_balanced
+from repro.utils import PartitionError
+
+
+@pytest.fixture
+def baseline(small_circuit):
+    bl = GKwayDagger(small_circuit, PartitionConfig(k=2, seed=4))
+    bl.full_partition()
+    return bl
+
+
+class TestFullPartition:
+    def test_initial_report(self, small_circuit):
+        bl = GKwayDagger(small_circuit, PartitionConfig(k=2, seed=4))
+        report = bl.full_partition()
+        assert report.balanced
+        assert report.seconds > 0
+        assert bl.cut_size() == report.cut
+
+    def test_apply_before_partition_rejected(self, small_circuit):
+        bl = GKwayDagger(small_circuit, PartitionConfig(k=2))
+        with pytest.raises(PartitionError):
+            bl.apply(ModifierBatch([EdgeInsert(0, 5)]))
+
+    def test_queries_before_partition_rejected(self, small_circuit):
+        bl = GKwayDagger(small_circuit, PartitionConfig(k=2))
+        with pytest.raises(PartitionError):
+            _ = bl.partition
+        with pytest.raises(PartitionError):
+            _ = bl.id_map
+        with pytest.raises(PartitionError):
+            bl.cut_size()
+
+
+class TestApply:
+    def test_iteration_repartitions_modified_graph(self, baseline):
+        report = baseline.apply(ModifierBatch([EdgeInsert(0, 250)]))
+        assert baseline.host.has_edge(0, 250)
+        csr, _ = baseline.host.to_csr()
+        assert report.cut == cut_size_csr(csr, baseline.partition)
+        assert report.balanced
+
+    def test_modification_includes_rebuild_cost(self, baseline):
+        report = baseline.apply(ModifierBatch([EdgeInsert(0, 250)]))
+        # Rebuild is charged even for one modifier: the whole CSR is
+        # rebuilt and re-uploaded.
+        assert report.modification_seconds > 0
+        ledger = baseline.ctx.ledger
+        assert ledger.sections["modification"].host_ops > 0
+        assert ledger.sections["modification"].h2d_bytes > 0
+
+    def test_id_map_after_vertex_delete(self, baseline):
+        baseline.apply(ModifierBatch([VertexDelete(7)]))
+        assert 7 not in baseline.id_map.tolist()
+        assert baseline.id_map.size == 299
+
+    def test_per_iteration_cost_flat(self, baseline):
+        """G-kway† pays roughly the same full cost every iteration —
+        the behavior iG-kway exists to avoid."""
+        r1 = baseline.apply(ModifierBatch([EdgeInsert(0, 250)]))
+        r2 = baseline.apply(ModifierBatch([EdgeInsert(1, 251)]))
+        total1 = r1.modification_seconds + r1.partitioning_seconds
+        total2 = r2.modification_seconds + r2.partitioning_seconds
+        assert total2 == pytest.approx(total1, rel=0.5)
+
+    def test_balanced_every_iteration(self, small_circuit):
+        bl = GKwayDagger(small_circuit, PartitionConfig(k=4, seed=2))
+        bl.full_partition()
+        trace = generate_trace(
+            small_circuit,
+            TraceConfig(iterations=4, modifiers_per_iteration=20, seed=1),
+        )
+        for batch in trace:
+            report = bl.apply(batch)
+            assert report.balanced
+
+    def test_iterations_counted(self, baseline):
+        baseline.apply(ModifierBatch([EdgeInsert(0, 250)]))
+        assert baseline.iterations_applied == 1

@@ -1,0 +1,118 @@
+"""CPU incremental baseline (prior-work comparison class)."""
+
+import numpy as np
+import pytest
+
+from repro import IGKway, PartitionConfig
+from repro.core.cpu_baseline import CpuIncremental
+from repro.eval.workloads import TraceConfig, generate_trace
+from repro.graph import (
+    EdgeInsert,
+    ModifierBatch,
+    VertexDelete,
+    VertexInsert,
+    circuit_graph,
+)
+from repro.utils import PartitionError
+
+
+@pytest.fixture
+def cpu(small_circuit):
+    system = CpuIncremental(small_circuit, PartitionConfig(k=2, seed=4))
+    system.full_partition()
+    return system
+
+
+class TestLifecycle:
+    def test_apply_before_partition_rejected(self, small_circuit):
+        system = CpuIncremental(small_circuit, PartitionConfig(k=2))
+        with pytest.raises(PartitionError):
+            system.apply(ModifierBatch([EdgeInsert(0, 5)]))
+
+    def test_initial_report(self, small_circuit):
+        system = CpuIncremental(small_circuit, PartitionConfig(k=2,
+                                                               seed=4))
+        report = system.full_partition()
+        assert report.balanced
+        assert report.cut == system.cut_size()
+
+
+class TestApply:
+    def test_tracks_graph(self, cpu):
+        report = cpu.apply(ModifierBatch([EdgeInsert(0, 250)]))
+        assert cpu.host.has_edge(0, 250)
+        assert report.affected >= 2
+        assert report.cut == cpu.cut_size()
+
+    def test_vertex_lifecycle(self, cpu):
+        n = cpu.host.num_vertex_slots
+        report = cpu.apply(
+            ModifierBatch([VertexInsert(n), EdgeInsert(n, 0)])
+        )
+        assert cpu.partition[n] in (0, 1)
+        assert report.balanced
+
+    def test_vertex_delete_removes_weight(self, cpu):
+        before = int(cpu.part_weights.sum())
+        cpu.apply(ModifierBatch([VertexDelete(7)]))
+        assert int(cpu.part_weights.sum()) == before - 1
+        assert 7 not in cpu.partition
+
+    def test_refinement_reduces_or_keeps_cut(self, cpu, small_circuit):
+        trace = generate_trace(
+            small_circuit,
+            TraceConfig(iterations=5, modifiers_per_iteration=15, seed=3),
+        )
+        for batch in trace:
+            report = cpu.apply(batch)
+            assert report.balanced
+            assert report.cut >= 0
+
+    def test_transfer_charged_when_device_resident(self, small_circuit):
+        system = CpuIncremental(
+            small_circuit, PartitionConfig(k=2, seed=4),
+            device_resident_app=True,
+        )
+        system.full_partition()
+        system.apply(ModifierBatch([EdgeInsert(0, 250)]))
+        ledger = system.ctx.ledger
+        assert ledger.sections["partitioning"].d2h_bytes > 0
+        assert ledger.sections["partitioning"].h2d_bytes > 0
+
+    def test_no_transfer_in_cpu_pipeline(self, small_circuit):
+        system = CpuIncremental(
+            small_circuit, PartitionConfig(k=2, seed=4),
+            device_resident_app=False,
+        )
+        system.full_partition()
+        system.apply(ModifierBatch([EdgeInsert(0, 250)]))
+        ledger = system.ctx.ledger
+        assert ledger.sections["partitioning"].d2h_bytes == 0
+
+
+class TestThreeWayComparison:
+    def test_transfer_gap_grows_with_graph_size(self):
+        """The paper's motivating argument: in a GPU-resident pipeline
+        the CPU partitioner's per-iteration transfer grows with |V|,
+        while iG-kway stays device-resident."""
+        ratios = []
+        for n in (1000, 8000):
+            csr = circuit_graph(n, 1.35, seed=5)
+            trace = generate_trace(
+                csr,
+                TraceConfig(iterations=4,
+                            modifiers_per_iteration=10, seed=5),
+            )
+            config = PartitionConfig(k=2, seed=5)
+            gpu = IGKway(csr, config)
+            cpu_sys = CpuIncremental(csr, config)
+            gpu.full_partition()
+            cpu_sys.full_partition()
+            gpu_s = cpu_s = 0.0
+            for batch in trace:
+                gpu_s += gpu.apply(batch).partitioning_seconds
+                cpu_s += cpu_sys.apply(batch).partitioning_seconds
+            ratios.append(cpu_s / gpu_s)
+        # Relative CPU cost does not shrink as graphs grow (transfers
+        # scale with |V| while both stay affected-set-bound otherwise).
+        assert ratios[1] > ratios[0] * 0.8

@@ -1,0 +1,181 @@
+"""End-to-end iG-kway: full partition + incremental iterations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import IGKway, PartitionConfig
+from repro.eval.workloads import TraceConfig, generate_trace
+from repro.graph import (
+    EdgeDelete,
+    EdgeInsert,
+    HostGraph,
+    ModifierBatch,
+    VertexDelete,
+    VertexInsert,
+    circuit_graph,
+)
+from repro.gpusim import GpuContext
+from repro.partition import cut_size_csr
+from repro.utils import PartitionError
+
+
+@pytest.fixture
+def partitioned(small_circuit):
+    ig = IGKway(small_circuit, PartitionConfig(k=2, seed=4))
+    ig.full_partition()
+    return ig
+
+
+class TestFullPartition:
+    def test_report_fields(self, small_circuit):
+        ig = IGKway(small_circuit, PartitionConfig(k=2, seed=4))
+        report = ig.full_partition()
+        assert report.seconds > 0
+        assert report.balanced
+        assert report.cut == cut_size_csr(
+            small_circuit, ig.partition[: small_circuit.num_vertices]
+        )
+
+    def test_apply_before_partition_rejected(self, small_circuit):
+        ig = IGKway(small_circuit, PartitionConfig(k=2))
+        with pytest.raises(PartitionError):
+            ig.apply(ModifierBatch([EdgeInsert(0, 5)]))
+
+    def test_partition_property_before_rejected(self, small_circuit):
+        ig = IGKway(small_circuit, PartitionConfig(k=2))
+        with pytest.raises(PartitionError):
+            _ = ig.partition
+
+    def test_charges_full_partitioning_section(self, small_circuit):
+        ig = IGKway(small_circuit, PartitionConfig(k=2, seed=4))
+        ig.full_partition()
+        assert ig.ctx.ledger.seconds("full_partitioning") > 0
+
+
+class TestApply:
+    def test_edge_insert_iteration(self, partitioned):
+        report = partitioned.apply(ModifierBatch([EdgeInsert(0, 250)]))
+        assert partitioned.graph.has_edge(0, 250)
+        assert report.modification_seconds > 0
+        assert report.partitioning_seconds > 0
+        partitioned.validate()
+
+    def test_vertex_lifecycle(self, partitioned):
+        n = partitioned.graph.num_vertices
+        report = partitioned.apply(
+            ModifierBatch(
+                [VertexInsert(n, 1), EdgeInsert(n, 0), EdgeInsert(n, 1)]
+            )
+        )
+        assert partitioned.graph.is_active(n)
+        assert partitioned.graph.degree(n) == 2
+        # The new vertex ends in a real partition, not pseudo.
+        assert 0 <= partitioned.partition[n] < 2
+        assert report.balanced
+        partitioned.validate()
+
+    def test_balance_maintained_across_iterations(self, small_circuit):
+        ig = IGKway(small_circuit, PartitionConfig(k=4, seed=4))
+        ig.full_partition()
+        trace = generate_trace(
+            small_circuit,
+            TraceConfig(iterations=6, modifiers_per_iteration=25, seed=8),
+        )
+        for batch in trace:
+            report = ig.apply(batch)
+            assert report.balanced
+        ig.validate()
+
+    def test_iterations_counted(self, partitioned):
+        partitioned.apply(ModifierBatch([EdgeInsert(1, 200)]))
+        partitioned.apply(ModifierBatch([EdgeDelete(1, 200)]))
+        assert partitioned.iterations_applied == 2
+
+    def test_cut_tracks_graph(self, partitioned):
+        before = partitioned.cut_size()
+        report = partitioned.apply(
+            ModifierBatch([EdgeInsert(0, 299), EdgeInsert(1, 298)])
+        )
+        assert report.cut == partitioned.cut_size()
+        assert report.cut >= 0
+        assert abs(report.cut - before) <= 4
+
+    def test_sections_accumulate(self, partitioned):
+        partitioned.apply(ModifierBatch([EdgeInsert(0, 250)]))
+        ledger = partitioned.ctx.ledger
+        assert ledger.seconds("modification") > 0
+        assert ledger.seconds("partitioning") > 0
+
+    def test_empty_batch(self, partitioned):
+        report = partitioned.apply(ModifierBatch([]))
+        assert report.balanced
+        assert report.balance_stats.pseudo_total == 0
+
+    def test_shared_context(self, small_circuit):
+        ctx = GpuContext()
+        ig = IGKway(small_circuit, PartitionConfig(k=2, seed=1), ctx=ctx)
+        ig.full_partition()
+        assert ig.ctx is ctx
+
+
+class TestGroundTruth:
+    @given(st.integers(0, 5_000))
+    @settings(max_examples=10, deadline=None)
+    def test_graph_matches_reference_after_trace(self, seed):
+        csr = circuit_graph(80, 1.5, seed=seed)
+        ig = IGKway(csr, PartitionConfig(k=2, seed=seed))
+        ig.full_partition()
+        host = HostGraph.from_csr(csr)
+        trace = generate_trace(
+            csr,
+            TraceConfig(iterations=4, modifiers_per_iteration=12,
+                        seed=seed),
+        )
+        for batch in trace:
+            ig.apply(batch)
+            host.apply_batch(batch)
+        got = ig.graph.to_host_graph()
+        for u in range(host.num_vertex_slots):
+            assert got.active[u] == host.active[u]
+            assert got.adj[u] == host.adj[u]
+        ig.validate()
+
+    def test_cut_quality_stays_reasonable(self, small_circuit):
+        """After many small iterations, the incremental cut stays within
+        a small factor of a from-scratch repartition (the paper's
+        'comparable cut size' claim at small modifier counts)."""
+        from repro.partition import GKwayPartitioner
+
+        ig = IGKway(small_circuit, PartitionConfig(k=2, seed=3))
+        ig.full_partition()
+        trace = generate_trace(
+            small_circuit,
+            TraceConfig(iterations=8, modifiers_per_iteration=10, seed=2),
+        )
+        for batch in trace:
+            ig.apply(batch)
+        csr_now, _ = ig.graph.to_csr()
+        scratch = GKwayPartitioner(
+            PartitionConfig(k=2, seed=3)
+        ).partition(csr_now)
+        assert ig.cut_size() <= max(3 * scratch.cut, scratch.cut + 40)
+
+
+class TestModes:
+    def test_warp_and_vector_identical(self, small_circuit):
+        trace = generate_trace(
+            small_circuit,
+            TraceConfig(iterations=3, modifiers_per_iteration=15, seed=6),
+        )
+        partitions = {}
+        for mode in ("warp", "vector"):
+            ig = IGKway(
+                small_circuit, PartitionConfig(k=2, seed=4, mode=mode)
+            )
+            ig.full_partition()
+            for batch in trace:
+                ig.apply(batch)
+            partitions[mode] = ig.partition.copy()
+        assert np.array_equal(partitions["warp"], partitions["vector"])

@@ -1,0 +1,147 @@
+"""Literal reproductions of the paper's worked examples.
+
+These tests execute the exact scenarios the paper's figures illustrate,
+as close to the printed example as the text allows, and check the
+outcomes the figures show.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import apply_batch
+from repro.core.refinement import longest_feasible_prefix
+from repro.graph import (
+    EMPTY,
+    BucketListGraph,
+    CSRGraph,
+    EdgeDelete,
+    EdgeInsert,
+    ModifierBatch,
+    VertexDelete,
+    VertexInsert,
+)
+from repro.gpusim import GpuContext
+from repro.gpusim.primitives import segmented_inclusive_scan
+
+
+class TestFigure4:
+    """Figure 4: the bucket-list before/after the caption's modifiers.
+
+    The example graph has vertices v1..v4 (we use 0-based 0..3) with
+    edges (v1,v2), (v1,v3), (v2,v3), (v3,v4).  The applied modifiers are
+    M_v2^-, M_v4^+, and the edge pair M^+_(v1,v4)/M^+_(v4,v1) plus
+    M^+_(v4,v3)/M^+_(v3,v4) — i.e. after deleting v2, a fresh v4' is
+    (re)connected to v1 and v3.  (The caption lists the directed slot
+    operations; our ModifierBatch uses the undirected forms that expand
+    to exactly those.)
+    """
+
+    @pytest.fixture
+    def figure4_graph(self):
+        edges = np.array([[0, 1], [0, 2], [1, 2], [2, 3]])
+        csr = CSRGraph.from_edges(4, edges)
+        return BucketListGraph.from_csr(csr, gamma=1)
+
+    @pytest.mark.parametrize("mode", ["warp", "vector"])
+    def test_modifier_sequence(self, ctx, figure4_graph, mode):
+        graph = figure4_graph
+        batch = ModifierBatch(
+            [
+                VertexDelete(1),      # M_v2^-
+                VertexDelete(3),      # make room to re-insert v4
+                VertexInsert(3),      # M_v4^+
+                EdgeInsert(0, 3),     # M^+_(v1,v4) + M^+_(v4,v1)
+                EdgeInsert(2, 3),     # M^+_(v3,v4) + M^+_(v4,v3)
+            ]
+        )
+        apply_batch(ctx, graph, batch, mode=mode)
+        graph.validate()
+        # After: v2 deleted with blank buckets and no dangling refs.
+        assert not graph.is_active(1)
+        assert np.all(graph.slots(1) == EMPTY)
+        for u in (0, 2, 3):
+            assert 1 not in graph.neighbors(u)
+        # v4 is active again, wired to v1 and v3.
+        assert graph.is_active(3)
+        assert sorted(graph.neighbors(3).tolist()) == [0, 2]
+        assert sorted(graph.neighbors(0).tolist()) == [2, 3]
+        assert sorted(graph.neighbors(2).tolist()) == [0, 3]
+        # No rebuild happened: v1/v3 kept their original bucket ranges.
+        assert graph.bucket_start[0] == 0
+
+    def test_no_data_structure_rebuild(self, ctx, figure4_graph):
+        """The paper's point: modifiers never shift other vertices'
+        buckets (unlike CSR, where one insertion moves the tail)."""
+        graph = figure4_graph
+        starts_before = graph.bucket_start.copy()
+        counts_before = graph.bucket_count.copy()
+        apply_batch(
+            ctx, graph, ModifierBatch([EdgeDelete(0, 1),
+                                       EdgeInsert(0, 3)]),
+            mode="vector",
+        )
+        assert np.array_equal(graph.bucket_start, starts_before)
+        assert np.array_equal(graph.bucket_count, counts_before)
+
+
+class TestFigure5:
+    """Figure 5: two vertex moves, two partitions, unit weights.
+
+    delta_p_wgt = [1, 0 | 0, 1]; after the segmented scan the
+    accumulated deltas are [1, 1 | 0, 1]; with W_p1 = W_p2 = 1 and
+    W_pmax = 2 both moves are applied.
+    """
+
+    def test_scan_matches_figure(self, ctx):
+        delta = np.array([1, 0, 0, 1])
+        segments = np.array([0, 0, 1, 1])
+        scanned = segmented_inclusive_scan(ctx, delta, segments)
+        assert scanned.tolist() == [1, 1, 0, 1]
+
+    def test_both_moves_apply(self, ctx):
+        prefix = longest_feasible_prefix(
+            ctx,
+            targets=np.array([0, 1]),
+            weights=np.array([1, 1]),
+            part_weights=np.array([1, 1]),
+            w_pmax=2,
+            k=2,
+        )
+        assert prefix == 2
+
+    def test_second_move_blocked_when_p2_full(self, ctx):
+        prefix = longest_feasible_prefix(
+            ctx,
+            targets=np.array([0, 1]),
+            weights=np.array([1, 1]),
+            part_weights=np.array([1, 2]),  # p2 already at W_pmax
+            w_pmax=2,
+            k=2,
+        )
+        assert prefix == 1
+
+
+class TestFigure3:
+    """Figure 3: constrained coarsening splits a large union-find
+    subset into fixed-size groups ordered by join iteration."""
+
+    def test_groups_of_two_follow_labels(self):
+        from repro.partition import build_groups_constrained
+
+        # One subset of 6 vertices whose labels mirror Figure 3 (b):
+        # the seed pair joined at iteration 1, then 2, then 3.
+        roots = np.zeros(6, dtype=np.int64)
+        labels = np.array([1, 1, 2, 2, 3, 3])
+        cmap = build_groups_constrained(roots, labels, group_size=2)
+        # Same-iteration vertices merge together.
+        assert cmap[0] == cmap[1]
+        assert cmap[2] == cmap[3]
+        assert cmap[4] == cmap[5]
+        assert np.unique(cmap).size == 3
+
+    def test_unionfind_would_merge_everything(self):
+        from repro.partition import build_groups_unionfind
+
+        roots = np.zeros(6, dtype=np.int64)
+        cmap = build_groups_unionfind(roots)
+        assert np.unique(cmap).size == 1  # Figure 3 (a): one huge vertex

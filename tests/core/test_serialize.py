@@ -1,0 +1,119 @@
+"""Checkpoint save/restore and partition export."""
+
+import numpy as np
+import pytest
+
+from repro import IGKway, PartitionConfig
+from repro.core.serialize import (
+    export_partition_csv,
+    load_partitioner,
+    save_partitioner,
+)
+from repro.eval.workloads import TraceConfig, generate_trace
+from repro.utils import PartitionError
+
+
+@pytest.fixture
+def warm_partitioner(small_circuit):
+    ig = IGKway(small_circuit, PartitionConfig(k=4, seed=3))
+    ig.full_partition()
+    trace = generate_trace(
+        small_circuit,
+        TraceConfig(iterations=3, modifiers_per_iteration=20, seed=5),
+    )
+    for batch in trace:
+        ig.apply(batch)
+    return ig
+
+
+class TestSaveLoad:
+    def test_roundtrip_preserves_state(self, warm_partitioner, tmp_path):
+        path = tmp_path / "checkpoint.npz"
+        save_partitioner(warm_partitioner, path)
+        restored = load_partitioner(path)
+        assert np.array_equal(
+            restored.graph.bucket_list, warm_partitioner.graph.bucket_list
+        )
+        assert np.array_equal(
+            restored.partition, warm_partitioner.partition
+        )
+        assert (
+            restored.iterations_applied
+            == warm_partitioner.iterations_applied
+        )
+        assert restored.cut_size() == warm_partitioner.cut_size()
+        restored.validate()
+
+    def test_restored_continues_identically(
+        self, warm_partitioner, tmp_path
+    ):
+        from repro.graph import EdgeDelete, EdgeInsert, ModifierBatch
+
+        path = tmp_path / "checkpoint.npz"
+        save_partitioner(warm_partitioner, path)
+        restored = load_partitioner(path)
+        # Build a follow-up batch against the live graph's actual IDs.
+        graph = warm_partitioner.graph
+        active = graph.active_vertices()
+        u, v = int(active[0]), int(active[-1])
+        mods = []
+        if graph.has_edge(u, v):
+            mods.append(EdgeDelete(u, v))
+        else:
+            mods.append(EdgeInsert(u, v))
+        w = int(active[len(active) // 2])
+        for x in (int(active[1]), int(active[-2])):
+            if x != w and not graph.has_edge(w, x):
+                mods.append(EdgeInsert(w, x))
+                break
+        batch = ModifierBatch(mods)
+        a = warm_partitioner.apply(batch)
+        b = restored.apply(batch)
+        assert a.cut == b.cut
+        assert np.array_equal(
+            warm_partitioner.partition, restored.partition
+        )
+
+    def test_config_roundtrip(self, warm_partitioner, tmp_path):
+        path = tmp_path / "checkpoint.npz"
+        save_partitioner(warm_partitioner, path)
+        restored = load_partitioner(path)
+        assert restored.config == warm_partitioner.config
+
+    def test_save_before_partition_rejected(self, small_circuit,
+                                            tmp_path):
+        ig = IGKway(small_circuit, PartitionConfig(k=2))
+        with pytest.raises(PartitionError):
+            save_partitioner(ig, tmp_path / "x.npz")
+
+    def test_bad_version_rejected(self, warm_partitioner, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "checkpoint.npz"
+        save_partitioner(warm_partitioner, path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["format_version"] = np.int64(999)
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(PartitionError):
+            load_partitioner(path)
+
+
+class TestExport:
+    def test_csv_contains_active_vertices(self, warm_partitioner,
+                                          tmp_path):
+        path = tmp_path / "partition.csv"
+        export_partition_csv(warm_partitioner, path)
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "vertex,partition"
+        n_active = warm_partitioner.graph.num_active_vertices()
+        assert len(lines) == n_active + 1
+        for line in lines[1:3]:
+            vertex, label = line.split(",")
+            assert 0 <= int(label) < 4
+
+    def test_export_before_partition_rejected(self, small_circuit,
+                                              tmp_path):
+        ig = IGKway(small_circuit, PartitionConfig(k=2))
+        with pytest.raises(PartitionError):
+            export_partition_csv(ig, tmp_path / "x.csv")

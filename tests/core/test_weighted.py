@@ -1,0 +1,156 @@
+"""Weighted vertices and edges through the full incremental pipeline.
+
+The paper's Section II definitions are weighted (cut = sum of W_e over
+crossing edges; balance over W_v); the evaluation graphs are unit-weight
+circuits, but the library must honor weights everywhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro import IGKway, PartitionConfig
+from repro.graph import (
+    CSRGraph,
+    EdgeDelete,
+    EdgeInsert,
+    ModifierBatch,
+    VertexDelete,
+    VertexInsert,
+    circuit_graph,
+)
+from repro.partition import cut_size_bucketlist
+
+
+@pytest.fixture
+def weighted_ig():
+    rng = np.random.default_rng(5)
+    base = circuit_graph(200, 1.5, seed=5)
+    edges, _ = base.edge_array()
+    csr = CSRGraph.from_edges(
+        200,
+        edges,
+        rng.integers(1, 8, edges.shape[0]),
+        rng.integers(1, 5, 200),
+    )
+    ig = IGKway(csr, PartitionConfig(k=2, seed=5))
+    ig.full_partition()
+    return ig
+
+
+class TestWeightedEdges:
+    def test_weighted_edge_insert_affects_cut(self, weighted_ig):
+        ig = weighted_ig
+        # Find two active vertices in different partitions, not adjacent.
+        part = ig.partition
+        u = next(
+            int(x) for x in range(200) if part[x] == 0
+        )
+        v = next(
+            int(x)
+            for x in range(199, 0, -1)
+            if part[x] == 1 and not ig.graph.has_edge(u, int(x))
+        )
+        before = ig.cut_size()
+        ig.apply(ModifierBatch([EdgeInsert(u, v, weight=50)]))
+        after = ig.cut_size()
+        # Either the heavy edge crosses (cut grows by ~50) or refinement
+        # restructured to absorb it; the cut must match ground truth.
+        assert after == cut_size_bucketlist(
+            ig.graph, ig.state.partition
+        )
+        assert after != before or ig.graph.has_edge(u, v)
+
+    def test_weighted_edge_roundtrip(self, weighted_ig):
+        ig = weighted_ig
+        part = ig.partition
+        u, v = 3, 190
+        if ig.graph.has_edge(u, v):
+            ig.apply(ModifierBatch([EdgeDelete(u, v)]))
+        ig.apply(ModifierBatch([EdgeInsert(u, v, weight=9)]))
+        assert ig.graph.edge_weight(u, v) == 9
+        assert ig.graph.edge_weight(v, u) == 9
+        ig.apply(ModifierBatch([EdgeDelete(u, v)]))
+        assert not ig.graph.has_edge(u, v)
+        ig.validate()
+
+    def test_modes_agree_on_weighted_graph(self):
+        rng = np.random.default_rng(6)
+        base = circuit_graph(150, 1.5, seed=6)
+        edges, _ = base.edge_array()
+        csr = CSRGraph.from_edges(
+            150, edges, rng.integers(1, 9, edges.shape[0]),
+            rng.integers(1, 4, 150),
+        )
+        batch = ModifierBatch(
+            [EdgeInsert(0, 100, weight=7), VertexDelete(50)]
+        )
+        cuts = {}
+        for mode in ("warp", "vector"):
+            ig = IGKway(csr, PartitionConfig(k=2, seed=6, mode=mode))
+            ig.full_partition()
+            report = ig.apply(batch)
+            cuts[mode] = report.cut
+        assert cuts["warp"] == cuts["vector"]
+
+
+class TestWeightedVertices:
+    def test_heavy_vertex_insert_respects_balance(self, weighted_ig):
+        ig = weighted_ig
+        n = ig.graph.num_vertices
+        heavy = ig.state.total_weight() // 20
+        report = ig.apply(
+            ModifierBatch([VertexInsert(n, weight=heavy)])
+        )
+        assert report.balanced
+        assert ig.state.part_weights.sum() + ig.state.pseudo_weight == \
+            ig.state.total_weight()
+        # The heavy newcomer went to a real partition.
+        assert 0 <= ig.partition[n] < 2
+
+    def test_balance_uses_weights_not_counts(self):
+        """A partition with fewer but heavier vertices can be the
+        overweight one; refinement must respect weighted W_pmax."""
+        rng = np.random.default_rng(7)
+        base = circuit_graph(300, 1.4, seed=7)
+        edges, _ = base.edge_array()
+        vwgt = np.ones(300, dtype=np.int64)
+        vwgt[:30] = 10  # a heavy head
+        csr = CSRGraph.from_edges(
+            300, edges, np.ones(edges.shape[0], dtype=np.int64), vwgt
+        )
+        ig = IGKway(csr, PartitionConfig(k=2, seed=7))
+        report = ig.full_partition()
+        assert report.balanced
+        for _ in range(3):
+            r = ig.apply(ModifierBatch([]))
+            assert r.balanced
+
+    def test_delete_reinsert_new_weight_same_batch(self, weighted_ig):
+        """Regression: a vertex deleted and re-inserted with a new
+        weight in ONE batch must not corrupt the cached partition
+        weights (the kernel rewrites graph.vwgt before balancing runs,
+        so the state must account in modifier order)."""
+        ig = weighted_ig
+        target = 25
+        old_weight = int(ig.graph.vwgt[target])
+        report = ig.apply(
+            ModifierBatch(
+                [
+                    VertexDelete(target),
+                    VertexInsert(target, weight=old_weight + 5),
+                ]
+            )
+        )
+        ig.validate()  # includes cached-weight consistency
+        assert ig.graph.vwgt[target] == old_weight + 5
+        assert report.balanced
+
+    def test_reinsert_with_different_weight(self, weighted_ig):
+        ig = weighted_ig
+        target = 10
+        old_weight = int(ig.graph.vwgt[target])
+        ig.apply(ModifierBatch([VertexDelete(target)]))
+        ig.apply(ModifierBatch([VertexInsert(target, weight=old_weight
+                                             + 3)]))
+        assert ig.graph.vwgt[target] == old_weight + 3
+        ig.validate()

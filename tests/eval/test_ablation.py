@@ -1,0 +1,88 @@
+"""Programmatic ablation studies."""
+
+import pytest
+
+from repro.eval.ablation import (
+    AblationRow,
+    AblationStudy,
+    coarsening_study,
+    filter_study,
+    fm_study,
+    format_all,
+    gamma_study,
+)
+from repro.graph import circuit_graph, mesh_graph_2d
+
+
+class TestFormatting:
+    def test_study_format(self):
+        study = AblationStudy(
+            title="T",
+            claim="c",
+            rows=[
+                AblationRow("a", {"x": 1.0, "y": 2.0}),
+                AblationRow("bb", {"x": 3.0}),
+            ],
+        )
+        text = study.format()
+        assert "T" in text and "claim: c" in text
+        assert "a" in text and "bb" in text
+        assert "x" in text and "y" in text
+
+    def test_format_all_joins(self):
+        study = AblationStudy("T", "c", [AblationRow("a", {"x": 1.0})])
+        assert format_all([study, study]).count("T") == 2
+
+
+class TestStudies:
+    def test_coarsening_claim_holds(self):
+        study = coarsening_study(csr=mesh_graph_2d(900), k=4, seed=1)
+        by_label = {row.label: row.metrics for row in study.rows}
+        assert (
+            by_label["constrained"]["coarse_imbalance"]
+            < by_label["unionfind"]["coarse_imbalance"]
+        )
+        assert by_label["constrained"]["balanced"] == 1.0
+
+    def test_gamma_claim_holds(self):
+        study = gamma_study(csr=circuit_graph(400, 1.3, seed=2), seed=2)
+        grown = [row.metrics["buckets_grown"] for row in study.rows]
+        # gamma=0 grows at least as much as gamma=4.
+        assert grown[0] >= grown[-1]
+        footprint = [row.metrics["pool_mbytes"] for row in study.rows]
+        assert footprint == sorted(footprint)
+
+    def test_filter_claim_holds(self):
+        study = filter_study(
+            csr=circuit_graph(800, 1.4, seed=3), seed=3, iterations=3
+        )
+        by_label = {row.label: row.metrics for row in study.rows}
+        on = by_label["filter on (paper)"]
+        off = by_label["filter off"]
+        assert on["pseudo_total"] < off["pseudo_total"]
+        assert on["part_seconds"] < off["part_seconds"]
+
+    def test_filter_study_restores_module(self):
+        from repro.core import balancing
+
+        original = balancing._filter_ext_gt_int
+        filter_study(
+            csr=circuit_graph(400, 1.4, seed=3), seed=3, iterations=1
+        )
+        assert balancing._filter_ext_gt_int is original
+
+    def test_fm_claim_holds(self):
+        study = fm_study(csr=mesh_graph_2d(900), seed=4)
+        cuts = [row.metrics["cut"] for row in study.rows]
+        assert cuts[-1] <= cuts[0]
+
+    def test_locality_study_runs(self):
+        from repro.eval.ablation import locality_study
+
+        study = locality_study(
+            csr=circuit_graph(800, 1.4, seed=8), seed=8, iterations=2
+        )
+        assert len(study.rows) == 2
+        for row in study.rows:
+            assert row.metrics["part_seconds"] > 0
+            assert row.metrics["affected"] > 0

@@ -1,0 +1,76 @@
+"""CLI subcommands (paper artifacts + user-graph runner)."""
+
+import pytest
+
+from repro.eval.cli import main
+from repro.graph import circuit_graph, write_edge_list, write_metis
+
+
+@pytest.fixture
+def metis_file(tmp_path):
+    path = tmp_path / "user.graph"
+    write_metis(circuit_graph(400, 1.4, seed=2), path)
+    return path
+
+
+@pytest.fixture
+def edge_file(tmp_path):
+    path = tmp_path / "user.edges"
+    write_edge_list(circuit_graph(400, 1.4, seed=2), path)
+    return path
+
+
+class TestRunSubcommand:
+    def test_metis_input(self, metis_file, capsys):
+        assert main(["run", "--graph", str(metis_file), "--k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "|V| = 400" in out
+        assert "Full partitioning" in out
+
+    def test_edge_list_input(self, edge_file, capsys):
+        assert main(["run", "--graph", str(edge_file)]) == 0
+        assert "|V| = 400" in capsys.readouterr().out
+
+    def test_incremental_iterations(self, metis_file, capsys):
+        assert main(
+            [
+                "run", "--graph", str(metis_file),
+                "--iterations", "3", "--modifiers", "10",
+            ]
+        ) == 0
+        assert "3 incremental iterations" in capsys.readouterr().out
+
+    def test_adaptive_mode(self, metis_file, capsys):
+        assert main(
+            [
+                "run", "--graph", str(metis_file), "--adaptive",
+                "--iterations", "2", "--modifiers", "5",
+            ]
+        ) == 0
+        assert "incremental iterations" in capsys.readouterr().out
+
+    def test_export(self, metis_file, tmp_path, capsys):
+        export = tmp_path / "partition.csv"
+        assert main(
+            ["run", "--graph", str(metis_file), "--export", str(export)]
+        ) == 0
+        lines = export.read_text().strip().splitlines()
+        assert lines[0] == "vertex,partition"
+        assert len(lines) == 401
+
+
+class TestArtifactSubcommands:
+    def test_fig8(self, capsys, tmp_path):
+        assert main(
+            ["fig8", "--iterations", "5", "--out", str(tmp_path)]
+        ) == 0
+        assert "Figure 8" in capsys.readouterr().out
+        assert (tmp_path / "fig8.txt").exists()
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])

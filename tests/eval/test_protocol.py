@@ -1,0 +1,49 @@
+"""Pins the evaluation protocol constants to the paper's Section VI.
+
+These tests exist so that an accidental edit to the harness defaults
+(e.g. changing epsilon or the k sweep) is caught as a *protocol* change,
+not discovered later as an unexplained results shift.
+"""
+
+from repro.eval import figures, tables
+from repro.partition import PartitionConfig
+
+
+class TestPaperProtocol:
+    def test_default_epsilon_is_three_percent(self):
+        assert PartitionConfig().epsilon == 0.03
+
+    def test_default_group_size_is_six(self):
+        assert PartitionConfig().group_size == 6
+
+    def test_default_gamma_is_one(self):
+        assert PartitionConfig().gamma == 1
+
+    def test_coarsen_floor_is_35k(self):
+        assert PartitionConfig(k=2).coarsen_until == 70
+        assert PartitionConfig(k=32).coarsen_until == 35 * 32
+
+    def test_min_coarsen_rate_is_90_percent(self):
+        assert PartitionConfig().min_coarsen_rate == 0.9
+
+    def test_table1_covers_all_ten_graphs(self):
+        assert len(tables.TABLE1_GRAPHS) == 10
+        assert tables.TABLE1_GRAPHS[0] == "tv80"  # paper's row order
+        assert tables.TABLE1_GRAPHS[-1] == "NLR"
+
+    def test_fig7_sweep_matches_paper(self):
+        assert figures.FIG7_K_VALUES == [2, 4, 8, 16, 32]
+        assert figures.FIG7_GRAPHS == [
+            "wb_dma", "mem_ctrl", "tv80", "adaptive",
+        ]
+
+    def test_fig6_k_values(self):
+        assert figures.FIG6_K_VALUES == [2, 4]
+
+    def test_fig8_sweep_spans_the_quality_cliff(self):
+        counts = figures.FIG8_MODIFIER_COUNTS
+        assert counts == sorted(counts)
+        # Sweep must reach deep into the heavy-modification regime
+        # (hundreds of modifiers on the 2k-vertex usb = >10% of |V|).
+        assert counts[0] <= 10
+        assert counts[-1] >= 500

@@ -1,0 +1,177 @@
+"""Table/figure formatting and the CLI plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.eval import figures, tables
+from repro.eval.runner import ExperimentResult, IterationRecord
+
+
+def fake_result(name="usb", k=2, iterations=5, speedup=50.0):
+    result = ExperimentResult(
+        name=name,
+        k=k,
+        num_vertices=2000,
+        num_edges=2580,
+        ig_fgp_seconds=0.01,
+        bl_fgp_seconds=0.01,
+        ig_fgp_cut=30,
+        bl_fgp_cut=31,
+    )
+    for i in range(iterations):
+        result.records.append(
+            IterationRecord(
+                iteration=i,
+                n_modifiers=20,
+                ig_mod_seconds=1e-4,
+                ig_part_seconds=1e-3,
+                ig_cut=30 + i,
+                bl_mod_seconds=2e-4,
+                bl_part_seconds=1e-3 * speedup,
+                bl_cut=31 + i,
+            )
+        )
+    return result
+
+
+class TestTableFormatting:
+    def test_format_table1_contains_rows(self):
+        results = {"usb": fake_result("usb"), "tv80": fake_result("tv80")}
+        text = tables.format_table1(results)
+        assert "usb" in text
+        assert "tv80" in text
+        assert "Average" in text
+        assert "Speedup" in text
+
+    def test_average_speedup_correct(self):
+        results = {
+            "a": fake_result("a", speedup=10.0),
+            "b": fake_result("b", speedup=30.0),
+        }
+        text = tables.format_table1(results)
+        assert "20.00x" in text
+
+    def test_paper_comparison_includes_reference(self):
+        results = {"usb": fake_result("usb")}
+        text = tables.format_paper_comparison(results)
+        assert "84.67x" in text  # the paper's usb speedup
+
+    def test_paper_comparison_skips_unknown(self):
+        results = {"mystery": fake_result("mystery")}
+        text = tables.format_paper_comparison(results)
+        assert "mystery" not in text
+
+
+class TestFigureFormatting:
+    def test_sparkline_monotone(self):
+        line = figures.sparkline([1, 2, 3, 4])
+        assert len(line) == 4
+        assert line[0] == " "
+        assert line[-1] == "@"
+
+    def test_sparkline_constant(self):
+        assert len(figures.sparkline([5, 5, 5])) == 3
+
+    def test_sparkline_empty(self):
+        assert figures.sparkline([]) == ""
+
+    def test_format_fig1(self):
+        data = figures.Fig1Data(
+            iterations=np.arange(4),
+            igp_cumulative=np.array([1.0, 1.1, 1.2, 1.3]),
+            fgp_cumulative=np.array([1.0, 2.0, 3.0, 4.0]),
+        )
+        text = figures.format_fig1(data)
+        assert "Figure 1" in text
+        assert "IGP" in text and "FGP" in text
+
+    def test_format_fig6(self):
+        data = figures.Fig6Data(
+            graph="usb", results={2: fake_result(k=2), 4: fake_result(k=4)}
+        )
+        text = figures.format_fig6(data)
+        assert "k=2" in text and "k=4" in text
+        assert "cut ratio" in text
+
+    def test_format_fig7(self):
+        data = figures.Fig7Data(
+            results={
+                "usb": {2: fake_result(k=2), 4: fake_result(k=4)},
+                "tv80": {2: fake_result(k=2), 4: fake_result(k=4)},
+            }
+        )
+        text = figures.format_fig7(data)
+        assert "k=2" in text and "k=4" in text
+        assert "usb" in text and "tv80" in text
+
+    def test_format_fig8(self):
+        data = figures.Fig8Data(
+            graph="usb",
+            results={50: fake_result(), 500: fake_result(speedup=10.0)},
+        )
+        text = figures.format_fig8(data)
+        assert "modifiers" in text
+        assert "50" in text and "500" in text
+
+
+class TestBuilders:
+    """Small end-to-end builds (kept tiny for test runtime)."""
+
+    def test_build_fig1(self):
+        data = figures.build_fig1(graph="usb", iterations=3, seed=0)
+        assert data.igp_cumulative.shape[0] == 4
+        assert np.all(np.diff(data.igp_cumulative) > 0)
+        assert data.fgp_cumulative[-1] > data.igp_cumulative[-1]
+
+    def test_build_fig6_tiny(self):
+        data = figures.build_fig6(
+            graph="usb", iterations=2, seed=0, k_values=(2,)
+        )
+        assert set(data.results) == {2}
+        assert len(data.results[2].records) == 2
+        assert "Figure 6" in figures.format_fig6(data)
+
+    def test_build_fig7_tiny(self):
+        data = figures.build_fig7(
+            graphs=("usb",), k_values=(2, 4), iterations=2, seed=0
+        )
+        assert set(data.results["usb"]) == {2, 4}
+        text = figures.format_fig7(data)
+        assert "k=4" in text
+
+    def test_build_fig8_tiny(self):
+        data = figures.build_fig8(
+            graph="usb", modifier_counts=(5, 50), iterations=2, seed=0
+        )
+        assert set(data.results) == {5, 50}
+        assert "Figure 8" in figures.format_fig8(data)
+
+    def test_build_table1_subset(self):
+        results = tables.build_table1(
+            iterations=2,
+            modifiers_per_iteration=10,
+            graphs=["usb"],
+            seed=0,
+        )
+        assert set(results) == {"usb"}
+        text = tables.format_table1(results)
+        assert "usb" in text
+
+
+class TestCli:
+    def test_cli_fig8_smoke(self, capsys, tmp_path):
+        from repro.eval.cli import main
+
+        code = main(
+            ["fig8", "--iterations", "5", "--out", str(tmp_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+        assert (tmp_path / "fig8.txt").exists()
+
+    def test_cli_rejects_unknown_target(self):
+        from repro.eval.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["nonsense"])

@@ -1,0 +1,154 @@
+"""Experiment runner end-to-end and aggregation logic."""
+
+import numpy as np
+import pytest
+
+from repro.eval.runner import (
+    ExperimentResult,
+    IterationRecord,
+    run_experiment,
+)
+from repro.graph import circuit_graph
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    csr = circuit_graph(400, 1.4, seed=2)
+    return run_experiment(
+        csr,
+        k=2,
+        iterations=6,
+        modifiers_per_iteration=20,
+        seed=3,
+        name="tiny",
+    )
+
+
+class TestRunExperiment:
+    def test_record_count(self, small_result):
+        assert len(small_result.records) == 6
+
+    def test_positive_times(self, small_result):
+        for record in small_result.records:
+            assert record.ig_mod_seconds > 0
+            assert record.ig_part_seconds > 0
+            assert record.bl_mod_seconds > 0
+            assert record.bl_part_seconds > 0
+
+    def test_baseline_slower_per_iteration(self, small_result):
+        """The headline claim: iG-kway beats G-kway† on partitioning."""
+        assert small_result.part_speedup > 5
+
+    def test_cuts_positive_and_comparable(self, small_result):
+        assert small_result.ig_cut_mean > 0
+        assert small_result.bl_cut_mean > 0
+        assert 0.3 < small_result.cut_improvement < 4.0
+
+    def test_cumulative_speedup_grows(self, small_result):
+        speedups = small_result.cumulative_speedups()
+        assert speedups.shape[0] == 6
+        # The Figure 6 shape: later iterations have larger cumulative
+        # speedup than the first (FGP-dominated) one.
+        assert speedups[-1] > speedups[0]
+
+    def test_benchmark_by_name(self):
+        result = run_experiment(
+            "usb", k=2, iterations=2, modifiers_per_iteration=10, seed=1
+        )
+        assert result.name == "usb"
+        assert result.num_vertices == 2000
+
+    def test_metadata(self, small_result):
+        assert small_result.k == 2
+        assert small_result.num_vertices == 400
+
+
+class TestWarpModeRunner:
+    def test_warp_mode_matches_vector_cuts(self):
+        csr = circuit_graph(200, 1.4, seed=2)
+        kwargs = dict(
+            k=2, iterations=2, modifiers_per_iteration=8, seed=3
+        )
+        vec = run_experiment(csr, mode="vector", **kwargs)
+        warp = run_experiment(csr, mode="warp", **kwargs)
+        for a, b in zip(vec.records, warp.records):
+            assert a.ig_cut == b.ig_cut
+            assert a.bl_cut == b.bl_cut
+
+
+class TestAveraging:
+    def test_runs_averaged(self):
+        csr = circuit_graph(300, 1.4, seed=2)
+        result = run_experiment(
+            csr,
+            k=2,
+            iterations=3,
+            modifiers_per_iteration=10,
+            seed=3,
+            runs=2,
+        )
+        assert result.runs_averaged == 2
+        assert len(result.records) == 3
+
+    def test_single_run_passthrough(self):
+        csr = circuit_graph(300, 1.4, seed=2)
+        result = run_experiment(
+            csr, k=2, iterations=2, modifiers_per_iteration=5, seed=3,
+            runs=1,
+        )
+        assert result.runs_averaged == 1
+
+
+class TestReplicates:
+    def test_replicates_are_independent(self):
+        from repro.eval.runner import run_replicates
+
+        csr = circuit_graph(300, 1.4, seed=1)
+        replicates = run_replicates(
+            csr, k=2, iterations=2, modifiers_per_iteration=8,
+            seed=1, runs=3,
+        )
+        assert len(replicates) == 3
+        # Different trace seeds -> generally different cut trajectories.
+        cuts = [tuple(r.ig_cut for r in rep.records)
+                for rep in replicates]
+        assert len(set(cuts)) > 1
+
+    def test_variance_report_fields(self):
+        from repro.eval.runner import run_replicates, variance_report
+
+        csr = circuit_graph(300, 1.4, seed=1)
+        replicates = run_replicates(
+            csr, k=2, iterations=2, modifiers_per_iteration=8,
+            seed=1, runs=2,
+        )
+        stats = variance_report(replicates)
+        assert stats["runs"] == 2
+        assert stats["speedup_min"] <= stats["speedup_mean"] <= \
+            stats["speedup_max"]
+        assert stats["speedup_std"] >= 0
+
+
+class TestIterationRecord:
+    def test_speedup(self):
+        record = IterationRecord(0, 10, 0.1, 0.5, 100, 0.2, 5.0, 110)
+        assert record.part_speedup == pytest.approx(10.0)
+        assert record.cut_improvement == pytest.approx(1.1)
+
+    def test_zero_cut_handling(self):
+        record = IterationRecord(0, 10, 0.1, 0.5, 0, 0.2, 5.0, 0)
+        assert record.cut_improvement == 1.0
+
+    def test_result_totals(self):
+        result = ExperimentResult("x", 2, 10, 20)
+        result.records.append(
+            IterationRecord(0, 5, 0.1, 0.2, 10, 0.3, 0.4, 12)
+        )
+        result.records.append(
+            IterationRecord(1, 5, 0.1, 0.2, 14, 0.3, 0.4, 12)
+        )
+        assert result.ig_mod_total == pytest.approx(0.2)
+        assert result.bl_part_total == pytest.approx(0.8)
+        assert result.part_speedup == pytest.approx(2.0)
+        assert result.ig_cut_mean == pytest.approx(12.0)
+        assert result.cut_improvement == pytest.approx(1.0)

@@ -1,0 +1,50 @@
+"""The reproduction self-check battery."""
+
+import pytest
+
+from repro.eval.selfcheck import (
+    CheckResult,
+    format_results,
+    run_selfcheck,
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_selfcheck(seed=1)
+
+
+class TestSelfcheck:
+    def test_all_checks_pass(self, results):
+        failing = [r.name for r in results if not r.passed]
+        assert not failing, f"self-checks failed: {failing}"
+
+    def test_covers_all_claims(self, results):
+        names = " ".join(r.name for r in results)
+        assert "bit-equality" in names
+        assert "speedup" in names
+        assert "cut quality" in names
+        assert "balance" in names
+        assert "batch size" in names
+
+    def test_details_carry_evidence(self, results):
+        speedup = next(r for r in results if "speedup over" in r.name)
+        assert "x" in speedup.detail
+
+    def test_format(self, results):
+        text = format_results(results)
+        assert "PASS" in text
+        assert f"{len(results)}/{len(results)} checks passed" in text
+
+    def test_format_shows_failures(self):
+        text = format_results(
+            [CheckResult("thing", False, "broke")]
+        )
+        assert "[FAIL] thing" in text
+        assert "0/1 checks passed" in text
+
+    def test_cli_target(self, capsys):
+        from repro.eval.cli import main
+
+        assert main(["selfcheck"]) == 0
+        assert "checks passed" in capsys.readouterr().out

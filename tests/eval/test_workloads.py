@@ -1,0 +1,218 @@
+"""Modifier trace generation (TAU-2015-style workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.workloads import (
+    DEFAULT_MIX,
+    TraceConfig,
+    generate_trace,
+    trace_summary,
+)
+from repro.graph import (
+    EdgeDelete,
+    EdgeInsert,
+    HostGraph,
+    VertexDelete,
+    VertexInsert,
+)
+
+
+class TestGenerateTrace:
+    def test_iteration_count(self, small_circuit):
+        trace = generate_trace(
+            small_circuit,
+            TraceConfig(iterations=7, modifiers_per_iteration=10, seed=1),
+        )
+        assert len(trace) == 7
+
+    def test_fixed_batch_size(self, small_circuit):
+        trace = generate_trace(
+            small_circuit,
+            TraceConfig(iterations=3, modifiers_per_iteration=25, seed=1),
+        )
+        assert all(len(batch) == 25 for batch in trace)
+
+    def test_ranged_batch_size(self, small_circuit):
+        trace = generate_trace(
+            small_circuit,
+            TraceConfig(
+                iterations=10, modifiers_per_iteration=(5, 15), seed=1
+            ),
+        )
+        sizes = [len(b) for b in trace]
+        assert all(5 <= s <= 15 for s in sizes)
+        assert len(set(sizes)) > 1  # actually varies
+
+    def test_trace_is_applicable(self, small_circuit):
+        """Every batch applies cleanly in order — the validity contract."""
+        trace = generate_trace(
+            small_circuit,
+            TraceConfig(iterations=8, modifiers_per_iteration=40, seed=3),
+        )
+        host = HostGraph.from_csr(small_circuit)
+        for batch in trace:
+            host.apply_batch(batch)  # raises on any invalid modifier
+
+    def test_deterministic(self, small_circuit):
+        cfg = TraceConfig(iterations=4, modifiers_per_iteration=20, seed=9)
+        a = generate_trace(small_circuit, cfg)
+        b = generate_trace(small_circuit, cfg)
+        assert [list(x) for x in a] == [list(y) for y in b]
+
+    def test_seed_changes_trace(self, small_circuit):
+        a = generate_trace(
+            small_circuit,
+            TraceConfig(iterations=2, modifiers_per_iteration=20, seed=1),
+        )
+        b = generate_trace(
+            small_circuit,
+            TraceConfig(iterations=2, modifiers_per_iteration=20, seed=2),
+        )
+        assert [list(x) for x in a] != [list(y) for y in b]
+
+    def test_mix_roughly_honored(self, small_circuit):
+        trace = generate_trace(
+            small_circuit,
+            TraceConfig(iterations=20, modifiers_per_iteration=50, seed=4),
+        )
+        summary = trace_summary(trace)
+        total = summary["modifiers"]
+        for kind, fraction in DEFAULT_MIX.items():
+            observed = summary[kind] / total
+            assert observed == pytest.approx(fraction, abs=0.12)
+
+    def test_custom_mix_edge_only(self, small_circuit):
+        trace = generate_trace(
+            small_circuit,
+            TraceConfig(
+                iterations=5,
+                modifiers_per_iteration=20,
+                mix={"edge_insert": 0.5, "edge_delete": 0.5},
+                seed=5,
+            ),
+        )
+        summary = trace_summary(trace)
+        assert summary["vertex_insert"] == 0
+        assert summary["vertex_delete"] == 0
+        assert summary["modifiers"] == 100
+
+    def test_zero_mix_rejected(self, small_circuit):
+        with pytest.raises(ValueError):
+            generate_trace(
+                small_circuit,
+                TraceConfig(mix={"edge_insert": 0.0}, iterations=1),
+            )
+
+    def test_vertex_inserts_reuse_deleted_ids(self, small_circuit):
+        trace = generate_trace(
+            small_circuit,
+            TraceConfig(
+                iterations=20, modifiers_per_iteration=20, seed=6
+            ),
+        )
+        host = HostGraph.from_csr(small_circuit)
+        max_new = small_circuit.num_vertices
+        for batch in trace:
+            host.apply_batch(batch)
+            max_new = max(max_new, host.num_vertex_slots)
+        # ID space growth stays modest thanks to reuse.
+        assert max_new <= small_circuit.num_vertices * 1.3
+
+    def test_delete_degree_cap(self, small_circuit):
+        cfg = TraceConfig(
+            iterations=10,
+            modifiers_per_iteration=20,
+            max_delete_degree=4,
+            seed=7,
+        )
+        host = HostGraph.from_csr(small_circuit)
+        for batch in generate_trace(small_circuit, cfg):
+            for modifier in batch:
+                if isinstance(modifier, VertexDelete):
+                    assert host.degree(modifier.u) <= 4
+                host.apply(modifier)
+
+
+class TestWeightedTraces:
+    def test_weighted_trace_applies_end_to_end(self, small_circuit):
+        from repro import IGKway, PartitionConfig
+
+        trace = generate_trace(
+            small_circuit,
+            TraceConfig(
+                iterations=3,
+                modifiers_per_iteration=20,
+                edge_weight_range=(2, 9),
+                vertex_weight_range=(1, 4),
+                seed=3,
+            ),
+        )
+        inserted_weights = [
+            m.weight
+            for batch in trace
+            for m in batch
+            if isinstance(m, EdgeInsert)
+        ]
+        assert inserted_weights
+        assert all(2 <= w <= 9 for w in inserted_weights)
+        assert any(w > 2 for w in inserted_weights)
+        ig = IGKway(small_circuit, PartitionConfig(k=2, seed=3))
+        ig.full_partition()
+        for batch in trace:
+            report = ig.apply(batch)
+            assert report.balanced
+        ig.validate()
+
+    def test_unit_weights_by_default(self, small_circuit):
+        trace = generate_trace(
+            small_circuit,
+            TraceConfig(iterations=2, modifiers_per_iteration=15, seed=4),
+        )
+        for batch in trace:
+            for m in batch:
+                if isinstance(m, (EdgeInsert, VertexInsert)):
+                    assert m.weight == 1
+
+
+class TestAutoModifierRange:
+    def test_matches_paper_rate_at_paper_scale(self):
+        from repro.eval.workloads import auto_modifier_range
+
+        lo, hi = auto_modifier_range(139_479)  # the paper's usb
+        assert 40 <= lo <= 70
+        assert 150 <= hi <= 250
+
+    def test_floors_for_tiny_graphs(self):
+        from repro.eval.workloads import auto_modifier_range
+
+        lo, hi = auto_modifier_range(100)
+        assert lo >= 3
+        assert hi > lo
+
+    def test_runner_resolves_auto(self):
+        from repro.eval.runner import run_experiment
+
+        result = run_experiment(
+            "usb", k=2, iterations=2,
+            modifiers_per_iteration="auto", seed=1,
+        )
+        for record in result.records:
+            assert record.n_modifiers <= 20  # scaled, not 50-200
+
+
+class TestTraceSummary:
+    def test_counts_add_up(self, small_circuit):
+        trace = generate_trace(
+            small_circuit,
+            TraceConfig(iterations=3, modifiers_per_iteration=10, seed=1),
+        )
+        summary = trace_summary(trace)
+        assert summary["iterations"] == 3
+        assert summary["modifiers"] == sum(len(b) for b in trace)
+        assert summary["modifiers"] == (
+            summary["edge_insert"]
+            + summary["edge_delete"]
+            + summary["vertex_insert"]
+            + summary["vertex_delete"]
+        )

@@ -1,0 +1,84 @@
+"""Device-memory accounting in GpuContext."""
+
+import pytest
+
+from repro import IGKway, PartitionConfig
+from repro.graph import circuit_graph
+from repro.gpusim import A6000, TINY_GPU, GpuContext
+from repro.utils import CapacityError
+
+
+class TestAllocate:
+    def test_tracks_usage(self):
+        ctx = GpuContext()
+        ctx.allocate("a", 1000)
+        ctx.allocate("b", 500)
+        assert ctx.allocated_bytes == 1500
+        assert ctx.peak_allocated_bytes == 1500
+
+    def test_free_releases(self):
+        ctx = GpuContext()
+        ctx.allocate("a", 1000)
+        ctx.free("a")
+        assert ctx.allocated_bytes == 0
+        assert ctx.peak_allocated_bytes == 1000  # peak persists
+
+    def test_duplicate_name_rejected(self):
+        ctx = GpuContext()
+        ctx.allocate("a", 10)
+        with pytest.raises(ValueError):
+            ctx.allocate("a", 10)
+
+    def test_free_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            GpuContext().free("nope")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            GpuContext().allocate("a", -1)
+
+    def test_capacity_enforced(self):
+        ctx = GpuContext(TINY_GPU)  # 0.001 GB = 1e6 bytes
+        ctx.allocate("big", 900_000)
+        with pytest.raises(CapacityError):
+            ctx.allocate("more", 200_000)
+
+    def test_reallocate_resizes(self):
+        ctx = GpuContext()
+        ctx.reallocate("a", 100)
+        ctx.reallocate("a", 300)
+        assert ctx.allocations["a"] == 300
+
+    def test_a6000_capacity(self):
+        assert A6000.memory_gbytes == 48.0
+
+
+class TestPartitionerFootprint:
+    def test_igkway_registers_structures(self):
+        csr = circuit_graph(500, 1.4, seed=1)
+        ctx = GpuContext()
+        ig = IGKway(csr, PartitionConfig(k=2, seed=1), ctx=ctx)
+        ig.full_partition()
+        assert "bucket_list" in ctx.allocations
+        assert "partition" in ctx.allocations
+        assert ctx.allocations["bucket_list"] == ig.graph.nbytes()
+
+    def test_baseline_reallocates_per_iteration(self):
+        from repro import GKwayDagger
+        from repro.graph import EdgeInsert, ModifierBatch
+
+        csr = circuit_graph(500, 1.4, seed=1)
+        ctx = GpuContext()
+        bl = GKwayDagger(csr, PartitionConfig(k=2, seed=1), ctx=ctx)
+        bl.full_partition()
+        before = ctx.allocations["csr"]
+        bl.apply(ModifierBatch([EdgeInsert(0, 400)]))
+        after = ctx.allocations["csr"]
+        assert after > before  # one more edge -> bigger CSR
+
+    def test_oversized_graph_rejected_on_tiny_device(self):
+        csr = circuit_graph(2000, 1.4, seed=1)
+        ctx = GpuContext(TINY_GPU)
+        ig = IGKway(csr, PartitionConfig(k=2, seed=1), ctx=ctx)
+        with pytest.raises(CapacityError):
+            ig.full_partition()

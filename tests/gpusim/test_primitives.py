@@ -1,0 +1,179 @@
+"""Device-wide parallel primitives: correctness and cost charging."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import GpuContext
+from repro.gpusim.primitives import (
+    compact,
+    exclusive_scan,
+    inclusive_scan,
+    reduce_max,
+    reduce_sum,
+    segmented_inclusive_scan,
+    sort_by_key,
+)
+
+
+class TestScans:
+    def test_inclusive_matches_cumsum(self, ctx):
+        values = np.array([3, 1, 4, 1, 5])
+        assert np.array_equal(
+            inclusive_scan(ctx, values), np.cumsum(values)
+        )
+
+    def test_exclusive_shifts(self, ctx):
+        values = np.array([3, 1, 4])
+        assert np.array_equal(
+            exclusive_scan(ctx, values), np.array([0, 3, 4])
+        )
+
+    def test_empty_input(self, ctx):
+        assert inclusive_scan(ctx, np.array([], dtype=np.int64)).size == 0
+        assert exclusive_scan(ctx, np.array([], dtype=np.int64)).size == 0
+
+    def test_single_element(self, ctx):
+        assert exclusive_scan(ctx, np.array([7]))[0] == 0
+
+    def test_charges_kernel(self, ctx):
+        inclusive_scan(ctx, np.arange(100))
+        assert ctx.ledger.total.kernel_launches == 1
+        assert ctx.ledger.total.warp_instructions > 0
+
+    @given(
+        st.lists(st.integers(min_value=-100, max_value=100), max_size=200)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_inclusive_property(self, values):
+        ctx = GpuContext()
+        arr = np.array(values, dtype=np.int64)
+        assert np.array_equal(inclusive_scan(ctx, arr), np.cumsum(arr))
+
+
+class TestSegmentedScan:
+    def test_figure5_example(self, ctx):
+        # Figure 5: two moves, two partitions, unit weights.
+        # delta_p_wgt = [1, 0 | 0, 1]  (move 1 -> p1, move 2 -> p2)
+        delta = np.array([1, 0, 0, 1])
+        segments = np.array([0, 0, 1, 1])
+        got = segmented_inclusive_scan(ctx, delta, segments)
+        assert np.array_equal(got, np.array([1, 1, 0, 1]))
+
+    def test_restarts_at_boundaries(self, ctx):
+        values = np.array([1, 2, 3, 4, 5, 6])
+        segments = np.array([0, 0, 1, 1, 1, 2])
+        got = segmented_inclusive_scan(ctx, values, segments)
+        assert np.array_equal(got, np.array([1, 3, 3, 7, 12, 6]))
+
+    def test_single_segment_is_plain_scan(self, ctx):
+        values = np.arange(10)
+        got = segmented_inclusive_scan(ctx, values, np.zeros(10, int))
+        assert np.array_equal(got, np.cumsum(values))
+
+    def test_all_singleton_segments(self, ctx):
+        values = np.array([5, 6, 7])
+        got = segmented_inclusive_scan(ctx, values, np.arange(3))
+        assert np.array_equal(got, values)
+
+    def test_empty(self, ctx):
+        got = segmented_inclusive_scan(
+            ctx, np.array([], dtype=int), np.array([], dtype=int)
+        )
+        assert got.size == 0
+
+    def test_mismatched_shapes_raise(self, ctx):
+        with pytest.raises(ValueError):
+            segmented_inclusive_scan(ctx, np.arange(3), np.arange(4))
+
+    def test_unsorted_segments_raise(self, ctx):
+        with pytest.raises(ValueError):
+            segmented_inclusive_scan(
+                ctx, np.arange(3), np.array([1, 0, 1])
+            )
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=4),
+                st.integers(min_value=-50, max_value=50),
+            ),
+            max_size=100,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_against_reference(self, pairs):
+        ctx = GpuContext()
+        pairs.sort(key=lambda p: p[0])
+        segments = np.array([p[0] for p in pairs], dtype=np.int64)
+        values = np.array([p[1] for p in pairs], dtype=np.int64)
+        got = segmented_inclusive_scan(ctx, values, segments)
+        expected = np.zeros_like(values)
+        running = {}
+        for i, (seg, val) in enumerate(zip(segments, values)):
+            running[seg] = running.get(seg, 0) + val
+            expected[i] = running[seg]
+        assert np.array_equal(got, expected)
+
+
+class TestSortByKey:
+    def test_ascending(self, ctx):
+        keys, values = sort_by_key(
+            ctx, np.array([3, 1, 2]), np.array([30, 10, 20])
+        )
+        assert np.array_equal(keys, [1, 2, 3])
+        assert np.array_equal(values, [10, 20, 30])
+
+    def test_descending(self, ctx):
+        keys, values = sort_by_key(
+            ctx, np.array([3, 1, 2]), np.array([30, 10, 20]),
+            descending=True,
+        )
+        assert np.array_equal(keys, [3, 2, 1])
+        assert np.array_equal(values, [30, 20, 10])
+
+    def test_stable_on_ties(self, ctx):
+        keys, values = sort_by_key(
+            ctx, np.array([1, 1, 1]), np.array([0, 1, 2]), descending=True
+        )
+        assert np.array_equal(values, [0, 1, 2])
+
+    def test_keys_only(self, ctx):
+        keys, values = sort_by_key(ctx, np.array([2, 1]))
+        assert values is None
+        assert np.array_equal(keys, [1, 2])
+
+    def test_charges_four_passes(self, ctx):
+        sort_by_key(ctx, np.arange(100))
+        # 4 radix passes + 4 digit-histogram scans.
+        assert ctx.ledger.total.kernel_launches == 8
+
+
+class TestCompactReduce:
+    def test_compact_keeps_predicate(self, ctx):
+        values = np.arange(10)
+        got = compact(ctx, values, values % 2 == 0)
+        assert np.array_equal(got, [0, 2, 4, 6, 8])
+
+    def test_compact_preserves_order(self, ctx):
+        values = np.array([5, 3, 8, 1])
+        got = compact(ctx, values, np.array([True, False, True, True]))
+        assert np.array_equal(got, [5, 8, 1])
+
+    def test_compact_length_mismatch(self, ctx):
+        with pytest.raises(ValueError):
+            compact(ctx, np.arange(3), np.ones(4, bool))
+
+    def test_reduce_sum(self, ctx):
+        assert reduce_sum(ctx, np.arange(10)) == 45
+
+    def test_reduce_sum_empty(self, ctx):
+        assert reduce_sum(ctx, np.array([], dtype=int)) == 0
+
+    def test_reduce_max(self, ctx):
+        assert reduce_max(ctx, np.array([3, 9, 1])) == 9
+
+    def test_reduce_max_empty_raises(self, ctx):
+        with pytest.raises(ValueError):
+            reduce_max(ctx, np.array([], dtype=int))

@@ -1,0 +1,112 @@
+"""METIS and edge-list file I/O."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    CSRGraph,
+    read_edge_list,
+    read_metis,
+    write_edge_list,
+    write_metis,
+)
+from repro.utils import GraphConsistencyError
+
+
+@pytest.fixture
+def weighted_csr():
+    return CSRGraph.from_edges(
+        4,
+        np.array([[0, 1], [1, 2], [2, 3], [0, 3]]),
+        edge_weights=np.array([2, 3, 4, 5]),
+        vertex_weights=np.array([1, 2, 3, 4]),
+    )
+
+
+class TestMetis:
+    def test_roundtrip(self, weighted_csr, tmp_path):
+        path = tmp_path / "g.graph"
+        write_metis(weighted_csr, path)
+        back = read_metis(path)
+        back.validate()
+        assert back.num_vertices == weighted_csr.num_vertices
+        assert back.num_edges == weighted_csr.num_edges
+        assert np.array_equal(back.vwgt, weighted_csr.vwgt)
+        assert back.total_edge_weight() == weighted_csr.total_edge_weight()
+
+    def test_roundtrip_circuit(self, small_circuit, tmp_path):
+        path = tmp_path / "c.graph"
+        write_metis(small_circuit, path)
+        back = read_metis(path)
+        assert back.num_edges == small_circuit.num_edges
+        got_e, _ = back.edge_array()
+        exp_e, _ = small_circuit.edge_array()
+        assert np.array_equal(got_e, exp_e)
+
+    def test_reads_unweighted_format(self, tmp_path):
+        path = tmp_path / "plain.graph"
+        path.write_text("3 2\n2 3\n1\n1\n")
+        g = read_metis(path)
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert g.has_edge(0, 1)
+        assert g.has_edge(0, 2)
+
+    def test_reads_comments_and_blank_vertices(self, tmp_path):
+        path = tmp_path / "comments.graph"
+        path.write_text("% header comment\n3 1\n2\n1\n\n")
+        g = read_metis(path)
+        assert g.num_edges == 1
+        assert g.degree(2) == 0
+
+    def test_edge_count_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.graph"
+        path.write_text("3 5\n2\n1\n\n")
+        with pytest.raises(GraphConsistencyError):
+            read_metis(path)
+
+    def test_out_of_range_neighbor_rejected(self, tmp_path):
+        path = tmp_path / "oob.graph"
+        path.write_text("2 1\n5\n1\n")
+        with pytest.raises(GraphConsistencyError):
+            read_metis(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.graph"
+        path.write_text("")
+        with pytest.raises(GraphConsistencyError):
+            read_metis(path)
+
+    def test_conflicting_weights_rejected(self, tmp_path):
+        path = tmp_path / "conflict.graph"
+        path.write_text("2 1 001\n2 5\n1 7\n")
+        with pytest.raises(GraphConsistencyError):
+            read_metis(path)
+
+
+class TestEdgeList:
+    def test_roundtrip(self, weighted_csr, tmp_path):
+        path = tmp_path / "g.edges"
+        write_edge_list(weighted_csr, path)
+        back = read_edge_list(path)
+        assert back.num_edges == weighted_csr.num_edges
+        assert back.total_edge_weight() == weighted_csr.total_edge_weight()
+
+    def test_default_weight_one(self, tmp_path):
+        path = tmp_path / "plain.edges"
+        path.write_text("3\n0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.total_edge_weight() == 2
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.edges"
+        path.write_text("")
+        with pytest.raises(GraphConsistencyError):
+            read_edge_list(path)
+
+    def test_isolated_vertices_preserved(self, tmp_path):
+        path = tmp_path / "iso.edges"
+        path.write_text("5\n0 1\n")
+        g = read_edge_list(path)
+        assert g.num_vertices == 5
+        assert g.degree(4) == 0

@@ -1,0 +1,173 @@
+"""HostGraph reference semantics and modifier records."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    CSRGraph,
+    EdgeDelete,
+    EdgeInsert,
+    HostGraph,
+    ModifierBatch,
+    VertexDelete,
+    VertexInsert,
+)
+from repro.utils import ModifierError
+
+
+@pytest.fixture
+def host(tiny_csr):
+    return HostGraph.from_csr(tiny_csr)
+
+
+class TestConstruction:
+    def test_from_csr_preserves_edges(self, host, tiny_csr):
+        assert host.num_edges() == tiny_csr.num_edges
+        assert host.has_edge(0, 1)
+        assert host.has_edge(2, 3)
+
+    def test_all_active_initially(self, host):
+        assert host.num_active_vertices() == 4
+
+    def test_copy_is_deep(self, host):
+        clone = host.copy()
+        clone.apply(EdgeDelete(0, 1))
+        assert host.has_edge(0, 1)
+        assert not clone.has_edge(0, 1)
+
+
+class TestEdgeModifiers:
+    def test_insert_both_directions(self, host):
+        host.apply(EdgeInsert(0, 3, weight=4))
+        assert host.adj[0][3] == 4
+        assert host.adj[3][0] == 4
+
+    def test_insert_duplicate_rejected(self, host):
+        with pytest.raises(ModifierError):
+            host.apply(EdgeInsert(0, 1))
+
+    def test_insert_self_loop_rejected(self, host):
+        with pytest.raises(ModifierError):
+            host.apply(EdgeInsert(2, 2))
+
+    def test_insert_to_inactive_rejected(self, host):
+        host.apply(VertexDelete(3))
+        with pytest.raises(ModifierError):
+            host.apply(EdgeInsert(0, 3))
+
+    def test_delete_removes_both_directions(self, host):
+        host.apply(EdgeDelete(0, 1))
+        assert 1 not in host.adj[0]
+        assert 0 not in host.adj[1]
+
+    def test_delete_missing_rejected(self, host):
+        with pytest.raises(ModifierError):
+            host.apply(EdgeDelete(0, 3))
+
+
+class TestVertexModifiers:
+    def test_delete_clears_incident_edges(self, host):
+        host.apply(VertexDelete(2))
+        assert not host.is_active(2)
+        assert 2 not in host.adj[0]
+        assert 2 not in host.adj[1]
+        assert 2 not in host.adj[3]
+
+    def test_delete_inactive_rejected(self, host):
+        host.apply(VertexDelete(2))
+        with pytest.raises(ModifierError):
+            host.apply(VertexDelete(2))
+
+    def test_reinsert_deleted_id(self, host):
+        host.apply(VertexDelete(2))
+        host.apply(VertexInsert(2, weight=5))
+        assert host.is_active(2)
+        assert host.vwgt[2] == 5
+        assert host.degree(2) == 0  # comes back isolated
+
+    def test_insert_new_id_must_be_next(self, host):
+        with pytest.raises(ModifierError):
+            host.apply(VertexInsert(10))
+        host.apply(VertexInsert(4))
+        assert host.num_vertex_slots == 5
+
+    def test_insert_active_rejected(self, host):
+        with pytest.raises(ModifierError):
+            host.apply(VertexInsert(0))
+
+
+class TestExportAndStats:
+    def test_to_csr_compacts_ids(self, host):
+        host.apply(VertexDelete(1))
+        csr, id_map = host.to_csr()
+        assert csr.num_vertices == 3
+        assert id_map.tolist() == [0, 2, 3]
+        csr.validate()
+
+    def test_to_csr_empty_graph(self):
+        host = HostGraph(2)
+        host.apply(VertexDelete(0))
+        host.apply(VertexDelete(1))
+        csr, id_map = host.to_csr()
+        assert csr.num_vertices == 0
+        assert id_map.size == 0
+
+    def test_rebuild_work_scales(self, host):
+        w0 = host.rebuild_work()
+        host.apply(EdgeInsert(0, 3))
+        assert host.rebuild_work() == w0 + 2
+
+    def test_total_active_weight(self, host):
+        assert host.total_active_weight() == 4
+        host.apply(VertexDelete(0))
+        assert host.total_active_weight() == 3
+
+    def test_roundtrip_through_csr(self, small_host):
+        csr, id_map = small_host.to_csr()
+        again = HostGraph.from_csr(csr)
+        assert again.num_edges() == small_host.num_edges()
+
+
+class TestModifierBatch:
+    def test_counts(self):
+        batch = ModifierBatch(
+            [
+                EdgeInsert(0, 1),
+                EdgeInsert(1, 2),
+                EdgeDelete(0, 2),
+                VertexInsert(9),
+                VertexDelete(3),
+            ]
+        )
+        counts = batch.counts()
+        assert counts == {
+            "edge_insert": 2,
+            "edge_delete": 1,
+            "vertex_insert": 1,
+            "vertex_delete": 1,
+        }
+
+    def test_len_and_iter(self):
+        batch = ModifierBatch([EdgeInsert(0, 1)])
+        batch.append(EdgeDelete(0, 1))
+        assert len(batch) == 2
+        assert [type(m).__name__ for m in batch] == [
+            "EdgeInsert",
+            "EdgeDelete",
+        ]
+
+    def test_apply_batch(self, host):
+        host.apply_batch(
+            ModifierBatch([EdgeDelete(0, 1), EdgeInsert(0, 3)])
+        )
+        assert not host.has_edge(0, 1)
+        assert host.has_edge(0, 3)
+
+    def test_unknown_modifier_rejected(self, host):
+        with pytest.raises(ModifierError):
+            host.apply("bogus")
+
+    def test_modifiers_are_frozen(self):
+        modifier = EdgeInsert(0, 1)
+        with pytest.raises(Exception):
+            modifier.u = 5

@@ -1,0 +1,228 @@
+"""Coarsening: constrained vs union-find grouping, contraction (Section IV)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import CSRGraph, circuit_graph, mesh_graph_2d
+from repro.partition import (
+    build_groups_constrained,
+    build_groups_unionfind,
+    coarse_weight_imbalance,
+    coarsen_once,
+    coarsen_to_size,
+    contract,
+    cut_size_csr,
+    group_vertices,
+)
+
+
+class TestBuildGroups:
+    def test_unionfind_one_group_per_subset(self):
+        roots = np.array([0, 0, 2, 2, 2])
+        cmap = build_groups_unionfind(roots)
+        assert np.unique(cmap).size == 2
+        assert cmap[0] == cmap[1]
+        assert cmap[2] == cmap[3] == cmap[4]
+
+    def test_constrained_chops_large_subsets(self):
+        # One subset of six vertices, group size two -> three groups.
+        roots = np.zeros(6, dtype=np.int64)
+        labels = np.array([0, 1, 1, 2, 2, 3])
+        cmap = build_groups_constrained(roots, labels, group_size=2)
+        assert np.unique(cmap).size == 3
+        sizes = np.bincount(cmap)
+        assert sizes.tolist() == [2, 2, 2]
+
+    def test_constrained_sorts_by_join_iteration(self):
+        """Vertices that joined early group together (Figure 3 b)."""
+        roots = np.zeros(4, dtype=np.int64)
+        labels = np.array([3, 1, 2, 1])  # v1, v3 joined first
+        cmap = build_groups_constrained(roots, labels, group_size=2)
+        assert cmap[1] == cmap[3]  # the two early joiners merge
+        assert cmap[0] == cmap[2]  # the two late joiners merge
+
+    def test_constrained_respects_subset_boundaries(self):
+        roots = np.array([0, 0, 0, 5, 5, 5])
+        labels = np.zeros(6, dtype=np.int64)
+        cmap = build_groups_constrained(roots, labels, group_size=4)
+        assert cmap[0] != cmap[3]  # never mixes subsets
+
+    def test_constrained_group_size_cap(self):
+        roots = np.zeros(13, dtype=np.int64)
+        labels = np.arange(13)
+        cmap = build_groups_constrained(roots, labels, group_size=6)
+        sizes = np.bincount(cmap)
+        assert sizes.max() <= 6
+        assert sizes.sum() == 13
+
+    def test_singletons_stay_alone(self):
+        roots = np.array([0, 1, 2])
+        labels = np.zeros(3, dtype=np.int64)
+        cmap = build_groups_constrained(roots, labels, group_size=6)
+        assert np.unique(cmap).size == 3
+
+
+class TestContract:
+    def test_total_vertex_weight_preserved(self, small_circuit):
+        roots, labels = group_vertices(small_circuit, seed=1)
+        cmap = build_groups_constrained(roots, labels, 6)
+        coarse = contract(small_circuit, cmap)
+        assert (
+            coarse.total_vertex_weight()
+            == small_circuit.total_vertex_weight()
+        )
+
+    def test_coarse_graph_validates(self, small_circuit):
+        roots, labels = group_vertices(small_circuit, seed=1)
+        coarse = contract(
+            small_circuit, build_groups_constrained(roots, labels, 6)
+        )
+        coarse.validate()
+
+    def test_parallel_edges_merge_weights(self):
+        # Square 0-1-2-3-0; contract {0,1} and {2,3}: two fine edges
+        # cross -> one coarse edge of weight 2.
+        csr = CSRGraph.from_edges(
+            4, np.array([[0, 1], [1, 2], [2, 3], [3, 0]])
+        )
+        cmap = np.array([0, 0, 1, 1])
+        coarse = contract(csr, cmap)
+        assert coarse.num_vertices == 2
+        assert coarse.num_edges == 1
+        assert coarse.total_edge_weight() == 2
+
+    def test_intra_group_edges_vanish(self, tiny_csr):
+        coarse = contract(tiny_csr, np.zeros(4, dtype=np.int64))
+        assert coarse.num_vertices == 1
+        assert coarse.num_edges == 0
+
+    def test_cut_equivalence(self, small_mesh):
+        """The coarse cut equals the fine cut of the projected partition —
+        the invariant multilevel partitioning rests on."""
+        roots, labels = group_vertices(small_mesh, seed=5)
+        cmap = build_groups_constrained(roots, labels, 4)
+        coarse = contract(small_mesh, cmap)
+        rng = np.random.default_rng(0)
+        coarse_part = rng.integers(0, 3, coarse.num_vertices)
+        fine_part = coarse_part[cmap]
+        assert cut_size_csr(coarse, coarse_part) == cut_size_csr(
+            small_mesh, fine_part
+        )
+
+
+class TestCoarsenOnce:
+    def test_shrinks_graph(self, small_mesh):
+        level = coarsen_once(
+            small_mesh, "constrained", group_size=6,
+            match_iterations=3, seed=1,
+        )
+        assert level.coarse.num_vertices < small_mesh.num_vertices
+
+    def test_unknown_strategy_rejected(self, small_mesh):
+        with pytest.raises(ValueError):
+            coarsen_once(small_mesh, "magic", 6, 3, 1)
+
+    def test_cmap_covers_all_vertices(self, small_circuit):
+        level = coarsen_once(small_circuit, "constrained", 6, 3, 2)
+        assert level.cmap.shape[0] == small_circuit.num_vertices
+        assert level.cmap.min() >= 0
+        assert level.cmap.max() == level.coarse.num_vertices - 1
+
+
+class TestConstrainedVsUnionfind:
+    def test_constrained_is_more_balanced(self, small_mesh):
+        """The paper's core claim for Section IV (Figure 3)."""
+        roots, labels = group_vertices(small_mesh, match_iterations=3,
+                                       seed=7)
+        uf = build_groups_unionfind(roots)
+        con = build_groups_constrained(roots, labels, group_size=6)
+        imb_uf = coarse_weight_imbalance(uf, small_mesh.vwgt)
+        imb_con = coarse_weight_imbalance(con, small_mesh.vwgt)
+        assert imb_con <= imb_uf
+
+    def test_constrained_bounded_by_group_size(self, small_circuit):
+        roots, labels = group_vertices(small_circuit, seed=3)
+        con = build_groups_constrained(roots, labels, group_size=6)
+        sizes = np.bincount(con)
+        assert sizes.max() <= 6
+
+
+class TestCoarsenToSize:
+    def test_stops_at_target(self, small_mesh):
+        levels = coarsen_to_size(
+            small_mesh, target_vertices=70, min_coarsen_rate=0.95,
+            strategy="constrained", group_size=6, match_iterations=3,
+            seed=1,
+        )
+        assert levels
+        assert levels[-1].coarse.num_vertices <= max(
+            70, int(levels[-2].coarse.num_vertices * 0.95)
+            if len(levels) > 1 else 10**9,
+        )
+
+    def test_already_small_no_levels(self, tiny_csr):
+        levels = coarsen_to_size(
+            tiny_csr, target_vertices=10, min_coarsen_rate=0.9,
+            strategy="constrained", group_size=6, match_iterations=3,
+            seed=1,
+        )
+        assert levels == []
+
+    def test_levels_chain(self, small_circuit):
+        levels = coarsen_to_size(
+            small_circuit, target_vertices=40, min_coarsen_rate=0.95,
+            strategy="constrained", group_size=6, match_iterations=3,
+            seed=2,
+        )
+        for a, b in zip(levels, levels[1:]):
+            assert b.fine is a.coarse
+
+    def test_weight_preserved_through_levels(self, small_circuit):
+        levels = coarsen_to_size(
+            small_circuit, target_vertices=40, min_coarsen_rate=0.95,
+            strategy="constrained", group_size=6, match_iterations=3,
+            seed=2,
+        )
+        if levels:
+            assert (
+                levels[-1].coarse.total_vertex_weight()
+                == small_circuit.total_vertex_weight()
+            )
+
+
+@given(st.integers(0, 1000), st.integers(2, 4))
+@settings(max_examples=15, deadline=None)
+def test_multilevel_cut_equivalence_property(seed, k):
+    """Projecting any coarse partition down a whole hierarchy preserves
+    the cut at every level — the invariant that makes multilevel
+    refinement sound."""
+    g = circuit_graph(120, 1.8, seed=seed)
+    levels = coarsen_to_size(
+        g, target_vertices=20, min_coarsen_rate=0.95,
+        strategy="constrained", group_size=4, match_iterations=3,
+        seed=seed,
+    )
+    if not levels:
+        return
+    rng = np.random.default_rng(seed)
+    part = rng.integers(0, k, levels[-1].coarse.num_vertices)
+    coarse_cut = cut_size_csr(levels[-1].coarse, part)
+    for level in reversed(levels):
+        part = part[level.cmap]
+        assert cut_size_csr(level.fine, part) == coarse_cut
+
+
+@given(st.integers(2, 8), st.integers(0, 1000))
+@settings(max_examples=25, deadline=None)
+def test_group_size_property(group_size, seed):
+    """Constrained groups never exceed s, and contraction preserves the
+    total vertex weight, for random circuit graphs."""
+    g = circuit_graph(80, 1.6, seed=seed)
+    roots, labels = group_vertices(g, seed=seed)
+    cmap = build_groups_constrained(roots, labels, group_size)
+    assert np.bincount(cmap).max() <= group_size
+    coarse = contract(g, cmap)
+    coarse.validate()
+    assert coarse.total_vertex_weight() == g.total_vertex_weight()

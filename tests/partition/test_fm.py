@@ -1,0 +1,138 @@
+"""FM hill-climbing refinement."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, mesh_graph_2d
+from repro.partition.fm import fm_pass, fm_refine
+from repro.partition.metrics import (
+    cut_size_csr,
+    is_balanced,
+    max_partition_weight,
+)
+
+
+class TestFmPass:
+    def test_returns_realized_improvement(self, small_mesh):
+        rng = np.random.default_rng(2)
+        partition = rng.integers(0, 2, small_mesh.num_vertices)
+        weights = np.bincount(
+            partition, weights=small_mesh.vwgt, minlength=2
+        ).astype(np.int64)
+        w_pmax = max_partition_weight(
+            small_mesh.total_vertex_weight(), 2, 0.03
+        )
+        before = cut_size_csr(small_mesh, partition)
+        gain = fm_pass(small_mesh, partition, weights, 2, w_pmax)
+        after = cut_size_csr(small_mesh, partition)
+        assert before - after == gain
+        assert gain >= 0
+
+    def test_never_worsens(self, small_circuit):
+        rng = np.random.default_rng(4)
+        partition = rng.integers(0, 3, small_circuit.num_vertices)
+        weights = np.bincount(
+            partition, weights=small_circuit.vwgt, minlength=3
+        ).astype(np.int64)
+        w_pmax = max_partition_weight(
+            small_circuit.total_vertex_weight(), 3, 0.03
+        )
+        before = cut_size_csr(small_circuit, partition)
+        fm_pass(small_circuit, partition, weights, 3, w_pmax)
+        assert cut_size_csr(small_circuit, partition) <= before
+
+    def test_weights_stay_consistent(self, small_mesh):
+        rng = np.random.default_rng(2)
+        partition = rng.integers(0, 2, small_mesh.num_vertices)
+        weights = np.bincount(
+            partition, weights=small_mesh.vwgt, minlength=2
+        ).astype(np.int64)
+        w_pmax = max_partition_weight(
+            small_mesh.total_vertex_weight(), 2, 0.03
+        )
+        fm_pass(small_mesh, partition, weights, 2, w_pmax)
+        recomputed = np.bincount(
+            partition, weights=small_mesh.vwgt, minlength=2
+        ).astype(np.int64)
+        assert np.array_equal(weights, recomputed)
+
+    def test_respects_balance(self, small_mesh):
+        # Alternating split: perfectly balanced by construction.
+        partition = np.arange(small_mesh.num_vertices) % 2
+        partition = partition.astype(np.int64)
+        weights = np.bincount(
+            partition, weights=small_mesh.vwgt, minlength=2
+        ).astype(np.int64)
+        w_pmax = max_partition_weight(
+            small_mesh.total_vertex_weight(), 2, 0.03
+        )
+        assert weights.max() <= w_pmax
+        fm_pass(small_mesh, partition, weights, 2, w_pmax)
+        assert weights.max() <= w_pmax
+
+    def test_max_moves_cap(self, small_mesh):
+        rng = np.random.default_rng(2)
+        partition = rng.integers(0, 2, small_mesh.num_vertices)
+        reference = partition.copy()
+        weights = np.bincount(
+            partition, weights=small_mesh.vwgt, minlength=2
+        ).astype(np.int64)
+        w_pmax = max_partition_weight(
+            small_mesh.total_vertex_weight(), 2, 0.03
+        )
+        fm_pass(small_mesh, partition, weights, 2, w_pmax, max_moves=3)
+        assert int((partition != reference).sum()) <= 3
+
+    def test_escapes_plateau(self):
+        """FM's hill climbing crosses a zero-gain plateau the greedy
+        independent-set pass cannot."""
+        # Path of 8: cut between 3|4 costs 1 but a random split costs more.
+        edges = np.array([[i, i + 1] for i in range(7)])
+        csr = CSRGraph.from_edges(8, edges)
+        partition = np.array([0, 0, 1, 1, 0, 0, 1, 1])
+        weights = np.array([4, 4], dtype=np.int64)
+        # Loose balance (W_pmax = 6) so the plateau walk has headroom.
+        w_pmax = 6
+        total_gain = 0
+        for _ in range(4):
+            gain = fm_pass(csr, partition, weights, 2, w_pmax)
+            total_gain += gain
+            if gain == 0:
+                break
+        assert cut_size_csr(csr, partition) <= 2
+
+
+class TestFmRefine:
+    def test_improves_or_equal(self, small_mesh):
+        rng = np.random.default_rng(6)
+        partition = rng.integers(0, 2, small_mesh.num_vertices)
+        before = cut_size_csr(small_mesh, partition)
+        refined = fm_refine(small_mesh, partition, 2, 0.03)
+        assert cut_size_csr(small_mesh, refined) <= before
+
+    def test_input_not_mutated(self, small_mesh):
+        rng = np.random.default_rng(6)
+        partition = rng.integers(0, 2, small_mesh.num_vertices)
+        copy = partition.copy()
+        fm_refine(small_mesh, partition, 2, 0.03)
+        assert np.array_equal(partition, copy)
+
+    def test_result_balanced_if_input_balanced(self, small_mesh):
+        rng = np.random.default_rng(6)
+        partition = rng.integers(0, 2, small_mesh.num_vertices)
+        refined = fm_refine(small_mesh, partition, 2, 0.03)
+        weights = np.bincount(
+            refined, weights=small_mesh.vwgt, minlength=2
+        ).astype(np.int64)
+        assert is_balanced(
+            weights, small_mesh.total_vertex_weight(), 2, 0.03
+        )
+
+    def test_ctx_charged(self, small_mesh):
+        from repro.gpusim import GpuContext
+
+        ctx = GpuContext()
+        rng = np.random.default_rng(6)
+        partition = rng.integers(0, 2, small_mesh.num_vertices)
+        fm_refine(small_mesh, partition, 2, 0.03, ctx=ctx)
+        assert ctx.ledger.total.kernel_launches >= 1

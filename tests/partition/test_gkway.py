@@ -1,0 +1,162 @@
+"""End-to-end multilevel G-kway full partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.graph import circuit_graph, mesh_graph_2d
+from repro.gpusim import GpuContext
+from repro.partition import (
+    GKwayPartitioner,
+    PartitionConfig,
+    cut_size_csr,
+)
+from repro.utils import PartitionError
+
+
+class TestPartition:
+    @pytest.mark.parametrize("k", [2, 4, 8])
+    def test_balanced_result(self, small_circuit, k):
+        result = GKwayPartitioner(
+            PartitionConfig(k=k, seed=3)
+        ).partition(small_circuit)
+        assert result.balanced
+        assert result.partition.min() >= 0
+        assert result.partition.max() < k
+
+    def test_cut_matches_partition(self, small_circuit):
+        result = GKwayPartitioner(
+            PartitionConfig(k=2, seed=1)
+        ).partition(small_circuit)
+        assert result.cut == cut_size_csr(small_circuit, result.partition)
+
+    def test_beats_random_partition(self, small_mesh):
+        result = GKwayPartitioner(
+            PartitionConfig(k=2, seed=1)
+        ).partition(small_mesh)
+        rng = np.random.default_rng(0)
+        random_cut = cut_size_csr(
+            small_mesh, rng.integers(0, 2, small_mesh.num_vertices)
+        )
+        assert result.cut < random_cut / 2
+
+    def test_deterministic_for_seed(self, small_circuit):
+        a = GKwayPartitioner(
+            PartitionConfig(k=2, seed=5)
+        ).partition(small_circuit)
+        b = GKwayPartitioner(
+            PartitionConfig(k=2, seed=5)
+        ).partition(small_circuit)
+        assert np.array_equal(a.partition, b.partition)
+        assert a.cut == b.cut
+
+    def test_seed_override(self, small_circuit):
+        partitioner = GKwayPartitioner(PartitionConfig(k=2, seed=5))
+        a = partitioner.partition(small_circuit, seed=1)
+        b = partitioner.partition(small_circuit, seed=1)
+        assert np.array_equal(a.partition, b.partition)
+
+    def test_too_few_vertices_rejected(self, tiny_csr):
+        with pytest.raises(PartitionError):
+            GKwayPartitioner(PartitionConfig(k=8)).partition(tiny_csr)
+
+    def test_levels_reported(self):
+        g = circuit_graph(1000, 1.4, seed=2)
+        result = GKwayPartitioner(PartitionConfig(k=2, seed=1)).partition(g)
+        assert result.num_levels >= 1
+        assert result.coarsest_vertices <= 1000
+
+    def test_part_weights_sum_to_total(self, small_circuit):
+        result = GKwayPartitioner(
+            PartitionConfig(k=4, seed=2)
+        ).partition(small_circuit)
+        assert (
+            result.part_weights.sum()
+            == small_circuit.total_vertex_weight()
+        )
+
+    def test_weighted_vertices(self):
+        import numpy as np
+
+        from repro.graph import CSRGraph
+
+        rng = np.random.default_rng(7)
+        base = circuit_graph(400, 1.5, seed=4)
+        weighted = CSRGraph(
+            xadj=base.xadj,
+            adjncy=base.adjncy,
+            adjwgt=base.adjwgt,
+            vwgt=rng.integers(1, 5, 400),
+        )
+        result = GKwayPartitioner(
+            PartitionConfig(k=2, seed=1)
+        ).partition(weighted)
+        assert result.balanced
+
+    def test_charges_context(self, small_circuit):
+        ctx = GpuContext()
+        GKwayPartitioner(
+            PartitionConfig(k=2, seed=1), ctx=ctx
+        ).partition(small_circuit)
+        assert ctx.ledger.total.kernel_launches > 3
+        assert ctx.ledger.total.warp_instructions > 0
+
+
+class TestCoarseningStrategies:
+    def test_unionfind_mode_works(self, small_mesh):
+        result = GKwayPartitioner(
+            PartitionConfig(k=2, seed=1, coarsening="unionfind")
+        ).partition(small_mesh)
+        assert result.cut >= 0
+        assert result.partition.shape[0] == small_mesh.num_vertices
+
+    def test_constrained_no_worse_balance(self, small_mesh):
+        con = GKwayPartitioner(
+            PartitionConfig(k=2, seed=1, coarsening="constrained")
+        ).partition(small_mesh)
+        assert con.balanced
+
+    def test_fm_disabled_still_valid(self, small_mesh):
+        result = GKwayPartitioner(
+            PartitionConfig(k=2, seed=1, fm_passes=0)
+        ).partition(small_mesh)
+        assert result.balanced
+
+    def test_fm_improves_cut(self, small_mesh):
+        no_fm = GKwayPartitioner(
+            PartitionConfig(k=2, seed=1, fm_passes=0)
+        ).partition(small_mesh)
+        with_fm = GKwayPartitioner(
+            PartitionConfig(k=2, seed=1, fm_passes=2)
+        ).partition(small_mesh)
+        assert with_fm.cut <= no_fm.cut
+
+
+class TestConfig:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            PartitionConfig(k=1)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            PartitionConfig(epsilon=0.0)
+
+    def test_invalid_group_size(self):
+        with pytest.raises(ValueError):
+            PartitionConfig(group_size=1)
+
+    def test_invalid_strategy(self):
+        with pytest.raises(ValueError):
+            PartitionConfig(coarsening="bogus")
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            PartitionConfig(mode="cuda")
+
+    def test_coarsen_until(self):
+        assert PartitionConfig(k=4).coarsen_until == 140
+
+    def test_with_override(self):
+        cfg = PartitionConfig(k=2).with_(k=8, epsilon=0.05)
+        assert cfg.k == 8
+        assert cfg.epsilon == 0.05
+        assert cfg.group_size == 6

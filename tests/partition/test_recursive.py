@@ -1,0 +1,102 @@
+"""Recursive bisection initial partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, circuit_graph, mesh_graph_2d
+from repro.partition import cut_size_csr
+from repro.partition.metrics import max_partition_weight
+from repro.partition.recursive import recursive_bisection
+
+
+class TestRecursiveBisection:
+    @pytest.mark.parametrize("k", [2, 3, 4, 7, 8, 16])
+    def test_all_labels_used(self, small_mesh, k):
+        partition = recursive_bisection(small_mesh, k, 0.03, seed=1)
+        assert np.unique(partition).size == k
+        assert partition.min() == 0
+        assert partition.max() == k - 1
+
+    @pytest.mark.parametrize("k", [2, 4, 8])
+    def test_roughly_balanced(self, small_mesh, k):
+        partition = recursive_bisection(small_mesh, k, 0.03, seed=1)
+        weights = np.bincount(
+            partition, weights=small_mesh.vwgt, minlength=k
+        )
+        total = small_mesh.total_vertex_weight()
+        # Recursive bisection compounds per-level slack; allow ~2 eps.
+        cap = max_partition_weight(total, k, 0.10)
+        assert weights.max() <= cap
+
+    def test_k_one(self, small_mesh):
+        partition = recursive_bisection(small_mesh, 1, 0.03, seed=1)
+        assert np.all(partition == 0)
+
+    def test_invalid_k(self, small_mesh):
+        with pytest.raises(ValueError):
+            recursive_bisection(small_mesh, 0, 0.03)
+
+    def test_beats_random(self, small_mesh):
+        partition = recursive_bisection(small_mesh, 4, 0.03, seed=2)
+        rng = np.random.default_rng(0)
+        random_cut = cut_size_csr(
+            small_mesh, rng.integers(0, 4, small_mesh.num_vertices)
+        )
+        assert cut_size_csr(small_mesh, partition) < random_cut / 2
+
+    def test_deterministic(self, small_circuit):
+        a = recursive_bisection(small_circuit, 8, 0.03, seed=9)
+        b = recursive_bisection(small_circuit, 8, 0.03, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_odd_k_side_sizes(self):
+        """k=3 sizes the sides 1:2, so the singleton side holds ~1/3."""
+        csr = mesh_graph_2d(900)
+        partition = recursive_bisection(csr, 3, 0.03, seed=3)
+        weights = np.bincount(partition, minlength=3)
+        total = csr.num_vertices
+        for w in weights:
+            assert total / 3 * 0.7 <= w <= total / 3 * 1.4
+
+    def test_weighted_vertices(self):
+        rng = np.random.default_rng(1)
+        base = circuit_graph(400, 1.5, seed=4)
+        weighted = CSRGraph(
+            xadj=base.xadj,
+            adjncy=base.adjncy,
+            adjwgt=base.adjwgt,
+            vwgt=rng.integers(1, 6, 400),
+        )
+        partition = recursive_bisection(weighted, 4, 0.03, seed=4)
+        weights = np.bincount(
+            partition, weights=weighted.vwgt, minlength=4
+        )
+        total = weighted.total_vertex_weight()
+        assert weights.max() <= max_partition_weight(total, 4, 0.15)
+
+
+class TestSubgraph:
+    def test_induced_edges(self, tiny_csr):
+        sub, mapping = tiny_csr.subgraph(np.array([0, 1, 2]))
+        assert mapping.tolist() == [0, 1, 2]
+        assert sub.num_edges == 3  # triangle; edge (2,3) dropped
+        sub.validate()
+
+    def test_vertex_weights_carried(self):
+        csr = CSRGraph.from_edges(
+            3, np.array([[0, 1]]), vertex_weights=np.array([5, 6, 7])
+        )
+        sub, _ = csr.subgraph(np.array([1, 2]))
+        assert sub.vwgt.tolist() == [6, 7]
+
+    def test_empty_subgraph(self, tiny_csr):
+        sub, _ = tiny_csr.subgraph(np.array([], dtype=np.int64))
+        assert sub.num_vertices == 0
+        assert sub.num_edges == 0
+
+    def test_ids_remapped(self, small_circuit):
+        picks = np.array([10, 20, 30, 40])
+        sub, mapping = small_circuit.subgraph(picks)
+        assert sub.num_vertices == 4
+        assert np.array_equal(mapping, picks)
+        sub.validate()

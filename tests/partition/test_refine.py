@@ -1,0 +1,164 @@
+"""Boundary refinement and rebalancing."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, mesh_graph_2d
+from repro.gpusim import GpuContext
+from repro.partition import (
+    cut_size_csr,
+    is_balanced,
+    max_partition_weight,
+    rebalance_csr,
+    refine_csr,
+)
+from repro.partition.refine import connectivity_matrix, refine_pass
+
+
+class TestConnectivityMatrix:
+    def test_simple(self, tiny_csr):
+        partition = np.array([0, 0, 1, 1])
+        conn = connectivity_matrix(tiny_csr, partition, 2)
+        # v2 has neighbors 0, 1 (partition 0) and 3 (partition 1).
+        assert conn[2].tolist() == [2, 1]
+        assert conn[0].tolist() == [1, 1]
+
+    def test_weighted(self):
+        csr = CSRGraph.from_edges(
+            3, np.array([[0, 1], [0, 2]]), edge_weights=np.array([5, 7])
+        )
+        conn = connectivity_matrix(csr, np.array([0, 0, 1]), 2)
+        assert conn[0].tolist() == [5, 7]
+
+    def test_rows_sum_to_weighted_degree(self, small_circuit):
+        rng = np.random.default_rng(1)
+        partition = rng.integers(0, 3, small_circuit.num_vertices)
+        conn = connectivity_matrix(small_circuit, partition, 3)
+        for u in range(0, small_circuit.num_vertices, 23):
+            assert conn[u].sum() == small_circuit.neighbor_weights(u).sum()
+
+
+class TestRefinePass:
+    def test_improves_bad_partition(self, small_mesh):
+        rng = np.random.default_rng(0)
+        partition = rng.integers(0, 2, small_mesh.num_vertices)
+        weights = np.bincount(
+            partition, weights=small_mesh.vwgt, minlength=2
+        ).astype(np.int64)
+        w_pmax = max_partition_weight(
+            small_mesh.total_vertex_weight(), 2, 0.03
+        )
+        before = cut_size_csr(small_mesh, partition)
+        moved = refine_pass(small_mesh, partition, weights, 2, w_pmax)
+        after = cut_size_csr(small_mesh, partition)
+        assert moved > 0
+        assert after < before
+
+    def test_keeps_weights_consistent(self, small_mesh):
+        rng = np.random.default_rng(0)
+        partition = rng.integers(0, 2, small_mesh.num_vertices)
+        weights = np.bincount(
+            partition, weights=small_mesh.vwgt, minlength=2
+        ).astype(np.int64)
+        w_pmax = max_partition_weight(
+            small_mesh.total_vertex_weight(), 2, 0.03
+        )
+        refine_pass(small_mesh, partition, weights, 2, w_pmax)
+        recomputed = np.bincount(
+            partition, weights=small_mesh.vwgt, minlength=2
+        ).astype(np.int64)
+        assert np.array_equal(weights, recomputed)
+
+    def test_respects_w_pmax(self, small_mesh):
+        rng = np.random.default_rng(3)
+        partition = rng.integers(0, 2, small_mesh.num_vertices)
+        weights = np.bincount(
+            partition, weights=small_mesh.vwgt, minlength=2
+        ).astype(np.int64)
+        w_pmax = max_partition_weight(
+            small_mesh.total_vertex_weight(), 2, 0.03
+        )
+        start_ok = weights.max() <= w_pmax
+        for _ in range(4):
+            refine_pass(small_mesh, partition, weights, 2, w_pmax)
+        if start_ok:
+            assert weights.max() <= w_pmax
+
+    def test_no_moves_on_optimal(self):
+        # Two disjoint cliques already separated: nothing to gain.
+        edges = [[0, 1], [1, 2], [0, 2], [3, 4], [4, 5], [3, 5]]
+        csr = CSRGraph.from_edges(6, np.array(edges))
+        partition = np.array([0, 0, 0, 1, 1, 1])
+        weights = np.array([3, 3], dtype=np.int64)
+        moved = refine_pass(csr, partition, weights, 2, w_pmax=4)
+        assert moved == 0
+
+
+class TestRefineCsr:
+    def test_never_worsens_cut(self, small_mesh):
+        rng = np.random.default_rng(5)
+        partition = rng.integers(0, 4, small_mesh.num_vertices)
+        before = cut_size_csr(small_mesh, partition)
+        refined = refine_csr(small_mesh, partition, 4, 0.03, passes=4)
+        assert cut_size_csr(small_mesh, refined) <= before
+
+    def test_input_not_mutated(self, small_mesh):
+        rng = np.random.default_rng(5)
+        partition = rng.integers(0, 2, small_mesh.num_vertices)
+        copy = partition.copy()
+        refine_csr(small_mesh, partition, 2, 0.03)
+        assert np.array_equal(partition, copy)
+
+    def test_charges_context(self, small_mesh):
+        ctx = GpuContext()
+        rng = np.random.default_rng(5)
+        partition = rng.integers(0, 2, small_mesh.num_vertices)
+        refine_csr(small_mesh, partition, 2, 0.03, ctx=ctx)
+        assert ctx.ledger.total.kernel_launches >= 1
+
+
+class TestRebalance:
+    def test_restores_balance(self, small_mesh):
+        partition = np.zeros(small_mesh.num_vertices, dtype=np.int64)
+        partition[:10] = 1  # partition 0 massively overweight
+        balanced = rebalance_csr(small_mesh, partition, 2, 0.03)
+        weights = np.bincount(
+            balanced, weights=small_mesh.vwgt, minlength=2
+        ).astype(np.int64)
+        assert is_balanced(
+            weights, small_mesh.total_vertex_weight(), 2, 0.03
+        )
+
+    def test_noop_when_balanced(self, small_mesh):
+        rng = np.random.default_rng(1)
+        partition = rng.integers(0, 2, small_mesh.num_vertices)
+        weights = np.bincount(partition, weights=small_mesh.vwgt,
+                              minlength=2)
+        w_pmax = max_partition_weight(
+            small_mesh.total_vertex_weight(), 2, 0.03
+        )
+        if weights.max() <= w_pmax:
+            out = rebalance_csr(small_mesh, partition, 2, 0.03)
+            assert np.array_equal(out, partition)
+
+    def test_prefers_cheap_evictions(self):
+        # A path where vertex 5 (the end) is cheapest to move.
+        edges = np.array([[i, i + 1] for i in range(5)])
+        csr = CSRGraph.from_edges(6, edges)
+        partition = np.array([0, 0, 0, 0, 0, 1])
+        out = rebalance_csr(csr, partition, 2, 0.03)
+        weights = np.bincount(out, weights=csr.vwgt, minlength=2)
+        assert weights.max() <= max_partition_weight(6, 2, 0.03)
+        # The moved vertices should come from the partition-1-adjacent
+        # end of the path, keeping the cut small.
+        assert cut_size_csr(csr, out) <= 2
+
+    def test_multi_partition(self, small_mesh):
+        partition = np.zeros(small_mesh.num_vertices, dtype=np.int64)
+        balanced = rebalance_csr(small_mesh, partition, 4, 0.03)
+        weights = np.bincount(
+            balanced, weights=small_mesh.vwgt, minlength=4
+        ).astype(np.int64)
+        assert is_balanced(
+            weights, small_mesh.total_vertex_weight(), 4, 0.03
+        )

@@ -1,0 +1,143 @@
+"""PartitionState transitions and invariants."""
+
+import numpy as np
+import pytest
+
+from repro.partition import UNASSIGNED, PartitionState
+from repro.utils import PartitionError
+
+
+@pytest.fixture
+def state():
+    partition = np.array([0, 0, 1, 1, UNASSIGNED])
+    vwgt = np.array([1, 2, 3, 4, 5])
+    return PartitionState(partition, vwgt, k=2, epsilon=0.03)
+
+
+class TestConstruction:
+    def test_weights_computed(self, state):
+        assert state.part_weights.tolist() == [3, 7]
+
+    def test_pseudo_label_is_k(self, state):
+        assert state.pseudo_label == 2
+
+    def test_unassigned_excluded(self, state):
+        assert state.total_weight() == 10
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(PartitionError):
+            PartitionState(np.zeros(3), np.ones(4), k=2, epsilon=0.03)
+
+    def test_pseudo_weight_initialized(self):
+        state = PartitionState(
+            np.array([0, 2, 2]), np.array([1, 5, 7]), k=2, epsilon=0.03
+        )
+        assert state.pseudo_weight == 12
+
+
+class TestMoves:
+    def test_move_between_partitions(self, state):
+        state.move(0, 1)
+        assert state.part_weights.tolist() == [2, 8]
+        assert state.partition[0] == 1
+
+    def test_move_to_pseudo(self, state):
+        state.move(3, state.pseudo_label)
+        assert state.pseudo_weight == 4
+        assert state.part_weights.tolist() == [3, 3]
+        assert state.total_weight() == 10
+
+    def test_move_from_pseudo(self, state):
+        state.move(3, state.pseudo_label)
+        state.move(3, 0)
+        assert state.pseudo_weight == 0
+        assert state.part_weights.tolist() == [7, 3]
+
+    def test_move_to_unassigned(self, state):
+        state.move(2, UNASSIGNED)
+        assert state.part_weights.tolist() == [3, 4]
+        assert state.total_weight() == 7
+
+    def test_move_same_is_noop(self, state):
+        state.move(0, 0)
+        assert state.part_weights.tolist() == [3, 7]
+
+    def test_move_invalid_target(self, state):
+        with pytest.raises(PartitionError):
+            state.move(0, 5)
+
+    def test_move_many(self, state):
+        state.move_many(np.array([0, 1]), 1)
+        assert state.part_weights.tolist() == [0, 10]
+
+    def test_move_unassigned_to_pseudo(self, state):
+        state.move(4, state.pseudo_label)
+        assert state.pseudo_weight == 5
+        assert state.total_weight() == 15
+
+
+class TestWeightsAndBalance:
+    def test_set_vertex_weight(self, state):
+        state.set_vertex_weight(0, 10)
+        assert state.part_weights[0] == 12
+
+    def test_set_weight_of_pseudo_vertex(self, state):
+        state.move(0, state.pseudo_label)
+        state.set_vertex_weight(0, 4)
+        assert state.pseudo_weight == 4
+
+    def test_w_pmax_tracks_total(self, state):
+        before = state.w_pmax()
+        state.move(3, UNASSIGNED)
+        assert state.w_pmax() < before
+
+    def test_balanced(self):
+        state = PartitionState(
+            np.array([0, 1]), np.array([1, 1]), k=2, epsilon=0.03
+        )
+        assert state.balanced()
+
+    def test_unbalanced(self):
+        state = PartitionState(
+            np.array([0, 0, 0, 0, 0, 1]), np.ones(6, dtype=int), k=2,
+            epsilon=0.03,
+        )
+        # W_pmax = ceil(1.03 * 6 / 2) = 4 < 5.
+        assert not state.balanced()
+
+
+class TestValidate:
+    def test_valid_passes(self, state):
+        state.validate()
+
+    def test_detects_stale_weights(self, state):
+        state.part_weights[0] += 1
+        with pytest.raises(PartitionError):
+            state.validate()
+
+    def test_detects_stale_pseudo(self, state):
+        state.partition[0] = state.pseudo_label
+        with pytest.raises(PartitionError):
+            state.validate()
+
+    def test_detects_out_of_range_label(self, state):
+        state.partition[0] = 9
+        with pytest.raises(PartitionError):
+            state.validate()
+
+    def test_active_mask_enforced(self, state):
+        active = np.array([True, True, True, True, True])
+        with pytest.raises(PartitionError):
+            state.validate(active_mask=active)  # vertex 4 is UNASSIGNED
+
+    def test_recompute_fixes_caches(self, state):
+        state.partition[0] = 1  # direct edit bypassing move()
+        state.recompute()
+        state.validate()
+
+    def test_copy_independent(self, state):
+        clone = state.copy()
+        clone.move(0, 1)
+        assert state.partition[0] == 0
+        state.validate()
+        clone.validate()

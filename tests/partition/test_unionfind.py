@@ -1,0 +1,122 @@
+"""Parallel union-find grouping with join-iteration labels."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, circuit_graph, mesh_graph_2d
+from repro.gpusim import GpuContext
+from repro.partition import find_roots, group_vertices
+from repro.partition.unionfind import select_neighbors
+
+
+class TestFindRoots:
+    def test_identity(self):
+        parent = np.arange(5)
+        assert np.array_equal(find_roots(parent), parent)
+
+    def test_chain_compresses(self):
+        parent = np.array([0, 0, 1, 2, 3])
+        assert np.array_equal(find_roots(parent), np.zeros(5, dtype=int))
+
+    def test_two_trees(self):
+        parent = np.array([0, 0, 2, 2])
+        assert find_roots(parent).tolist() == [0, 0, 2, 2]
+
+
+class TestSelectNeighbors:
+    def test_heaviest_edge_wins(self):
+        csr = CSRGraph.from_edges(
+            3,
+            np.array([[0, 1], [0, 2]]),
+            edge_weights=np.array([1, 10]),
+        )
+        priorities = np.zeros(csr.adjncy.size, dtype=np.int64)
+        selected = select_neighbors(csr, priorities, np.ones(3, bool))
+        assert selected[0] == 2
+
+    def test_isolated_gets_sentinel(self):
+        csr = CSRGraph.from_edges(3, np.array([[0, 1]]))
+        priorities = np.zeros(csr.adjncy.size, dtype=np.int64)
+        selected = select_neighbors(csr, priorities, np.ones(3, bool))
+        assert selected[2] == -1
+
+    def test_ineligible_excluded(self):
+        csr = CSRGraph.from_edges(2, np.array([[0, 1]]))
+        priorities = np.zeros(csr.adjncy.size, dtype=np.int64)
+        eligible = np.array([False, True])
+        selected = select_neighbors(csr, priorities, eligible)
+        assert selected[0] == -1
+        assert selected[1] == 0
+
+    def test_priority_breaks_ties(self):
+        csr = CSRGraph.from_edges(3, np.array([[0, 1], [0, 2]]))
+        priorities = np.zeros(csr.adjncy.size, dtype=np.int64)
+        # Give the arc 0->2 a higher tie-break priority.
+        for i in range(csr.adjncy.size):
+            if csr.adjncy[i] == 2:
+                priorities[i] = 5
+        selected = select_neighbors(csr, priorities, np.ones(3, bool))
+        assert selected[0] == 2
+
+
+class TestGroupVertices:
+    def test_pairs_on_path(self):
+        # Path 0-1-2-3: everything merges within a few iterations.
+        csr = CSRGraph.from_edges(4, np.array([[0, 1], [1, 2], [2, 3]]))
+        roots, labels = group_vertices(csr, match_iterations=3, seed=1)
+        assert np.unique(roots).size < 4
+
+    def test_roots_are_fixed_points(self, small_circuit):
+        roots, _ = group_vertices(small_circuit, seed=2)
+        assert np.array_equal(roots[roots], roots)
+
+    def test_labels_bounded_by_iterations(self, small_circuit):
+        _, labels = group_vertices(small_circuit, match_iterations=3, seed=2)
+        assert labels.max() <= 3
+        assert labels.min() >= 0
+
+    def test_singletons_have_label_zero(self):
+        # A graph with an isolated vertex.
+        csr = CSRGraph.from_edges(3, np.array([[0, 1]]))
+        roots, labels = group_vertices(csr, seed=0)
+        assert roots[2] == 2
+        assert labels[2] == 0
+
+    def test_grouped_vertices_get_positive_labels(self, small_mesh):
+        roots, labels = group_vertices(small_mesh, seed=3)
+        sizes = np.bincount(roots, minlength=roots.size)
+        in_group = sizes[roots] > 1
+        # Every grouped subset has at least one member labelled > 0
+        # (members that joined) and labels only on grouped vertices.
+        assert np.all(labels[~in_group] == 0)
+        for root in np.unique(roots[in_group]):
+            members = np.flatnonzero(roots == root)
+            assert (labels[members] > 0).any()
+
+    def test_deterministic_for_seed(self, small_circuit):
+        a = group_vertices(small_circuit, seed=9)
+        b = group_vertices(small_circuit, seed=9)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+    def test_seed_changes_grouping(self, small_mesh):
+        a, _ = group_vertices(small_mesh, seed=1)
+        b, _ = group_vertices(small_mesh, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_reduces_subset_count_substantially(self, small_mesh):
+        roots, _ = group_vertices(small_mesh, match_iterations=3, seed=4)
+        assert np.unique(roots).size <= small_mesh.num_vertices // 2
+
+    def test_charges_context(self, small_circuit):
+        ctx = GpuContext()
+        group_vertices(small_circuit, seed=5, ctx=ctx)
+        assert ctx.ledger.total.kernel_launches >= 1
+        assert ctx.ledger.total.warp_instructions > 0
+
+    def test_zero_iterations(self, small_circuit):
+        roots, labels = group_vertices(
+            small_circuit, match_iterations=0, seed=1
+        )
+        assert np.array_equal(roots, np.arange(small_circuit.num_vertices))
+        assert labels.sum() == 0

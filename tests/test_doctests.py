@@ -1,0 +1,30 @@
+"""Run the docstring examples embedded in the library."""
+
+import doctest
+
+import pytest
+
+import repro.eval.workloads
+import repro.graph.bucketlist
+import repro.utils.seeding
+
+_MODULES = [
+    repro.utils.seeding,
+    repro.graph.bucketlist,
+    repro.eval.workloads,
+]
+
+
+@pytest.mark.parametrize(
+    "module", _MODULES, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    result = doctest.testmod(
+        module, verbose=False, raise_on_error=False
+    )
+    assert result.failed == 0, (
+        f"{result.failed} doctest failures in {module.__name__}"
+    )
+    assert result.attempted > 0, (
+        f"{module.__name__} has no doctests; drop it from the list"
+    )
