@@ -1,0 +1,153 @@
+"""Streaming-service bench: throughput and coalescing vs batch size.
+
+The stream path adds two knobs the batch-replay experiments don't have:
+the scheduler's size target and the coalescer.  This bench feeds the
+same churny modifier stream (a TAU-style trace where a fraction of edge
+inserts immediately flip-flop: insert, delete, re-insert — the
+redundancy real ECO churn produces) through sessions with increasing
+size targets and records
+
+* host-side ingest throughput in modifiers/second,
+* the coalescing ratio (work removed before it reaches the simulated
+  GPU), and
+* how many GPU round-trips (batches) the stream cost.
+
+Shape claims: bigger windows coalesce at least as much as smaller ones
+(more flip-flops land inside one window) and need fewer batches.  The
+summary table is written to ``results/stream.txt``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from conftest import once
+from repro.eval.stream import run_stream_experiment
+from repro.eval.workloads import TraceConfig, generate_trace
+from repro.graph import EdgeDelete, EdgeInsert, circuit_graph
+from repro.partition.config import PartitionConfig
+from repro.stream import SchedulerConfig, StreamSession
+from repro.utils.seeding import make_rng
+
+_BATCH_SIZES = (16, 64, 256)
+_VERTICES = 1500
+_ITERATIONS = 12
+_MODIFIERS = 60
+_FLIP_PROB = 0.3
+_RESULTS = Path(__file__).resolve().parent.parent / "results"
+
+
+def _churn_stream(seed: int = 7):
+    """A modifier stream with genuine redundancy.
+
+    Every edge insert flip-flops (insert, delete, insert again) with
+    probability ``_FLIP_PROB``.  Each prefix of the stream stays valid,
+    so any window boundary the scheduler picks is applicable, and the
+    coalescer cancels the two middle operations whenever a flip-flop
+    lands inside one window.
+    """
+    csr = circuit_graph(_VERTICES, 1.3, seed=seed)
+    trace = generate_trace(
+        csr,
+        TraceConfig(
+            iterations=_ITERATIONS,
+            modifiers_per_iteration=_MODIFIERS,
+            seed=seed,
+        ),
+    )
+    rng = make_rng(seed, "churn")
+    stream = []
+    for batch in trace:
+        for modifier in batch:
+            stream.append(modifier)
+            if (
+                isinstance(modifier, EdgeInsert)
+                and rng.random() < _FLIP_PROB
+            ):
+                stream.append(EdgeDelete(modifier.u, modifier.v))
+                stream.append(modifier)
+    return csr, stream
+
+
+def _run(batch_size: int):
+    csr, stream = _churn_stream()
+    session = StreamSession(
+        csr,
+        PartitionConfig(k=4, seed=7),
+        scheduler=SchedulerConfig(target_batch_size=batch_size),
+    )
+    session.start()
+    import time
+
+    started = time.perf_counter()
+    for modifier in stream:
+        session.submit(modifier)
+    session.drain()
+    wall = time.perf_counter() - started
+    metrics = session.metrics()
+    return {
+        "batch_size": batch_size,
+        "submitted": len(stream),
+        "throughput": len(stream) / wall if wall > 0 else 0.0,
+        "coalescing_ratio": metrics["coalescing_ratio"],
+        "batches": metrics["batches"],
+        "cut": session.cut_size(),
+    }
+
+
+@pytest.mark.parametrize("batch_size", _BATCH_SIZES)
+def test_stream_batch_size(benchmark, batch_size):
+    stats = once(benchmark, _run, batch_size)
+    benchmark.extra_info.update(
+        {
+            "throughput_mods_per_s": round(stats["throughput"]),
+            "coalescing_ratio": round(stats["coalescing_ratio"], 4),
+            "batches": stats["batches"],
+        }
+    )
+    assert stats["cut"] > 0
+    assert stats["batches"] >= 1
+
+
+def test_stream_sweep_and_report(benchmark):
+    """Sweep the size targets, assert the shape, emit results/stream.txt."""
+
+    def run_all():
+        return [_run(size) for size in _BATCH_SIZES]
+
+    rows = once(benchmark, run_all)
+
+    # Bigger windows -> at least as much coalescing, fewer GPU trips.
+    for small, large in zip(rows, rows[1:]):
+        assert large["coalescing_ratio"] >= small["coalescing_ratio"]
+        assert large["batches"] <= small["batches"]
+    # The churn workload gives the coalescer real work at window sizes
+    # that can hold a whole flip-flop.
+    assert rows[-1]["coalescing_ratio"] > 0.05
+
+    lines = [
+        "Streaming service: throughput and coalescing vs size target",
+        f"(|V|={_VERTICES}, {rows[0]['submitted']} modifiers, "
+        f"{_FLIP_PROB:.0%} of edge inserts flip-flop)",
+        "",
+        f"{'batch size':>10} {'mods/s':>10} {'coalesced':>10} "
+        f"{'batches':>8} {'cut':>6}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['batch_size']:>10} {row['throughput']:>10,.0f} "
+            f"{row['coalescing_ratio']:>10.1%} {row['batches']:>8} "
+            f"{row['cut']:>6}"
+        )
+    text = "\n".join(lines)
+    _RESULTS.mkdir(parents=True, exist_ok=True)
+    (_RESULTS / "stream.txt").write_text(text + "\n")
+    benchmark.extra_info["report"] = text
+
+    # The eval driver consumes the same telemetry shape.
+    experiment = run_stream_experiment(
+        num_vertices=400, iterations=4, modifiers_per_iteration=20
+    )
+    assert experiment.telemetry["batches"] >= 1

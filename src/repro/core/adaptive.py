@@ -91,6 +91,36 @@ class AdaptiveIGKway:
         self.reference_cut: int | None = None
         self.fallbacks_taken = 0
 
+    @classmethod
+    def from_inner(
+        cls,
+        inner: IGKway,
+        volume_threshold: float = 0.5,
+        batch_threshold: float = 0.1,
+        drift_threshold: float = 2.0,
+    ) -> "AdaptiveIGKway":
+        """Wrap an existing (possibly restored) :class:`IGKway`.
+
+        Used by checkpoint recovery (:mod:`repro.stream.journal`): the
+        inner partitioner already carries live graph and partition
+        state, so no fresh :class:`IGKway` must be constructed.  Trigger
+        counters start reset; callers restore them from checkpoint
+        metadata.
+        """
+        adaptive = cls.__new__(cls)
+        if volume_threshold <= 0 or batch_threshold <= 0:
+            raise ValueError("thresholds must be positive")
+        if drift_threshold <= 1.0:
+            raise ValueError("drift_threshold must exceed 1.0")
+        adaptive.inner = inner
+        adaptive.volume_threshold = volume_threshold
+        adaptive.batch_threshold = batch_threshold
+        adaptive.drift_threshold = drift_threshold
+        adaptive.modifiers_since_full = 0
+        adaptive.reference_cut = None
+        adaptive.fallbacks_taken = 0
+        return adaptive
+
     # -- delegation ------------------------------------------------------------
 
     @property
@@ -208,4 +238,5 @@ class AdaptiveIGKway:
             balanced=result.balanced,
             balance_stats=incremental.balance_stats,
             refine_stats=incremental.refine_stats,
+            applied_modifiers=incremental.applied_modifiers,
         )

@@ -55,6 +55,8 @@ class IterationReport:
         cut: Weighted cut size after the iteration.
         balanced: Whether the balance constraint holds.
         balance_stats / refine_stats: Kernel diagnostics.
+        applied_modifiers: Modifiers in the batch this report covers
+            (after any coalescing upstream of the partitioner).
     """
 
     modification_seconds: float
@@ -63,6 +65,7 @@ class IterationReport:
     balanced: bool
     balance_stats: BalanceStats
     refine_stats: RefineStats
+    applied_modifiers: int = 0
 
 
 @dataclass
@@ -177,6 +180,7 @@ class IGKway:
             balanced=state.balanced(),
             balance_stats=balance_stats,
             refine_stats=refine_stats,
+            applied_modifiers=len(batch),
         )
 
     def run_trace(

@@ -103,6 +103,18 @@ def expand_modifiers(
     # VertexDelete sees edges inserted earlier in the same batch.
     pending_add: dict[int, set[int]] = {}
     pending_del: dict[int, set[int]] = {}
+    # Vertex-status deltas: True after an in-batch insert, False after an
+    # in-batch delete.  An edge modifier touching a vertex deleted
+    # earlier in the same batch used to emit slot ops against the
+    # blanked buckets, silently corrupting the bucket list.
+    pending_status: dict[int, bool] = {}
+
+    def check_live(w: int, modifier: Modifier) -> None:
+        if pending_status.get(w) is False:
+            raise ModifierError(
+                f"{modifier!r} references vertex {w} deleted earlier "
+                "in the same batch"
+            )
 
     def current_neighbors(u: int) -> list[int]:
         base = [int(v) for v in graph.neighbors(u)]
@@ -124,23 +136,30 @@ def expand_modifiers(
 
     for modifier in batch:
         if isinstance(modifier, EdgeInsert):
+            check_live(modifier.u, modifier)
+            check_live(modifier.v, modifier)
             ops.append(SlotInsert(modifier.u, modifier.v, modifier.weight))
             ops.append(SlotInsert(modifier.v, modifier.u, modifier.weight))
             note_add(modifier.u, modifier.v)
             note_add(modifier.v, modifier.u)
         elif isinstance(modifier, EdgeDelete):
+            check_live(modifier.u, modifier)
+            check_live(modifier.v, modifier)
             ops.append(SlotDelete(modifier.u, modifier.v))
             ops.append(SlotDelete(modifier.v, modifier.u))
             note_del(modifier.u, modifier.v)
             note_del(modifier.v, modifier.u)
         elif isinstance(modifier, VertexDelete):
+            check_live(modifier.u, modifier)
             for v in current_neighbors(modifier.u):
                 ops.append(SlotDelete(v, modifier.u))
                 note_del(v, modifier.u)
                 note_del(modifier.u, v)
             ops.append(VertexDeactivate(modifier.u))
+            pending_status[modifier.u] = False
         elif isinstance(modifier, VertexInsert):
             ops.append(VertexActivate(modifier.u, modifier.weight))
+            pending_status[modifier.u] = True
         else:
             raise ModifierError(f"unknown modifier {modifier!r}")
     return ops

@@ -8,12 +8,20 @@ arrays, the partition assignment, and the configuration — into a single
 compressed ``.npz``; ``load_partitioner`` reconstitutes an equivalent
 partitioner (with a fresh cost ledger) that continues exactly where the
 saved one stopped.
+
+Format version 2 adds an optional *stream metadata* JSON payload used by
+:mod:`repro.stream` to persist its journal cursor (the sequence number
+of the last applied modifier) and the adaptive-trigger state alongside
+the partitioner, so ``StreamSession.recover`` can replay exactly the
+un-checkpointed suffix of the modifier log.  Version-1 checkpoints are
+still loadable (their stream metadata is empty).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -25,22 +33,57 @@ from repro.partition.config import PartitionConfig
 from repro.partition.state import PartitionState
 from repro.utils.errors import PartitionError
 
-#: Bumped whenever the on-disk layout changes.
-FORMAT_VERSION = 1
+#: Bumped whenever the on-disk layout changes.  Version 2 (this
+#: release) added the ``stream_meta_json`` payload.
+FORMAT_VERSION = 2
+
+#: Versions ``load_partitioner`` can read.
+SUPPORTED_VERSIONS = (1, 2)
+
+#: Array keys every checkpoint must contain (both versions).
+_REQUIRED_KEYS = (
+    "format_version",
+    "config_json",
+    "capacity",
+    "pool_buckets",
+    "gamma",
+    "num_vertices",
+    "num_buckets_used",
+    "bucket_list",
+    "slot_wgt",
+    "bucket_start",
+    "bucket_count",
+    "vertex_status",
+    "vwgt",
+    "partition",
+    "iterations_applied",
+)
 
 
-def save_partitioner(partitioner: IGKway, path: "str | Path") -> None:
-    """Serialize a partitioned :class:`IGKway` to ``path`` (.npz)."""
+def save_partitioner(
+    partitioner: IGKway,
+    path: "str | Path",
+    stream_meta: dict | None = None,
+) -> None:
+    """Serialize a partitioned :class:`IGKway` to ``path`` (.npz).
+
+    ``stream_meta`` is an optional JSON-serializable dict persisted
+    verbatim; :mod:`repro.stream` stores its journal cursor there.
+    """
     graph = partitioner.graph
     state = partitioner.state
     if graph is None or state is None:
         raise PartitionError("cannot save before full_partition()")
     config_json = json.dumps(dataclasses.asdict(partitioner.config))
+    meta_json = json.dumps(stream_meta if stream_meta is not None else {})
     np.savez_compressed(
         Path(path),
         format_version=np.int64(FORMAT_VERSION),
         config_json=np.frombuffer(
             config_json.encode(), dtype=np.uint8
+        ),
+        stream_meta_json=np.frombuffer(
+            meta_json.encode(), dtype=np.uint8
         ),
         capacity=np.int64(graph.capacity),
         pool_buckets=np.int64(graph.pool_buckets),
@@ -67,32 +110,83 @@ def load_partitioner(
     not part of the checkpoint) but identical graph and partition state,
     so subsequent ``apply`` calls produce the same results the original
     would have.
+
+    Raises :class:`~repro.utils.errors.PartitionError` — never a bare
+    ``KeyError`` or ``zipfile`` error — on a missing file, a truncated
+    or corrupt archive, or an unsupported format version.
     """
-    with np.load(Path(path)) as data:
-        version = int(data["format_version"])
-        if version != FORMAT_VERSION:
-            raise PartitionError(
-                f"checkpoint format {version} unsupported "
-                f"(expected {FORMAT_VERSION})"
+    partitioner, _meta = load_checkpoint(path, ctx=ctx)
+    return partitioner
+
+
+def load_checkpoint(
+    path: "str | Path", ctx: GpuContext | None = None
+) -> "tuple[IGKway, dict]":
+    """Like :func:`load_partitioner`, also returning the stream metadata.
+
+    Version-1 checkpoints (no ``stream_meta_json`` payload) yield an
+    empty dict.
+    """
+    path = Path(path)
+    try:
+        with np.load(path) as data:
+            files = set(data.files)
+            missing = [k for k in _REQUIRED_KEYS if k not in files]
+            if "format_version" not in files:
+                raise PartitionError(
+                    f"{path}: not an iG-kway checkpoint "
+                    "(no format_version field)"
+                )
+            version = int(data["format_version"])
+            if version not in SUPPORTED_VERSIONS:
+                raise PartitionError(
+                    f"checkpoint format {version} unsupported "
+                    f"(supported: {', '.join(map(str, SUPPORTED_VERSIONS))})"
+                )
+            if missing:
+                raise PartitionError(
+                    f"{path}: truncated checkpoint, missing fields: "
+                    f"{', '.join(missing)}"
+                )
+            config = PartitionConfig(
+                **json.loads(bytes(data["config_json"]).decode())
             )
-        config = PartitionConfig(
-            **json.loads(bytes(data["config_json"]).decode())
-        )
-        graph = BucketListGraph(
-            capacity=int(data["capacity"]),
-            pool_buckets=int(data["pool_buckets"]),
-            gamma=int(data["gamma"]),
-        )
-        graph.num_vertices = int(data["num_vertices"])
-        graph.num_buckets_used = int(data["num_buckets_used"])
-        graph.bucket_list = data["bucket_list"].copy()
-        graph.slot_wgt = data["slot_wgt"].copy()
-        graph.bucket_start = data["bucket_start"].copy()
-        graph.bucket_count = data["bucket_count"].copy()
-        graph.vertex_status = data["vertex_status"].copy()
-        graph.vwgt = data["vwgt"].copy()
-        partition = data["partition"].copy()
-        iterations = int(data["iterations_applied"])
+            if version >= 2 and "stream_meta_json" in files:
+                stream_meta = json.loads(
+                    bytes(data["stream_meta_json"]).decode()
+                )
+            else:
+                stream_meta = {}
+            graph = BucketListGraph(
+                capacity=int(data["capacity"]),
+                pool_buckets=int(data["pool_buckets"]),
+                gamma=int(data["gamma"]),
+            )
+            graph.num_vertices = int(data["num_vertices"])
+            graph.num_buckets_used = int(data["num_buckets_used"])
+            graph.bucket_list = data["bucket_list"].copy()
+            graph.slot_wgt = data["slot_wgt"].copy()
+            graph.bucket_start = data["bucket_start"].copy()
+            graph.bucket_count = data["bucket_count"].copy()
+            graph.vertex_status = data["vertex_status"].copy()
+            graph.vwgt = data["vwgt"].copy()
+            partition = data["partition"].copy()
+            iterations = int(data["iterations_applied"])
+    except PartitionError:
+        raise
+    except FileNotFoundError as exc:
+        raise PartitionError(f"checkpoint not found: {path}") from exc
+    except (
+        KeyError,
+        ValueError,
+        OSError,
+        EOFError,
+        zipfile.BadZipFile,
+        json.JSONDecodeError,
+    ) as exc:
+        raise PartitionError(
+            f"{path}: truncated or corrupt checkpoint ({exc})"
+        ) from exc
 
     # Reconstruct a placeholder CSR of the original graph for the
     # partitioner's provenance field (the live graph is the bucket list).
@@ -103,7 +197,7 @@ def load_partitioner(
         partition, graph.vwgt, config.k, config.epsilon
     )
     partitioner.iterations_applied = iterations
-    return partitioner
+    return partitioner, stream_meta
 
 
 def export_partition_csv(

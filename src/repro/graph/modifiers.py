@@ -15,7 +15,7 @@ and edge deletion (``M_(u,v)^-``).  This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Union
+from typing import Dict, Iterable, Iterator, List, Tuple, Union
 
 import numpy as np
 
@@ -62,6 +62,167 @@ class EdgeDelete:
 Modifier = Union[VertexInsert, VertexDelete, EdgeInsert, EdgeDelete]
 
 
+def _edge_key(u: int, v: int) -> Tuple[int, int]:
+    return (u, v) if u < v else (v, u)
+
+
+def coalesce_modifiers(
+    modifiers: Iterable[Modifier],
+) -> Tuple[List[Modifier], Dict[str, int]]:
+    """Collapse redundant pending work out of a modifier sequence.
+
+    Three context-free rules, each preserving the net effect on *any*
+    base graph the raw sequence applies cleanly to:
+
+    * **cancellation** — a pending :class:`EdgeInsert` followed by an
+      :class:`EdgeDelete` of the same edge removes both (the edge was
+      absent before the insert and is absent after the delete);
+    * **dedup** — an :class:`EdgeInsert` (or :class:`VertexInsert`)
+      identical to one still pending is dropped, making idempotent
+      double-submission from stream producers harmless;
+    * **subsumption** — :class:`VertexDelete` removes every pending edge
+      modifier incident to the vertex, since deleting the vertex drops
+      all its edges anyway.
+
+    Vertex insert/delete pairs are *never* cancelled: a
+    :class:`VertexInsert` of a brand-new ID extends the vertex-ID space,
+    which later modifiers may rely on.
+
+    Returns ``(surviving_modifiers, stats)`` where ``stats`` counts
+    ``input`` / ``output`` modifiers and per-rule drops
+    (``cancelled`` counts both halves of each insert+delete pair).
+    """
+    mods = list(modifiers)
+    live: Dict[int, Modifier] = {}
+    # Per-edge stack of live op indices (in order), and per-vertex set of
+    # edge keys with live ops, for O(1) subsumption.
+    edge_ops: Dict[Tuple[int, int], List[int]] = {}
+    touching: Dict[int, set] = {}
+    # Last live vertex-status op per vertex (index into ``live``).
+    vert_last: Dict[int, int] = {}
+    stats = {
+        "input": len(mods),
+        "output": 0,
+        "cancelled": 0,
+        "deduplicated": 0,
+        "subsumed": 0,
+    }
+
+    def push_edge_op(idx: int, mod: Modifier, key: Tuple[int, int]) -> None:
+        live[idx] = mod
+        edge_ops.setdefault(key, []).append(idx)
+        touching.setdefault(key[0], set()).add(key)
+        touching.setdefault(key[1], set()).add(key)
+
+    for idx, mod in enumerate(mods):
+        if isinstance(mod, EdgeInsert):
+            key = _edge_key(mod.u, mod.v)
+            stack = edge_ops.get(key)
+            if stack:
+                top = live[stack[-1]]
+                if isinstance(top, EdgeInsert) and top.weight == mod.weight:
+                    stats["deduplicated"] += 1
+                    continue
+            push_edge_op(idx, mod, key)
+        elif isinstance(mod, EdgeDelete):
+            key = _edge_key(mod.u, mod.v)
+            stack = edge_ops.get(key)
+            if stack and isinstance(live[stack[-1]], EdgeInsert):
+                del live[stack.pop()]
+                stats["cancelled"] += 2
+                continue
+            push_edge_op(idx, mod, key)
+        elif isinstance(mod, VertexDelete):
+            for key in touching.pop(mod.u, set()):
+                for i in edge_ops.get(key, ()):
+                    if i in live:
+                        del live[i]
+                        stats["subsumed"] += 1
+                edge_ops[key] = []
+                other = key[0] if key[1] == mod.u else key[1]
+                if other in touching:
+                    touching[other].discard(key)
+            live[idx] = mod
+            vert_last[mod.u] = idx
+        elif isinstance(mod, VertexInsert):
+            prev_idx = vert_last.get(mod.u)
+            prev = live.get(prev_idx) if prev_idx is not None else None
+            if (
+                isinstance(prev, VertexInsert)
+                and prev.weight == mod.weight
+            ):
+                stats["deduplicated"] += 1
+                continue
+            live[idx] = mod
+            vert_last[mod.u] = idx
+        else:
+            raise ModifierError(f"unknown modifier {mod!r}")
+
+    out = [live[idx] for idx in sorted(live)]
+    stats["output"] = len(out)
+    return out, stats
+
+
+def validate_batch(modifiers: Iterable[Modifier]) -> None:
+    """Reject intra-batch inconsistencies before they reach a kernel.
+
+    Context-free checks (no base graph needed): an edge modifier may not
+    reference a vertex deleted *earlier in the same batch* (without a
+    re-insert in between) — previously such an ``EdgeInsert`` silently
+    wrote a neighbor slot into the deleted vertex's blanked buckets,
+    corrupting the bucket list.  Also rejected: self-loops, duplicate
+    pending edge inserts / deletes of the same edge, and double
+    insert/delete of the same vertex.
+
+    Raises :class:`~repro.utils.errors.ModifierError` on the first
+    violation.
+    """
+    # None = untouched this batch; True = (re-)inserted; False = deleted.
+    vertex_state: Dict[int, bool] = {}
+    # Last pending op kind per edge: True = insert, False = delete.
+    edge_state: Dict[Tuple[int, int], bool] = {}
+
+    def check_endpoint(w: int, mod: Modifier) -> None:
+        if vertex_state.get(w) is False:
+            raise ModifierError(
+                f"{mod!r} references vertex {w} deleted earlier "
+                "in the same batch"
+            )
+
+    for mod in modifiers:
+        if isinstance(mod, (EdgeInsert, EdgeDelete)):
+            if mod.u == mod.v:
+                raise ModifierError(f"{mod!r} is a self-loop")
+            check_endpoint(mod.u, mod)
+            check_endpoint(mod.v, mod)
+            key = _edge_key(mod.u, mod.v)
+            inserting = isinstance(mod, EdgeInsert)
+            if edge_state.get(key) is inserting:
+                kind = "insert" if inserting else "delete"
+                raise ModifierError(
+                    f"duplicate pending edge {kind} for edge {key} "
+                    "in the same batch"
+                )
+            edge_state[key] = inserting
+        elif isinstance(mod, VertexInsert):
+            if vertex_state.get(mod.u) is True:
+                raise ModifierError(
+                    f"vertex {mod.u} inserted twice in the same batch"
+                )
+            vertex_state[mod.u] = True
+        elif isinstance(mod, VertexDelete):
+            if vertex_state.get(mod.u) is False:
+                raise ModifierError(
+                    f"vertex {mod.u} deleted twice in the same batch"
+                )
+            vertex_state[mod.u] = False
+            # The delete subsumes pending state of its incident edges.
+            for key in [k for k in edge_state if mod.u in k]:
+                del edge_state[key]
+        else:
+            raise ModifierError(f"unknown modifier {mod!r}")
+
+
 @dataclass
 class ModifierBatch:
     """The modifiers applied in one incremental iteration."""
@@ -95,6 +256,21 @@ class ModifierBatch:
             else:
                 out["edge_delete"] += 1
         return out
+
+    def coalesce(self) -> "ModifierBatch":
+        """Return a new batch with redundant pending work removed.
+
+        See :func:`coalesce_modifiers` for the cancellation / dedup /
+        subsumption rules.  For any batch whose raw application
+        succeeds, applying the coalesced batch yields the identical
+        graph.
+        """
+        survivors, _stats = coalesce_modifiers(self.modifiers)
+        return ModifierBatch(survivors)
+
+    def validate(self) -> None:
+        """Reject intra-batch inconsistencies (:func:`validate_batch`)."""
+        validate_batch(self.modifiers)
 
 
 class HostGraph:

@@ -1,0 +1,39 @@
+"""repro.stream — streaming partition service on top of iG-kway.
+
+The subsystem turns the batch-replay partitioner into a long-lived
+service: a bounded, sequence-stamped ingest queue feeds a coalescer
+that cancels redundant pending work, an adaptive scheduler flushes
+right-sized batches into :class:`~repro.core.adaptive.AdaptiveIGKway`,
+and a checkpointed journal makes the whole pipeline crash-recoverable
+(``StreamSession.recover`` replays the un-checkpointed suffix
+bit-identically).
+
+See ``docs/ARCHITECTURE.md`` ("Streaming service") for the pipeline
+diagram and ``examples/streaming_service.py`` for a runnable tour.
+"""
+
+from repro.stream.coalescer import Coalescer, CoalesceResult
+from repro.stream.ingest import IngestQueue, SequencedModifier
+from repro.stream.journal import JournalState, StreamJournal
+from repro.stream.scheduler import (
+    BatchScheduler,
+    SchedulerConfig,
+    ledger_cycles,
+)
+from repro.stream.session import StreamBatchReport, StreamSession
+from repro.stream.telemetry import StreamTelemetry
+
+__all__ = [
+    "BatchScheduler",
+    "Coalescer",
+    "CoalesceResult",
+    "IngestQueue",
+    "JournalState",
+    "SchedulerConfig",
+    "SequencedModifier",
+    "StreamBatchReport",
+    "StreamJournal",
+    "StreamSession",
+    "StreamTelemetry",
+    "ledger_cycles",
+]

@@ -1,0 +1,161 @@
+"""``repro-stream``: command-line front end for the streaming service.
+
+Three subcommands::
+
+    repro-stream run      # stream a synthetic trace through a session
+    repro-stream recover  # resume a journaled session after a crash
+    repro-stream inspect  # print a journal's checkpoint cursor + backlog
+
+``run`` drives the full pipeline (ingest -> coalesce -> schedule ->
+partition -> journal) over the paper's TAU-2015-style workload and
+prints the telemetry report; give ``--journal`` to make it durable,
+then ``recover`` picks the stream back up from the journal directory.
+
+``python -m repro.stream.cli ...`` is equivalent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+from repro.utils import ReproError
+
+
+def run_stream(args: argparse.Namespace) -> int:
+    from repro.eval.stream import (
+        format_stream_report,
+        run_stream_experiment,
+    )
+
+    experiment = run_stream_experiment(
+        k=args.k,
+        num_vertices=args.vertices,
+        iterations=args.iterations,
+        modifiers_per_iteration=args.modifiers,
+        seed=args.seed,
+        target_batch_size=args.target_batch_size,
+        max_latency_cycles=args.max_latency_cycles,
+        journal_dir=str(args.journal) if args.journal else None,
+        checkpoint_every=args.checkpoint_every,
+    )
+    text = format_stream_report(experiment)
+    print(text)
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / "stream.txt").write_text(text + "\n")
+    return 0
+
+
+def run_recover(args: argparse.Namespace) -> int:
+    from repro.stream.session import StreamSession
+
+    session = StreamSession.recover(args.journal)
+    backlog = session.queue.depth
+    print(
+        f"Recovered session from {args.journal}: cut = "
+        f"{session.cut_size()}, applied_seq = {session.applied_seq}, "
+        f"backlog = {backlog} modifiers"
+    )
+    if args.drain and backlog:
+        reports = session.drain()
+        print(
+            f"Drained backlog in {len(reports)} batches; final cut = "
+            f"{session.cut_size()}"
+        )
+    session.close()
+    return 0
+
+
+def run_inspect(args: argparse.Namespace) -> int:
+    from repro.stream.journal import StreamJournal
+
+    journal = StreamJournal(args.journal)
+    state = journal.load()
+    meta = state.meta
+    telemetry = meta.get("telemetry", {})
+    print(f"Journal at {args.journal}")
+    print(f"  applied_seq (cursor)  {state.applied_seq}")
+    print(f"  next_seq              {meta.get('next_seq')}")
+    print(f"  logged past cursor    {len(state.modifiers)} modifiers")
+    print(f"  unreplayed flushes    {len(state.flushes)}")
+    print(f"  lifetime ingested     {telemetry.get('ingested', 0)}")
+    print(f"  lifetime batches      {telemetry.get('batches', 0)}")
+    print(f"  checkpoints written   "
+          f"{telemetry.get('checkpoints_written', 0)}")
+    journal.close()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-stream",
+        description="Streaming partition service on top of the iG-kway "
+        "reproduction: coalescing ingest, adaptive batch scheduling, "
+        "checkpointed recovery.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    runner = sub.add_parser(
+        "run", help="stream a synthetic modifier trace through a session"
+    )
+    runner.add_argument("--vertices", type=int, default=2000,
+                        help="synthetic circuit-graph size")
+    runner.add_argument("--k", type=int, default=4)
+    runner.add_argument("--iterations", type=int, default=40,
+                        help="trace iterations (modifiers arrive one "
+                        "by one regardless)")
+    runner.add_argument("--modifiers", type=int, default=50,
+                        help="modifiers per trace iteration")
+    runner.add_argument("--seed", type=int, default=0)
+    runner.add_argument("--target-batch-size", type=int, default=None,
+                        help="fixed size trigger (default: derived "
+                        "from the adaptive batch threshold)")
+    runner.add_argument("--max-latency-cycles", type=float, default=None,
+                        help="deadline trigger in simulated device "
+                        "cycles")
+    runner.add_argument("--journal", type=Path, default=None,
+                        help="journal directory (enables durability)")
+    runner.add_argument("--checkpoint-every", type=int, default=8,
+                        help="checkpoint after this many flushes")
+    runner.add_argument("--out", type=Path, default=None,
+                        help="directory to also write the report into")
+    runner.set_defaults(func=run_stream)
+
+    recover = sub.add_parser(
+        "recover", help="rebuild a crashed session from its journal"
+    )
+    recover.add_argument("journal", type=Path,
+                         help="journal directory of the crashed run")
+    recover.add_argument("--drain", action="store_true",
+                         help="also flush the recovered backlog")
+    recover.set_defaults(func=run_recover)
+
+    inspect = sub.add_parser(
+        "inspect", help="print a journal's cursor and backlog"
+    )
+    inspect.add_argument("journal", type=Path)
+    inspect.set_defaults(func=run_inspect)
+
+    return parser
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, ValueError) as exc:
+        print(f"repro-stream: error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Reader went away (e.g. piped into `head`); suppress the
+        # shutdown-flush traceback and exit quietly like other CLIs.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,246 @@
+"""Checkpointed recovery journal for the streaming service.
+
+Layered on :mod:`repro.core.serialize`: the partitioner state goes into
+a periodic ``checkpoint.npz`` (format version 2, which carries the
+stream cursor as metadata) while every ingested modifier and every
+applied flush window is appended to ``journal.log`` as one JSON line.
+
+Crash model: the process can die at any point.  Recovery then
+
+1. loads the last durable checkpoint (partitioner + ``applied_seq``
+   cursor + adaptive-trigger state + telemetry),
+2. replays every *flush record* past the cursor by re-coalescing the
+   logged raw modifiers of its ``[first_seq, last_seq]`` window —
+   coalescing and the partitioner are deterministic, so the replayed
+   session is bit-identical to the uninterrupted one,
+3. re-enqueues the logged-but-never-flushed suffix into the ingest
+   queue.
+
+A torn final line (the write the crash interrupted) is tolerated and
+discarded; everything before it is trusted.  Checkpointing compacts the
+log, dropping records at or below the new cursor so the journal stays
+proportional to the un-checkpointed window, not the stream's lifetime.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, TextIO, Tuple
+
+from repro.core.igkway import IGKway
+from repro.core.serialize import load_checkpoint, save_partitioner
+from repro.gpusim.context import GpuContext
+from repro.graph.modifiers import (
+    EdgeDelete,
+    EdgeInsert,
+    Modifier,
+    VertexDelete,
+    VertexInsert,
+)
+from repro.utils.errors import JournalError
+
+#: Bumped whenever the journal line format changes.
+JOURNAL_FORMAT = 1
+
+CHECKPOINT_NAME = "checkpoint.npz"
+LOG_NAME = "journal.log"
+
+
+def encode_modifier(modifier: Modifier) -> dict:
+    """One modifier as a compact JSON-able record."""
+    if isinstance(modifier, VertexInsert):
+        return {"t": "vi", "u": modifier.u, "w": modifier.weight}
+    if isinstance(modifier, VertexDelete):
+        return {"t": "vd", "u": modifier.u}
+    if isinstance(modifier, EdgeInsert):
+        return {
+            "t": "ei",
+            "u": modifier.u,
+            "v": modifier.v,
+            "w": modifier.weight,
+        }
+    if isinstance(modifier, EdgeDelete):
+        return {"t": "ed", "u": modifier.u, "v": modifier.v}
+    raise JournalError(f"cannot journal unknown modifier {modifier!r}")
+
+
+def decode_modifier(record: dict) -> Modifier:
+    """Inverse of :func:`encode_modifier`."""
+    kind = record.get("t")
+    if kind == "vi":
+        return VertexInsert(record["u"], record.get("w", 1))
+    if kind == "vd":
+        return VertexDelete(record["u"])
+    if kind == "ei":
+        return EdgeInsert(record["u"], record["v"], record.get("w", 1))
+    if kind == "ed":
+        return EdgeDelete(record["u"], record["v"])
+    raise JournalError(f"unknown journaled modifier kind {kind!r}")
+
+
+@dataclass
+class JournalState:
+    """Everything :meth:`StreamJournal.load` recovers from disk."""
+
+    partitioner: IGKway
+    meta: dict
+    #: Raw logged modifiers past the checkpoint cursor, keyed by seq.
+    modifiers: Dict[int, Modifier] = field(default_factory=dict)
+    #: Applied-window records ``(first_seq, last_seq, reason)`` in order.
+    flushes: List[Tuple[int, int, str]] = field(default_factory=list)
+
+    @property
+    def applied_seq(self) -> int:
+        return int(self.meta.get("applied_seq", -1))
+
+    @property
+    def max_logged_seq(self) -> int:
+        return max(self.modifiers, default=self.applied_seq)
+
+
+class StreamJournal:
+    """Append-only modifier log plus periodic partitioner checkpoints."""
+
+    def __init__(self, directory: "str | Path"):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._log: Optional[TextIO] = None
+
+    @property
+    def checkpoint_path(self) -> Path:
+        return self.directory / CHECKPOINT_NAME
+
+    @property
+    def log_path(self) -> Path:
+        return self.directory / LOG_NAME
+
+    def exists(self) -> bool:
+        return self.checkpoint_path.exists()
+
+    # -- appending -----------------------------------------------------------------
+
+    def _handle(self) -> TextIO:
+        if self._log is None:
+            self._log = self.log_path.open("a", encoding="utf-8")
+        return self._log
+
+    def _append(self, record: dict) -> None:
+        handle = self._handle()
+        handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        handle.flush()
+
+    def log_modifier(self, seq: int, modifier: Modifier) -> None:
+        """Durably record one ingested modifier before it is queued."""
+        record = {"r": "m", "s": seq}
+        record.update(encode_modifier(modifier))
+        self._append(record)
+
+    def log_flush(
+        self, first_seq: int, last_seq: int, reason: str
+    ) -> None:
+        """Record that the raw window ``[first_seq, last_seq]`` was
+        coalesced and applied.  Replay re-derives the batch from the
+        logged modifiers in that range."""
+        self._append(
+            {"r": "f", "a": first_seq, "b": last_seq, "w": reason}
+        )
+
+    # -- checkpointing -------------------------------------------------------------
+
+    def write_checkpoint(
+        self, partitioner: IGKway, meta: dict
+    ) -> None:
+        """Atomically persist the partitioner + cursor, then compact.
+
+        The checkpoint lands via write-to-temp + rename so a crash mid
+        checkpoint leaves the previous one intact; only then is the log
+        compacted down to the un-checkpointed suffix.
+        """
+        meta = dict(meta)
+        meta.setdefault("journal_format", JOURNAL_FORMAT)
+        tmp = self.directory / (CHECKPOINT_NAME + ".tmp.npz")
+        save_partitioner(partitioner, tmp, stream_meta=meta)
+        os.replace(tmp, self.checkpoint_path)
+        self._compact(int(meta.get("applied_seq", -1)))
+
+    def _compact(self, applied_seq: int) -> None:
+        """Drop journal records fully covered by the checkpoint."""
+        if not self.log_path.exists():
+            return
+        if self._log is not None:
+            self._log.close()
+            self._log = None
+        keep: List[str] = []
+        for record in self._read_records():
+            if record["r"] == "m" and record["s"] > applied_seq:
+                keep.append(json.dumps(record, separators=(",", ":")))
+            elif record["r"] == "f" and record["b"] > applied_seq:
+                keep.append(json.dumps(record, separators=(",", ":")))
+        tmp = self.directory / (LOG_NAME + ".tmp")
+        tmp.write_text(
+            "\n".join(keep) + ("\n" if keep else ""), encoding="utf-8"
+        )
+        os.replace(tmp, self.log_path)
+
+    # -- recovery ------------------------------------------------------------------
+
+    def _read_records(self) -> List[dict]:
+        """Parse the log, discarding the torn tail a crash may leave."""
+        records: List[dict] = []
+        if not self.log_path.exists():
+            return records
+        with self.log_path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    break  # torn write: trust nothing at or after it
+                if "r" not in record:
+                    break
+                records.append(record)
+        return records
+
+    def load(self, ctx: GpuContext | None = None) -> JournalState:
+        """Read checkpoint + log back into a :class:`JournalState`.
+
+        Raises :class:`JournalError` if no checkpoint exists or a flush
+        record references modifiers the log never recorded (true
+        corruption, as opposed to a torn tail).
+        """
+        if not self.exists():
+            raise JournalError(
+                f"no checkpoint at {self.checkpoint_path} "
+                "(was start() called with a journal?)"
+            )
+        partitioner, meta = load_checkpoint(self.checkpoint_path, ctx=ctx)
+        state = JournalState(partitioner=partitioner, meta=meta)
+        applied = state.applied_seq
+        for record in self._read_records():
+            if record["r"] == "m":
+                if record["s"] > applied:
+                    state.modifiers[record["s"]] = decode_modifier(record)
+            elif record["r"] == "f":
+                if record["b"] <= applied:
+                    continue
+                for seq in range(record["a"], record["b"] + 1):
+                    if seq > applied and seq not in state.modifiers:
+                        raise JournalError(
+                            f"flush record [{record['a']}, "
+                            f"{record['b']}] references unlogged "
+                            f"modifier seq {seq}"
+                        )
+                state.flushes.append(
+                    (record["a"], record["b"], record.get("w", "replay"))
+                )
+        return state
+
+    def close(self) -> None:
+        if self._log is not None:
+            self._log.close()
+            self._log = None

@@ -1,0 +1,123 @@
+"""Adaptive batch scheduler: decide *when* the pending window flushes.
+
+Batch sizing is where incremental partitioners win or lose: too-small
+batches waste kernel-launch overhead and refinement rounds; too-large
+batches trip :class:`~repro.core.adaptive.AdaptiveIGKway`'s
+volume trigger and force a full re-partition.  The scheduler therefore
+drives the flush decision off the *partitioner's own* fallback
+thresholds instead of a fixed constant:
+
+* **size trigger** — flush when the pending window approaches the
+  adaptive batch threshold (``batch_headroom`` × ``batch_threshold`` ×
+  |V|), so a streamed batch lands *under* the single-batch fallback
+  trigger that a naive caller would have tripped;
+* **deadline trigger** — flush when the oldest pending modifier has
+  waited longer than ``max_latency_cycles`` of the simulated GPU's
+  clock (the :mod:`repro.gpusim` cost ledger converted to device
+  cycles), bounding staleness during quiet periods;
+* **explicit** — :meth:`StreamSession.flush` / backpressure, decided by
+  the session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.adaptive import AdaptiveIGKway
+from repro.gpusim.cost import CostLedger
+
+
+def ledger_cycles(ledger: CostLedger) -> float:
+    """The ledger's modeled elapsed time expressed in device cycles.
+
+    Modeled seconds (compute, memory, atomics, PCIe, host work) scaled
+    by the device's SM clock — the clock a CUDA deployment would read
+    with ``clock64()`` to implement the same deadline.
+    """
+    seconds = ledger.model.seconds(ledger.total)
+    return seconds * ledger.model.device.clock_ghz * 1e9
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Flush policy parameters.
+
+    Attributes:
+        target_batch_size: Fixed size trigger; when None the target is
+            derived from the partitioner's ``batch_threshold``.
+        batch_headroom: Fraction of the adaptive single-batch fallback
+            trigger at which to flush (default 0.75: stay comfortably
+            below the volume/quality fallback unless drift forces it).
+        max_latency_cycles: Deadline in simulated device cycles; None
+            disables the deadline trigger.
+        min_batch_size: Lower bound of the derived size target.
+    """
+
+    target_batch_size: Optional[int] = None
+    batch_headroom: float = 0.75
+    max_latency_cycles: Optional[float] = None
+    min_batch_size: int = 1
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.batch_headroom <= 1.0):
+            raise ValueError("batch_headroom must be in (0, 1]")
+        if self.min_batch_size < 1:
+            raise ValueError("min_batch_size must be >= 1")
+        if (
+            self.target_batch_size is not None
+            and self.target_batch_size < 1
+        ):
+            raise ValueError("target_batch_size must be >= 1")
+        if (
+            self.max_latency_cycles is not None
+            and self.max_latency_cycles <= 0
+        ):
+            raise ValueError("max_latency_cycles must be positive")
+
+
+class BatchScheduler:
+    """Evaluates the flush triggers against the live partitioner."""
+
+    def __init__(self, config: SchedulerConfig | None = None):
+        self.config = config if config is not None else SchedulerConfig()
+
+    def size_target(self, partitioner: AdaptiveIGKway) -> int:
+        """Pending-window size at which the size trigger fires."""
+        cfg = self.config
+        if cfg.target_batch_size is not None:
+            return cfg.target_batch_size
+        graph = partitioner.graph
+        n = graph.num_active_vertices() if graph is not None else 0
+        derived = int(
+            cfg.batch_headroom
+            * partitioner.batch_threshold
+            * max(n, 1)
+        )
+        return max(cfg.min_batch_size, derived)
+
+    def should_flush(
+        self,
+        partitioner: AdaptiveIGKway,
+        queue_depth: int,
+        window_opened_cycles: Optional[float],
+        now_cycles: float,
+    ) -> Optional[str]:
+        """Return the firing trigger's name, or None to keep waiting.
+
+        ``window_opened_cycles`` is the ledger clock when the oldest
+        pending modifier arrived (None for an empty window).
+        """
+        if queue_depth <= 0:
+            return None
+        if queue_depth >= self.size_target(partitioner):
+            return "size"
+        cfg = self.config
+        if (
+            cfg.max_latency_cycles is not None
+            and window_opened_cycles is not None
+            and now_cycles - window_opened_cycles
+            >= cfg.max_latency_cycles
+        ):
+            return "deadline"
+        return None

@@ -1,0 +1,476 @@
+"""The streaming partition service: one live, recoverable session.
+
+``StreamSession`` turns the repo's batch-replay partitioner into a
+*service*: producers push individual modifiers through a bounded ingest
+queue; the coalescer collapses redundant work; the scheduler flushes
+well-sized batches into :class:`~repro.core.adaptive.AdaptiveIGKway`
+(so the paper's volume/quality fallback is driven by the stream, not
+the caller); and an optional journal makes the whole pipeline crash
+recoverable — ``StreamSession.recover(path)`` lands bit-identical to
+the uninterrupted run.
+
+Quickstart::
+
+    from repro.stream import StreamSession
+    from repro.graph import circuit_graph, EdgeInsert
+    from repro import PartitionConfig
+
+    session = StreamSession(
+        circuit_graph(5_000, 1.3, seed=1),
+        PartitionConfig(k=4),
+        journal_dir="run/journal",
+    )
+    session.start()
+    session.submit(EdgeInsert(3, 77))     # queued, journaled
+    ...                                    # scheduler flushes adaptively
+    session.drain()                        # force everything through
+    print(session.metrics()["cut_drift"])
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional
+
+from repro.core.adaptive import AdaptiveIGKway, AdaptiveReport
+from repro.core.igkway import FullPartitionReport
+from repro.gpusim.context import GpuContext
+from repro.graph.csr import CSRGraph
+from repro.graph.modifiers import Modifier
+from repro.partition.config import PartitionConfig
+from repro.stream.coalescer import Coalescer, CoalesceResult
+from repro.stream.ingest import IngestQueue, SequencedModifier
+from repro.stream.journal import StreamJournal
+from repro.stream.scheduler import (
+    BatchScheduler,
+    SchedulerConfig,
+    ledger_cycles,
+)
+from repro.stream.telemetry import StreamTelemetry
+from repro.utils.errors import BackpressureError, StreamError
+
+
+@dataclass(frozen=True)
+class StreamBatchReport:
+    """Outcome of one flushed window."""
+
+    first_seq: int
+    last_seq: int
+    reason: str
+    raw_count: int
+    applied_count: int
+    coalesce_stats: dict
+    cut: int
+    used_fallback: bool
+    fallback_reason: Optional[str]
+    modeled_seconds: float
+
+
+class StreamSession:
+    """Coalescing, adaptively scheduled, checkpointed partition stream.
+
+    Args:
+        csr: Initial graph.
+        config: Partitioning configuration.
+        ctx: Optional shared GPU context.
+        journal_dir: Directory for the recovery journal; None disables
+            durability (no checkpoints, no crash recovery).
+        queue_capacity / policy: Ingest bound and backpressure policy
+            (``"block"`` flushes on the producer's behalf; ``"reject"``
+            raises :class:`BackpressureError`).
+        scheduler: Flush policy (:class:`SchedulerConfig`); the default
+            derives the size trigger from the adaptive batch threshold.
+        checkpoint_every: Checkpoint after this many flushes (0
+            disables periodic checkpoints; the initial one is always
+            written when a journal is configured).
+        volume_threshold / batch_threshold / drift_threshold: Fallback
+            triggers, forwarded to :class:`AdaptiveIGKway`.
+    """
+
+    def __init__(
+        self,
+        csr: CSRGraph,
+        config: PartitionConfig,
+        ctx: GpuContext | None = None,
+        journal_dir: "str | Path | None" = None,
+        queue_capacity: int = 4096,
+        policy: str = "block",
+        scheduler: SchedulerConfig | None = None,
+        checkpoint_every: int = 8,
+        volume_threshold: float = 0.5,
+        batch_threshold: float = 0.1,
+        drift_threshold: float = 2.0,
+    ):
+        partitioner = AdaptiveIGKway(
+            csr,
+            config,
+            ctx=ctx,
+            volume_threshold=volume_threshold,
+            batch_threshold=batch_threshold,
+            drift_threshold=drift_threshold,
+        )
+        self._init_parts(
+            partitioner,
+            journal_dir=journal_dir,
+            queue_capacity=queue_capacity,
+            policy=policy,
+            scheduler=scheduler,
+            checkpoint_every=checkpoint_every,
+        )
+
+    def _init_parts(
+        self,
+        partitioner: AdaptiveIGKway,
+        journal_dir: "str | Path | None",
+        queue_capacity: int,
+        policy: str,
+        scheduler: SchedulerConfig | None,
+        checkpoint_every: int,
+    ) -> None:
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        self.partitioner = partitioner
+        self.queue = IngestQueue(capacity=queue_capacity, policy=policy)
+        self.coalescer = Coalescer()
+        self.scheduler = BatchScheduler(scheduler)
+        self.journal = (
+            StreamJournal(journal_dir) if journal_dir is not None else None
+        )
+        self.checkpoint_every = checkpoint_every
+        self.telemetry = StreamTelemetry()
+        self.applied_seq = -1
+        self._flushes_since_checkpoint = 0
+        self._window_opened_cycles: Optional[float] = None
+        self._started = False
+        self._replaying = False
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> FullPartitionReport:
+        """Run the initial full partitioning; write the first checkpoint."""
+        if self._started:
+            raise StreamError("session already started")
+        report = self.partitioner.full_partition()
+        self._started = True
+        self.telemetry.record_full_partition(report.cut, report.seconds)
+        if self.journal is not None:
+            self.checkpoint()
+        return report
+
+    def close(self) -> Optional[StreamBatchReport]:
+        """Flush everything pending, checkpoint, release the journal."""
+        last = None
+        if self._started:
+            for report in self.drain():
+                last = report
+            if self.journal is not None:
+                self.checkpoint()
+        if self.journal is not None:
+            self.journal.close()
+        return last
+
+    def __enter__(self) -> "StreamSession":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        elif self.journal is not None:
+            self.journal.close()
+
+    # -- ingest --------------------------------------------------------------------
+
+    def submit(self, modifier: Modifier) -> int:
+        """Accept one modifier; returns its journal sequence number.
+
+        May synchronously flush (backpressure under the ``"block"``
+        policy, or a scheduler trigger firing).  Raises
+        :class:`BackpressureError` when full under ``"reject"``.
+        """
+        self._require_started()
+        if self.queue.is_full():
+            if self.queue.policy == "block":
+                self.flush(reason="backpressure")
+            else:
+                self.telemetry.record_reject()
+                raise BackpressureError(
+                    f"ingest queue full "
+                    f"({self.queue.capacity} pending modifiers)"
+                )
+        ledger = self.partitioner.ctx.ledger
+        with ledger.section("stream_ingest"):
+            ledger.charge_host_ops(1)
+        was_empty = self.queue.is_empty()
+        seq = self.queue.offer(modifier)
+        if self.journal is not None:
+            self.journal.log_modifier(seq, modifier)
+        self.telemetry.record_ingest(self.queue.depth)
+        if was_empty:
+            self._window_opened_cycles = self._clock()
+        self._maybe_flush()
+        return seq
+
+    def submit_many(self, modifiers: Iterable[Modifier]) -> List[int]:
+        return [self.submit(modifier) for modifier in modifiers]
+
+    # -- flushing ------------------------------------------------------------------
+
+    def flush(self, reason: str = "explicit") -> Optional[StreamBatchReport]:
+        """Coalesce and apply one window (at most the size target).
+
+        Returns None when nothing is pending.  Use :meth:`drain` to
+        force the entire backlog through.
+        """
+        self._require_started()
+        window = self.queue.drain(
+            self.scheduler.size_target(self.partitioner)
+        )
+        if not window:
+            return None
+        return self._apply_window(window, reason)
+
+    def drain(self) -> List[StreamBatchReport]:
+        """Flush until the queue is empty; returns the batch reports."""
+        reports = []
+        while not self.queue.is_empty():
+            report = self.flush(reason="explicit")
+            if report is not None:
+                reports.append(report)
+        return reports
+
+    def _maybe_flush(self) -> None:
+        while True:
+            reason = self.scheduler.should_flush(
+                self.partitioner,
+                self.queue.depth,
+                self._window_opened_cycles,
+                self._clock(),
+            )
+            if reason is None:
+                return
+            self.flush(reason=reason)
+
+    def _apply_window(
+        self, window: List[SequencedModifier], reason: str
+    ) -> StreamBatchReport:
+        result = self.coalescer.collapse(window)
+        if len(result.batch):
+            adaptive = self.partitioner.apply(result.batch)
+            cut = adaptive.iteration.cut
+            used_fallback = adaptive.used_fallback
+            fallback_reason = adaptive.fallback_reason
+            seconds = (
+                adaptive.iteration.modification_seconds
+                + adaptive.iteration.partitioning_seconds
+            )
+        else:
+            # The whole window coalesced away: nothing reaches the GPU.
+            cut = (
+                self.telemetry.last_cut
+                if self.telemetry.last_cut is not None
+                else self.partitioner.cut_size()
+            )
+            used_fallback = False
+            fallback_reason = None
+            seconds = 0.0
+        self.applied_seq = result.last_seq
+        self._window_opened_cycles = (
+            self._clock() if not self.queue.is_empty() else None
+        )
+        self.telemetry.record_batch(
+            reason=reason,
+            raw_count=result.raw_count,
+            applied_count=len(result.batch),
+            cut=cut,
+            used_fallback=used_fallback,
+            modeled_seconds=seconds,
+            queue_depth=self.queue.depth,
+        )
+        if self.journal is not None and not self._replaying:
+            self.journal.log_flush(
+                result.first_seq, result.last_seq, reason
+            )
+            self._flushes_since_checkpoint += 1
+            if (
+                self.checkpoint_every
+                and self._flushes_since_checkpoint
+                >= self.checkpoint_every
+            ):
+                self.checkpoint()
+        return StreamBatchReport(
+            first_seq=result.first_seq,
+            last_seq=result.last_seq,
+            reason=reason,
+            raw_count=result.raw_count,
+            applied_count=len(result.batch),
+            coalesce_stats=result.stats,
+            cut=cut,
+            used_fallback=used_fallback,
+            fallback_reason=fallback_reason,
+            modeled_seconds=seconds,
+        )
+
+    # -- durability ----------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Write a durable checkpoint and compact the journal."""
+        if self.journal is None:
+            raise StreamError("session has no journal configured")
+        self._require_started()
+        scheduler = self.scheduler.config
+        meta = {
+            "applied_seq": self.applied_seq,
+            "next_seq": self.queue.next_seq,
+            "adaptive": {
+                "volume_threshold": self.partitioner.volume_threshold,
+                "batch_threshold": self.partitioner.batch_threshold,
+                "drift_threshold": self.partitioner.drift_threshold,
+                "modifiers_since_full": (
+                    self.partitioner.modifiers_since_full
+                ),
+                "reference_cut": self.partitioner.reference_cut,
+                "fallbacks_taken": self.partitioner.fallbacks_taken,
+            },
+            "scheduler": {
+                "target_batch_size": scheduler.target_batch_size,
+                "batch_headroom": scheduler.batch_headroom,
+                "max_latency_cycles": scheduler.max_latency_cycles,
+                "min_batch_size": scheduler.min_batch_size,
+            },
+            "queue": {
+                "capacity": self.queue.capacity,
+                "policy": self.queue.policy,
+            },
+            "checkpoint_every": self.checkpoint_every,
+            "telemetry": self.telemetry.as_dict(),
+        }
+        self.journal.write_checkpoint(self.partitioner.inner, meta)
+        self.telemetry.checkpoints_written += 1
+        self._flushes_since_checkpoint = 0
+
+    @classmethod
+    def recover(
+        cls,
+        journal_dir: "str | Path",
+        ctx: GpuContext | None = None,
+    ) -> "StreamSession":
+        """Rebuild a session from its journal after a crash.
+
+        Loads the last checkpoint, replays exactly the flush windows the
+        journal recorded past the cursor (re-coalescing each raw window
+        — deterministic, hence bit-identical to the uninterrupted run),
+        and re-enqueues the logged-but-unflushed suffix.  Session
+        parameters (thresholds, scheduler, queue bound) are restored
+        from the checkpoint metadata.
+        """
+        journal = StreamJournal(journal_dir)
+        state = journal.load(ctx=ctx)
+        meta = state.meta
+        adaptive_meta = meta.get("adaptive", {})
+        partitioner = AdaptiveIGKway.from_inner(
+            state.partitioner,
+            volume_threshold=adaptive_meta.get("volume_threshold", 0.5),
+            batch_threshold=adaptive_meta.get("batch_threshold", 0.1),
+            drift_threshold=adaptive_meta.get("drift_threshold", 2.0),
+        )
+        partitioner.modifiers_since_full = adaptive_meta.get(
+            "modifiers_since_full", 0
+        )
+        partitioner.reference_cut = adaptive_meta.get("reference_cut")
+        partitioner.fallbacks_taken = adaptive_meta.get(
+            "fallbacks_taken", 0
+        )
+        scheduler_meta = meta.get("scheduler", {})
+        queue_meta = meta.get("queue", {})
+
+        session = cls.__new__(cls)
+        session._init_parts(
+            partitioner,
+            journal_dir=journal_dir,
+            queue_capacity=queue_meta.get("capacity", 4096),
+            policy=queue_meta.get("policy", "block"),
+            scheduler=SchedulerConfig(
+                target_batch_size=scheduler_meta.get("target_batch_size"),
+                batch_headroom=scheduler_meta.get("batch_headroom", 0.75),
+                max_latency_cycles=scheduler_meta.get(
+                    "max_latency_cycles"
+                ),
+                min_batch_size=scheduler_meta.get("min_batch_size", 1),
+            ),
+            checkpoint_every=meta.get("checkpoint_every", 8),
+        )
+        session._started = True
+        session.applied_seq = state.applied_seq
+        session.telemetry = StreamTelemetry.restore(
+            meta.get("telemetry", {})
+        )
+        # Every logged modifier past the cursor was ingested exactly
+        # once by the crashed process after its last checkpoint.
+        session.telemetry.ingested += len(state.modifiers)
+        session.telemetry.recoveries += 1
+
+        # Replay the recorded flush windows without re-journaling them.
+        session._replaying = True
+        try:
+            for first, last, reason in state.flushes:
+                window = [
+                    SequencedModifier(seq, state.modifiers.pop(seq))
+                    for seq in range(first, last + 1)
+                ]
+                session._apply_window(window, reason)
+        finally:
+            session._replaying = False
+
+        # Re-enqueue the unflushed suffix in original order.
+        for seq in sorted(state.modifiers):
+            session.queue.requeue(seq, state.modifiers[seq])
+        session.queue.reserve_seq(
+            max(
+                int(meta.get("next_seq", 0)),
+                state.max_logged_seq + 1,
+                session.applied_seq + 1,
+            )
+        )
+        session.telemetry.queue_depth = session.queue.depth
+        if not session.queue.is_empty():
+            session._window_opened_cycles = session._clock()
+        return session
+
+    # -- queries -------------------------------------------------------------------
+
+    def cut_size(self) -> int:
+        return self.partitioner.cut_size()
+
+    @property
+    def partition(self):
+        return self.partitioner.partition
+
+    def metrics(self) -> dict:
+        """The structured telemetry dict (issue: consumable by eval)."""
+        out = self.telemetry.as_dict()
+        out.update(
+            {
+                "applied_seq": self.applied_seq,
+                "next_seq": self.queue.next_seq,
+                "queue_depth": self.queue.depth,
+                "queue_capacity": self.queue.capacity,
+                "size_target": self.scheduler.size_target(
+                    self.partitioner
+                ),
+                "simulated_cycles": self._clock(),
+                "fallbacks_taken": self.partitioner.fallbacks_taken,
+            }
+        )
+        return out
+
+    # -- internals -----------------------------------------------------------------
+
+    def _clock(self) -> float:
+        return ledger_cycles(self.partitioner.ctx.ledger)
+
+    def _require_started(self) -> None:
+        if not self._started:
+            raise StreamError("call start() before streaming modifiers")

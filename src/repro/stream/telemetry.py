@@ -1,0 +1,142 @@
+"""Structured per-session counters for the streaming service.
+
+Everything an operator (or :mod:`repro.eval`) needs to judge a stream's
+health without scraping logs: ingest volume, how much work coalescing
+removed before it reached the GPU, batch/flush-reason histograms, cut
+drift against the last full partitioning, fallback events, queue
+pressure, and modeled GPU time.  :meth:`StreamTelemetry.as_dict`
+produces the flat structure the eval layer consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class StreamTelemetry:
+    """Monotonic counters plus a few live gauges.
+
+    All counters survive checkpoint/recovery (the session persists
+    :meth:`as_dict` in the checkpoint metadata and feeds it back through
+    :meth:`restore`), so a recovered stream reports totals over its
+    whole life, not since the last crash.
+    """
+
+    ingested: int = 0
+    rejected: int = 0
+    applied_modifiers: int = 0
+    coalesced_dropped: int = 0
+    batches: int = 0
+    flushes_by_reason: Dict[str, int] = field(default_factory=dict)
+    fallback_events: int = 0
+    checkpoints_written: int = 0
+    recoveries: int = 0
+    queue_depth: int = 0
+    max_queue_depth: int = 0
+    reference_cut: Optional[int] = None
+    last_cut: Optional[int] = None
+    modeled_seconds: float = 0.0
+
+    # -- recording ----------------------------------------------------------------
+
+    def record_ingest(self, queue_depth: int) -> None:
+        self.ingested += 1
+        self.queue_depth = queue_depth
+        self.max_queue_depth = max(self.max_queue_depth, queue_depth)
+
+    def record_reject(self) -> None:
+        self.rejected += 1
+
+    def record_batch(
+        self,
+        reason: str,
+        raw_count: int,
+        applied_count: int,
+        cut: int,
+        used_fallback: bool,
+        modeled_seconds: float,
+        queue_depth: int,
+    ) -> None:
+        self.batches += 1
+        self.flushes_by_reason[reason] = (
+            self.flushes_by_reason.get(reason, 0) + 1
+        )
+        self.applied_modifiers += applied_count
+        self.coalesced_dropped += raw_count - applied_count
+        self.last_cut = cut
+        if used_fallback:
+            self.fallback_events += 1
+            self.reference_cut = cut
+        self.modeled_seconds += modeled_seconds
+        self.queue_depth = queue_depth
+
+    def record_full_partition(self, cut: int, seconds: float) -> None:
+        self.reference_cut = cut
+        self.last_cut = cut
+        self.modeled_seconds += seconds
+
+    # -- derived ------------------------------------------------------------------
+
+    @property
+    def coalescing_ratio(self) -> float:
+        """Fraction of batched modifiers removed before the GPU path."""
+        total = self.applied_modifiers + self.coalesced_dropped
+        return self.coalesced_dropped / total if total else 0.0
+
+    @property
+    def cut_drift(self) -> float:
+        """Current cut relative to the post-full-partition reference."""
+        if not self.reference_cut or self.last_cut is None:
+            return 1.0
+        return self.last_cut / self.reference_cut
+
+    # -- (de)serialization ---------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """Flat structure for reports, checkpoints, and the eval layer."""
+        return {
+            "ingested": self.ingested,
+            "rejected": self.rejected,
+            "applied_modifiers": self.applied_modifiers,
+            "coalesced_dropped": self.coalesced_dropped,
+            "coalescing_ratio": self.coalescing_ratio,
+            "batches": self.batches,
+            "flushes_by_reason": dict(self.flushes_by_reason),
+            "fallback_events": self.fallback_events,
+            "checkpoints_written": self.checkpoints_written,
+            "recoveries": self.recoveries,
+            "queue_depth": self.queue_depth,
+            "max_queue_depth": self.max_queue_depth,
+            "reference_cut": self.reference_cut,
+            "last_cut": self.last_cut,
+            "cut_drift": self.cut_drift,
+            "modeled_seconds": self.modeled_seconds,
+        }
+
+    @classmethod
+    def restore(cls, data: dict) -> "StreamTelemetry":
+        """Rebuild from :meth:`as_dict` output (checkpoint recovery)."""
+        telemetry = cls()
+        for key in (
+            "ingested",
+            "rejected",
+            "applied_modifiers",
+            "coalesced_dropped",
+            "batches",
+            "fallback_events",
+            "checkpoints_written",
+            "recoveries",
+            "queue_depth",
+            "max_queue_depth",
+            "reference_cut",
+            "last_cut",
+            "modeled_seconds",
+        ):
+            if key in data and data[key] is not None:
+                setattr(telemetry, key, data[key])
+        telemetry.flushes_by_reason = dict(
+            data.get("flushes_by_reason", {})
+        )
+        return telemetry

@@ -1,12 +1,15 @@
 """Small shared utilities: seeds, errors, formatting helpers."""
 
 from repro.utils.errors import (
+    BackpressureError,
     BucketListFullError,
     CapacityError,
     GraphConsistencyError,
+    JournalError,
     ModifierError,
     PartitionError,
     ReproError,
+    StreamError,
 )
 from repro.utils.seeding import derive_seed, make_rng
 
@@ -17,6 +20,9 @@ __all__ = [
     "CapacityError",
     "ModifierError",
     "PartitionError",
+    "StreamError",
+    "BackpressureError",
+    "JournalError",
     "derive_seed",
     "make_rng",
 ]

@@ -43,3 +43,23 @@ class ModifierError(ReproError):
 
 class PartitionError(ReproError):
     """A partitioning operation failed or produced an invalid state."""
+
+
+class StreamError(ReproError):
+    """A streaming-service operation failed (:mod:`repro.stream`)."""
+
+
+class BackpressureError(StreamError):
+    """The bounded ingest queue is full and the session's policy is
+    ``"reject"``.
+
+    Producers are expected to retry after the scheduler has flushed;
+    under the ``"block"`` policy the session flushes on their behalf and
+    this error is never raised.
+    """
+
+
+class JournalError(StreamError):
+    """The recovery journal is missing, corrupt, or inconsistent with
+    its checkpoint (e.g. a flush record references unlogged modifiers).
+    """

@@ -154,3 +154,134 @@ class TestFallbackQuality:
             assert not a.used_fallback
             assert a.iteration.cut == b.cut
         assert np.array_equal(adaptive.partition, plain.partition)
+
+
+def _nonedge_batch(csr, count, offset=0):
+    """A batch of exactly ``count`` valid edge inserts for ``csr``."""
+    from repro.graph import HostGraph
+
+    host = HostGraph.from_csr(csr)
+    mods = []
+    n = csr.num_vertices
+    u = 0
+    stride = 101 + offset
+    while len(mods) < count:
+        v = (u + stride) % n
+        if u != v and not host.has_edge(u, v):
+            mods.append(EdgeInsert(u, v))
+            host.apply(mods[-1])
+        u = (u + 1) % n
+        stride += 1
+    return ModifierBatch(mods)
+
+
+class TestTriggerBoundaries:
+    """The exact comparison semantics at each threshold."""
+
+    def test_batch_exactly_at_threshold_fires(self, small_circuit):
+        # batch_threshold is inclusive: len(batch) >= threshold * |V|.
+        adaptive = AdaptiveIGKway(
+            small_circuit,
+            PartitionConfig(k=2, seed=2),
+            batch_threshold=0.05,
+        )
+        adaptive.full_partition()
+        n = adaptive.graph.num_active_vertices()
+        assert n == 300
+        report = adaptive.apply(_nonedge_batch(small_circuit, 15))
+        assert report.used_fallback
+        assert "batch" in report.fallback_reason
+
+    def test_batch_one_below_threshold_does_not_fire(
+        self, small_circuit
+    ):
+        adaptive = AdaptiveIGKway(
+            small_circuit,
+            PartitionConfig(k=2, seed=2),
+            batch_threshold=0.05,
+        )
+        adaptive.full_partition()
+        report = adaptive.apply(_nonedge_batch(small_circuit, 14))
+        assert not report.used_fallback
+
+    def test_volume_exactly_at_threshold_fires(self, small_circuit):
+        # volume trigger is inclusive too: pending >= threshold * |V|.
+        adaptive = AdaptiveIGKway(
+            small_circuit,
+            PartitionConfig(k=2, seed=2),
+            volume_threshold=0.05,
+            batch_threshold=0.5,
+        )
+        adaptive.full_partition()
+        a = adaptive.apply(_nonedge_batch(small_circuit, 10))
+        assert not a.used_fallback
+        b = adaptive.apply(_nonedge_batch(small_circuit, 5, offset=60))
+        assert b.used_fallback
+        assert "since last FGP" in b.fallback_reason
+
+    def _cut_after(self, csr, batch):
+        """Deterministic probe: the incremental cut this batch lands on
+        when no trigger interferes."""
+        probe = AdaptiveIGKway(csr, PartitionConfig(k=2, seed=2))
+        probe.full_partition()
+        probe.reference_cut = None  # disable the drift check entirely
+        return probe.apply(batch).iteration.cut
+
+    def test_drift_exactly_at_threshold_does_not_fire(
+        self, small_circuit
+    ):
+        # The drift trigger is strict: cut > threshold * reference, so a
+        # cut landing exactly on the threshold stays incremental.
+        batch = _nonedge_batch(small_circuit, 8)
+        cut = self._cut_after(small_circuit, batch)
+        if cut % 2:  # need an even cut for an exact 2.0x reference
+            batch = _nonedge_batch(small_circuit, 9, offset=30)
+            cut = self._cut_after(small_circuit, batch)
+        assert cut % 2 == 0, "probe batches should yield an even cut"
+
+        adaptive = AdaptiveIGKway(
+            small_circuit, PartitionConfig(k=2, seed=2),
+            drift_threshold=2.0,
+        )
+        adaptive.full_partition()
+        adaptive.reference_cut = cut // 2  # cut == 2.0 * reference
+        report = adaptive.apply(batch)
+        assert report.iteration.cut == cut
+        assert not report.used_fallback
+
+    def test_drift_just_past_threshold_fires(self, small_circuit):
+        batch = _nonedge_batch(small_circuit, 8)
+        cut = self._cut_after(small_circuit, batch)
+        adaptive = AdaptiveIGKway(
+            small_circuit, PartitionConfig(k=2, seed=2),
+            drift_threshold=2.0,
+        )
+        adaptive.full_partition()
+        adaptive.reference_cut = cut // 2 - 1  # cut > 2.0 * reference
+        report = adaptive.apply(batch)
+        assert report.used_fallback
+        assert "drifted" in report.fallback_reason
+
+
+class TestFromInner:
+    def test_wraps_restored_partitioner(self, small_circuit):
+        from repro.core.igkway import IGKway
+
+        inner = IGKway(small_circuit, PartitionConfig(k=2, seed=2))
+        inner.full_partition()
+        adaptive = AdaptiveIGKway.from_inner(inner, batch_threshold=0.2)
+        assert adaptive.inner is inner
+        assert adaptive.batch_threshold == 0.2
+        assert adaptive.modifiers_since_full == 0
+        report = adaptive.apply(ModifierBatch([EdgeInsert(0, 250)]))
+        assert not report.used_fallback
+
+    def test_invalid_thresholds_rejected(self, small_circuit):
+        from repro.core.igkway import IGKway
+
+        inner = IGKway(small_circuit, PartitionConfig(k=2, seed=2))
+        inner.full_partition()
+        with pytest.raises(ValueError):
+            AdaptiveIGKway.from_inner(inner, drift_threshold=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveIGKway.from_inner(inner, volume_threshold=0.0)

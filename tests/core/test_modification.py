@@ -201,6 +201,38 @@ class TestExpandModifiers:
         ops = expand_modifiers(tiny_bucketlist, [VertexInsert(4, 3)])
         assert ops == [VertexActivate(4, 3)]
 
+    def test_edge_insert_after_vertex_delete_rejected(
+        self, tiny_bucketlist
+    ):
+        # Regression: this used to emit a SlotInsert into the deleted
+        # vertex's blanked buckets, silently corrupting the bucket list.
+        with pytest.raises(ModifierError, match="deleted earlier"):
+            expand_modifiers(
+                tiny_bucketlist, [VertexDelete(3), EdgeInsert(2, 3)]
+            )
+
+    def test_edge_delete_after_vertex_delete_rejected(
+        self, tiny_bucketlist
+    ):
+        with pytest.raises(ModifierError, match="deleted earlier"):
+            expand_modifiers(
+                tiny_bucketlist, [VertexDelete(3), EdgeDelete(2, 3)]
+            )
+
+    def test_double_vertex_delete_rejected(self, tiny_bucketlist):
+        with pytest.raises(ModifierError, match="deleted earlier"):
+            expand_modifiers(
+                tiny_bucketlist, [VertexDelete(3), VertexDelete(3)]
+            )
+
+    def test_reinsert_reenables_vertex_in_batch(self, tiny_bucketlist):
+        ops = expand_modifiers(
+            tiny_bucketlist,
+            [VertexDelete(3), VertexInsert(3), EdgeInsert(2, 3)],
+        )
+        assert SlotInsert(2, 3, 1) in ops
+        assert SlotInsert(3, 2, 1) in ops
+
 
 class TestApplyBatchEquivalence:
     """Differential testing: warp and vector paths, and both against the

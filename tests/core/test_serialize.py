@@ -117,3 +117,95 @@ class TestExport:
         ig = IGKway(small_circuit, PartitionConfig(k=2))
         with pytest.raises(PartitionError):
             export_partition_csv(ig, tmp_path / "x.csv")
+
+
+class TestFormatV2:
+    """Version-2 checkpoints: stream metadata and robust failure modes."""
+
+    def test_format_version_is_2(self, warm_partitioner, tmp_path):
+        from repro.core.serialize import FORMAT_VERSION
+
+        path = tmp_path / "checkpoint.npz"
+        save_partitioner(warm_partitioner, path)
+        with np.load(path) as data:
+            assert int(data["format_version"]) == FORMAT_VERSION == 2
+            assert "stream_meta_json" in data.files
+
+    def test_stream_meta_roundtrip(self, warm_partitioner, tmp_path):
+        from repro.core.serialize import load_checkpoint
+
+        path = tmp_path / "checkpoint.npz"
+        meta = {
+            "applied_seq": 41,
+            "adaptive": {"reference_cut": 77},
+            "telemetry": {"ingested": 123},
+        }
+        save_partitioner(warm_partitioner, path, stream_meta=meta)
+        restored, loaded_meta = load_checkpoint(path)
+        assert loaded_meta == meta
+        assert restored.cut_size() == warm_partitioner.cut_size()
+
+    def test_meta_defaults_to_empty(self, warm_partitioner, tmp_path):
+        from repro.core.serialize import load_checkpoint
+
+        path = tmp_path / "checkpoint.npz"
+        save_partitioner(warm_partitioner, path)
+        _restored, meta = load_checkpoint(path)
+        assert meta == {}
+
+    def test_v1_file_still_loads(self, warm_partitioner, tmp_path):
+        # A version-1 checkpoint is one without the stream payload.
+        from repro.core.serialize import load_checkpoint
+
+        path = tmp_path / "checkpoint.npz"
+        save_partitioner(warm_partitioner, path)
+        with np.load(path) as data:
+            arrays = {
+                k: data[k]
+                for k in data.files
+                if k != "stream_meta_json"
+            }
+        arrays["format_version"] = np.int64(1)
+        np.savez_compressed(path, **arrays)
+        restored, meta = load_checkpoint(path)
+        assert meta == {}
+        assert restored.cut_size() == warm_partitioner.cut_size()
+
+    def test_missing_file_raises_partition_error(self, tmp_path):
+        with pytest.raises(PartitionError, match="not found"):
+            load_partitioner(tmp_path / "nope.npz")
+
+    def test_truncated_archive_raises_partition_error(
+        self, warm_partitioner, tmp_path
+    ):
+        path = tmp_path / "checkpoint.npz"
+        save_partitioner(warm_partitioner, path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 3])
+        with pytest.raises(PartitionError):
+            load_partitioner(path)
+
+    def test_garbage_file_raises_partition_error(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(PartitionError):
+            load_partitioner(path)
+
+    def test_missing_keys_raise_partition_error(
+        self, warm_partitioner, tmp_path
+    ):
+        path = tmp_path / "checkpoint.npz"
+        save_partitioner(warm_partitioner, path)
+        with np.load(path) as data:
+            arrays = {
+                k: data[k] for k in data.files if k != "partition"
+            }
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(PartitionError, match="missing fields"):
+            load_partitioner(path)
+
+    def test_not_a_checkpoint_raises_partition_error(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez_compressed(path, unrelated=np.arange(4))
+        with pytest.raises(PartitionError, match="format_version"):
+            load_partitioner(path)

@@ -171,3 +171,232 @@ class TestModifierBatch:
         modifier = EdgeInsert(0, 1)
         with pytest.raises(Exception):
             modifier.u = 5
+
+
+class TestCoalesce:
+    """The stream coalescer's rules (cancel / dedup / subsume)."""
+
+    def _coalesce(self, mods):
+        from repro.graph.modifiers import coalesce_modifiers
+
+        return coalesce_modifiers(mods)
+
+    def test_insert_delete_pair_cancels(self):
+        out, stats = self._coalesce([EdgeInsert(0, 1), EdgeDelete(0, 1)])
+        assert out == []
+        assert stats["cancelled"] == 2
+
+    def test_delete_then_insert_survives(self):
+        # Cannot cancel: the original edge's weight is unknown without
+        # the base graph, so the pair is not a no-op.
+        mods = [EdgeDelete(0, 1), EdgeInsert(0, 1)]
+        out, stats = self._coalesce(mods)
+        assert out == mods
+        assert stats["cancelled"] == 0
+
+    def test_duplicate_edge_insert_deduped(self):
+        out, stats = self._coalesce([EdgeInsert(0, 1), EdgeInsert(0, 1)])
+        assert out == [EdgeInsert(0, 1)]
+        assert stats["deduplicated"] == 1
+
+    def test_different_weight_not_deduped(self):
+        mods = [EdgeInsert(0, 1, weight=1), EdgeInsert(0, 1, weight=2)]
+        out, _stats = self._coalesce(mods)
+        assert out == mods
+
+    def test_endpoint_order_is_canonical(self):
+        out, _stats = self._coalesce([EdgeInsert(0, 1), EdgeDelete(1, 0)])
+        assert out == []
+
+    def test_duplicate_vertex_insert_deduped(self):
+        out, stats = self._coalesce([VertexInsert(7), VertexInsert(7)])
+        assert out == [VertexInsert(7)]
+        assert stats["deduplicated"] == 1
+
+    def test_vertex_delete_subsumes_incident_edge_ops(self):
+        mods = [
+            EdgeInsert(0, 1),
+            EdgeDelete(0, 2),
+            EdgeInsert(3, 4),
+            VertexDelete(0),
+        ]
+        out, stats = self._coalesce(mods)
+        assert out == [EdgeInsert(3, 4), VertexDelete(0)]
+        assert stats["subsumed"] == 2
+
+    def test_vertex_pair_never_cancelled(self):
+        # A VertexInsert of a brand-new ID extends the ID space; later
+        # modifiers may rely on it, so the pair must survive.
+        mods = [VertexInsert(9), VertexDelete(9)]
+        out, _stats = self._coalesce(mods)
+        assert out == mods
+
+    def test_edge_op_after_subsuming_delete_survives(self):
+        mods = [
+            EdgeInsert(0, 1),
+            VertexDelete(0),
+            VertexInsert(0),
+            EdgeInsert(0, 1),
+        ]
+        out, _stats = self._coalesce(mods)
+        assert out == [VertexDelete(0), VertexInsert(0), EdgeInsert(0, 1)]
+
+    def test_order_preserved(self):
+        mods = [
+            EdgeInsert(0, 3),
+            VertexInsert(4),
+            EdgeInsert(4, 2),
+            EdgeDelete(0, 1),
+        ]
+        out, _stats = self._coalesce(mods)
+        assert out == mods
+
+    def test_batch_coalesce_returns_new_batch(self):
+        batch = ModifierBatch([EdgeInsert(0, 1), EdgeDelete(0, 1)])
+        collapsed = batch.coalesce()
+        assert len(collapsed) == 0
+        assert len(batch) == 2
+
+    def test_stats_totals_consistent(self):
+        mods = [
+            EdgeInsert(0, 1),
+            EdgeInsert(0, 1),
+            EdgeDelete(0, 1),
+            EdgeInsert(2, 3),
+            VertexDelete(2),
+        ]
+        out, stats = self._coalesce(mods)
+        assert stats["input"] == len(mods)
+        assert stats["output"] == len(out)
+        assert (
+            stats["input"] - stats["output"]
+            == stats["cancelled"]
+            + stats["deduplicated"]
+            + stats["subsumed"]
+        )
+
+
+class TestCoalescePreservesGraph:
+    """Property: raw and coalesced sequences yield identical graphs."""
+
+    def _random_valid_sequence(self, host, rng, length=60):
+        """A valid modifier sequence with injected redundancy (dups and
+        insert/delete flip-flops) against the evolving ``host``."""
+        mods = []
+        scratch = host.copy()
+        for _ in range(length):
+            active = scratch.active_vertices()
+            roll = rng.random()
+            mod = None
+            if roll < 0.35 and len(active) >= 2:
+                for _retry in range(16):
+                    u = int(active[rng.integers(0, len(active))])
+                    v = int(active[rng.integers(0, len(active))])
+                    if u != v and not scratch.has_edge(u, v):
+                        mod = EdgeInsert(u, v)
+                        break
+            elif roll < 0.6:
+                for _retry in range(16):
+                    u = int(active[rng.integers(0, len(active))])
+                    nbrs = list(scratch.neighbors(u))
+                    if nbrs:
+                        v = int(nbrs[rng.integers(0, len(nbrs))])
+                        mod = EdgeDelete(u, v)
+                        break
+            elif roll < 0.75:
+                deleted = [
+                    u for u, flag in scratch.active.items() if not flag
+                ]
+                u = (
+                    int(deleted[rng.integers(0, len(deleted))])
+                    if deleted
+                    else scratch.num_vertex_slots
+                )
+                mod = VertexInsert(u)
+            elif len(active) > 3:
+                u = int(active[rng.integers(0, len(active))])
+                mod = VertexDelete(u)
+            if mod is None:
+                continue
+            scratch.apply(mod)
+            mods.append(mod)
+            # Inject redundancy the coalescer should remove.
+            if isinstance(mod, EdgeInsert) and rng.random() < 0.4:
+                scratch.apply(EdgeDelete(mod.u, mod.v))
+                scratch.apply(mod)
+                mods.extend([EdgeDelete(mod.u, mod.v), mod])
+        return mods
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_adjacency_identical(self, seed):
+        from repro.utils.seeding import make_rng
+
+        base = HostGraph.from_csr(
+            CSRGraph.from_edges(
+                12,
+                np.array(
+                    [[0, 1], [1, 2], [2, 3], [3, 4], [4, 5], [5, 6],
+                     [6, 7], [7, 8], [8, 9], [9, 10], [10, 11], [0, 6]]
+                ),
+            )
+        )
+        rng = make_rng(seed, "coalesce-property")
+        mods = self._random_valid_sequence(base, rng)
+
+        raw = base.copy()
+        raw.apply_batch(mods)
+        collapsed = base.copy()
+        batch = ModifierBatch(mods).coalesce()
+        batch.validate()
+        collapsed.apply_batch(batch)
+
+        assert raw.adj == collapsed.adj
+        assert raw.active == collapsed.active
+
+
+class TestValidateBatch:
+    def test_self_loop_rejected(self):
+        with pytest.raises(ModifierError, match="self-loop"):
+            ModifierBatch([EdgeInsert(3, 3)]).validate()
+
+    def test_edge_insert_after_vertex_delete_rejected(self):
+        batch = ModifierBatch([VertexDelete(0), EdgeInsert(0, 1)])
+        with pytest.raises(ModifierError, match="deleted earlier"):
+            batch.validate()
+
+    def test_edge_delete_after_vertex_delete_rejected(self):
+        batch = ModifierBatch([VertexDelete(1), EdgeDelete(0, 1)])
+        with pytest.raises(ModifierError, match="deleted earlier"):
+            batch.validate()
+
+    def test_reinsert_reenables_endpoint(self):
+        ModifierBatch(
+            [VertexDelete(0), VertexInsert(0), EdgeInsert(0, 1)]
+        ).validate()
+
+    def test_duplicate_pending_insert_rejected(self):
+        batch = ModifierBatch([EdgeInsert(0, 1), EdgeInsert(1, 0)])
+        with pytest.raises(ModifierError, match="duplicate pending"):
+            batch.validate()
+
+    def test_insert_then_delete_then_insert_ok(self):
+        ModifierBatch(
+            [EdgeInsert(0, 1), EdgeDelete(0, 1), EdgeInsert(0, 1)]
+        ).validate()
+
+    def test_double_vertex_delete_rejected(self):
+        batch = ModifierBatch([VertexDelete(2), VertexDelete(2)])
+        with pytest.raises(ModifierError, match="deleted twice"):
+            batch.validate()
+
+    def test_vertex_delete_clears_pending_edge_state(self):
+        # The delete subsumes the pending insert, so a later delete of
+        # the same edge is not a "duplicate pending delete".
+        ModifierBatch(
+            [
+                EdgeInsert(0, 1),
+                VertexDelete(0),
+                VertexInsert(0),
+                EdgeDelete(0, 1),
+            ]
+        ).validate()

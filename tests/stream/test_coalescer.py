@@ -1,0 +1,62 @@
+"""Stream-side coalescer wrapper: windows in, validated batches out."""
+
+import pytest
+
+from repro.graph import EdgeDelete, EdgeInsert, VertexDelete
+from repro.stream import Coalescer, SequencedModifier
+from repro.utils import ModifierError, StreamError
+
+
+def _window(mods, start=0):
+    return [
+        SequencedModifier(start + i, mod) for i, mod in enumerate(mods)
+    ]
+
+
+class TestCollapse:
+    def test_covers_full_seq_range(self):
+        result = Coalescer().collapse(
+            _window(
+                [EdgeInsert(0, 1), EdgeDelete(0, 1), EdgeInsert(2, 3)],
+                start=7,
+            )
+        )
+        assert (result.first_seq, result.last_seq) == (7, 9)
+        assert [type(m).__name__ for m in result.batch] == ["EdgeInsert"]
+        assert result.raw_count == 3
+        assert result.dropped == 2
+
+    def test_fully_cancelled_window_yields_empty_batch(self):
+        result = Coalescer().collapse(
+            _window([EdgeInsert(0, 1), EdgeDelete(0, 1)])
+        )
+        assert len(result.batch) == 0
+        # The seq range still advances the journal cursor.
+        assert (result.first_seq, result.last_seq) == (0, 1)
+
+    def test_stats_passed_through(self):
+        result = Coalescer().collapse(
+            _window(
+                [
+                    EdgeInsert(0, 1),
+                    EdgeInsert(0, 1),
+                    EdgeInsert(0, 2),
+                    VertexDelete(0),
+                ]
+            )
+        )
+        assert result.stats["deduplicated"] == 1
+        assert result.stats["subsumed"] == 2
+        assert result.stats["input"] == 4
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(StreamError, match="empty window"):
+            Coalescer().collapse([])
+
+    def test_survivors_are_validated(self):
+        # VertexDelete then an edge op on the same vertex survives
+        # coalescing structurally but is an invalid batch.
+        with pytest.raises(ModifierError, match="deleted earlier"):
+            Coalescer().collapse(
+                _window([VertexDelete(0), EdgeInsert(0, 1)])
+            )

@@ -1,0 +1,145 @@
+"""Recovery journal: encoding, torn tails, compaction, corruption."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import IGKway, PartitionConfig
+from repro.graph import (
+    EdgeDelete,
+    EdgeInsert,
+    VertexDelete,
+    VertexInsert,
+)
+from repro.stream import StreamJournal
+from repro.stream.journal import decode_modifier, encode_modifier
+from repro.utils import JournalError
+
+
+@pytest.fixture
+def partitioner(small_circuit):
+    ig = IGKway(small_circuit, PartitionConfig(k=2, seed=2))
+    ig.full_partition()
+    return ig
+
+
+class TestModifierCodec:
+    @pytest.mark.parametrize(
+        "modifier",
+        [
+            VertexInsert(5, weight=3),
+            VertexDelete(7),
+            EdgeInsert(1, 2, weight=4),
+            EdgeDelete(8, 9),
+        ],
+    )
+    def test_roundtrip(self, modifier):
+        assert decode_modifier(encode_modifier(modifier)) == modifier
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(JournalError, match="unknown"):
+            decode_modifier({"t": "xx"})
+
+
+class TestLogAndLoad:
+    def test_load_without_checkpoint_raises(self, tmp_path):
+        journal = StreamJournal(tmp_path / "j")
+        with pytest.raises(JournalError, match="no checkpoint"):
+            journal.load()
+
+    def test_roundtrip_modifiers_and_flushes(
+        self, partitioner, tmp_path
+    ):
+        journal = StreamJournal(tmp_path / "j")
+        journal.write_checkpoint(partitioner, {"applied_seq": -1})
+        mods = [EdgeInsert(0, 9), EdgeDelete(0, 9), VertexInsert(300)]
+        for seq, mod in enumerate(mods):
+            journal.log_modifier(seq, mod)
+        journal.log_flush(0, 1, "size")
+        journal.close()
+
+        state = StreamJournal(tmp_path / "j").load()
+        assert state.applied_seq == -1
+        assert state.modifiers == {0: mods[0], 1: mods[1], 2: mods[2]}
+        assert state.flushes == [(0, 1, "size")]
+        assert state.max_logged_seq == 2
+
+    def test_torn_tail_is_discarded(self, partitioner, tmp_path):
+        journal = StreamJournal(tmp_path / "j")
+        journal.write_checkpoint(partitioner, {"applied_seq": -1})
+        journal.log_modifier(0, EdgeInsert(0, 9))
+        journal.log_modifier(1, EdgeInsert(0, 10))
+        journal.close()
+        # Simulate a crash mid-write: the final line is half a record.
+        with journal.log_path.open("a") as handle:
+            handle.write('{"r":"m","s":2,"t":"ei","u":0,')
+
+        state = StreamJournal(tmp_path / "j").load()
+        assert sorted(state.modifiers) == [0, 1]
+
+    def test_flush_referencing_unlogged_seq_raises(
+        self, partitioner, tmp_path
+    ):
+        journal = StreamJournal(tmp_path / "j")
+        journal.write_checkpoint(partitioner, {"applied_seq": -1})
+        journal.log_modifier(0, EdgeInsert(0, 9))
+        journal.log_flush(0, 3, "size")  # seqs 1-3 never logged
+        journal.close()
+        with pytest.raises(JournalError, match="unlogged"):
+            StreamJournal(tmp_path / "j").load()
+
+    def test_checkpoint_meta_roundtrip(self, partitioner, tmp_path):
+        journal = StreamJournal(tmp_path / "j")
+        meta = {"applied_seq": 12, "telemetry": {"ingested": 13}}
+        journal.write_checkpoint(partitioner, meta)
+        state = StreamJournal(tmp_path / "j").load()
+        assert state.applied_seq == 12
+        assert state.meta["telemetry"] == {"ingested": 13}
+        assert state.meta["journal_format"] == 1
+
+    def test_restored_partitioner_matches(self, partitioner, tmp_path):
+        journal = StreamJournal(tmp_path / "j")
+        journal.write_checkpoint(partitioner, {"applied_seq": -1})
+        state = StreamJournal(tmp_path / "j").load()
+        assert state.partitioner.cut_size() == partitioner.cut_size()
+        assert np.array_equal(
+            state.partitioner.partition, partitioner.partition
+        )
+
+
+class TestCompaction:
+    def test_checkpoint_compacts_covered_records(
+        self, partitioner, tmp_path
+    ):
+        journal = StreamJournal(tmp_path / "j")
+        journal.write_checkpoint(partitioner, {"applied_seq": -1})
+        for seq in range(6):
+            journal.log_modifier(seq, EdgeInsert(0, 9 + seq))
+        journal.log_flush(0, 3, "size")
+        # Checkpoint covers seqs <= 3; 4 and 5 must survive compaction.
+        journal.write_checkpoint(partitioner, {"applied_seq": 3})
+
+        lines = [
+            json.loads(line)
+            for line in journal.log_path.read_text().splitlines()
+        ]
+        assert {rec["s"] for rec in lines if rec["r"] == "m"} == {4, 5}
+        assert all(rec["r"] != "f" for rec in lines)
+        journal.close()
+
+        state = StreamJournal(tmp_path / "j").load()
+        assert sorted(state.modifiers) == [4, 5]
+        assert state.flushes == []
+
+    def test_checkpoint_write_is_atomic(self, partitioner, tmp_path):
+        journal = StreamJournal(tmp_path / "j")
+        journal.write_checkpoint(partitioner, {"applied_seq": -1})
+        # No stray temp files once the rename lands.
+        leftovers = [
+            p.name
+            for p in (tmp_path / "j").iterdir()
+            if "tmp" in p.name
+        ]
+        assert leftovers == []
+        journal.close()

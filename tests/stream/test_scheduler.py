@@ -1,0 +1,113 @@
+"""Batch scheduler: size target derivation and trigger evaluation."""
+
+import pytest
+
+from repro.core.adaptive import AdaptiveIGKway
+from repro.partition import PartitionConfig
+from repro.stream import BatchScheduler, SchedulerConfig, ledger_cycles
+
+
+@pytest.fixture
+def partitioner(small_circuit):
+    adaptive = AdaptiveIGKway(
+        small_circuit,
+        PartitionConfig(k=2, seed=2),
+        batch_threshold=0.1,
+    )
+    adaptive.full_partition()
+    return adaptive
+
+
+class TestSizeTarget:
+    def test_explicit_target_wins(self, partitioner):
+        scheduler = BatchScheduler(SchedulerConfig(target_batch_size=7))
+        assert scheduler.size_target(partitioner) == 7
+
+    def test_derived_from_batch_threshold(self, partitioner):
+        # 0.75 headroom * 0.1 threshold * 300 vertices = 22.
+        scheduler = BatchScheduler()
+        assert scheduler.size_target(partitioner) == 22
+
+    def test_headroom_scales_target(self, partitioner):
+        scheduler = BatchScheduler(SchedulerConfig(batch_headroom=0.5))
+        assert scheduler.size_target(partitioner) == 15
+
+    def test_min_batch_size_floor(self, partitioner):
+        scheduler = BatchScheduler(
+            SchedulerConfig(batch_headroom=0.001, min_batch_size=3)
+        )
+        assert scheduler.size_target(partitioner) == 3
+
+
+class TestTriggers:
+    def test_empty_window_never_flushes(self, partitioner):
+        scheduler = BatchScheduler(
+            SchedulerConfig(target_batch_size=1, max_latency_cycles=1.0)
+        )
+        assert (
+            scheduler.should_flush(partitioner, 0, None, 1e9) is None
+        )
+
+    def test_size_trigger_fires_at_target(self, partitioner):
+        scheduler = BatchScheduler(SchedulerConfig(target_batch_size=5))
+        assert (
+            scheduler.should_flush(partitioner, 4, None, 0.0) is None
+        )
+        assert (
+            scheduler.should_flush(partitioner, 5, None, 0.0) == "size"
+        )
+
+    def test_deadline_trigger_fires_after_wait(self, partitioner):
+        scheduler = BatchScheduler(
+            SchedulerConfig(
+                target_batch_size=100, max_latency_cycles=1000.0
+            )
+        )
+        assert (
+            scheduler.should_flush(partitioner, 1, 0.0, 999.0) is None
+        )
+        assert (
+            scheduler.should_flush(partitioner, 1, 0.0, 1000.0)
+            == "deadline"
+        )
+
+    def test_deadline_disabled_by_default(self, partitioner):
+        scheduler = BatchScheduler(
+            SchedulerConfig(target_batch_size=100)
+        )
+        assert (
+            scheduler.should_flush(partitioner, 1, 0.0, 1e18) is None
+        )
+
+    def test_size_beats_deadline(self, partitioner):
+        scheduler = BatchScheduler(
+            SchedulerConfig(target_batch_size=2, max_latency_cycles=1.0)
+        )
+        assert (
+            scheduler.should_flush(partitioner, 2, 0.0, 1e9) == "size"
+        )
+
+
+class TestLedgerCycles:
+    def test_cycles_track_charged_work(self, partitioner):
+        ledger = partitioner.ctx.ledger
+        before = ledger_cycles(ledger)
+        with ledger.section("stream_ingest"):
+            ledger.charge_host_ops(1000)
+        assert ledger_cycles(ledger) > before
+
+
+class TestConfigValidation:
+    def test_bad_headroom_rejected(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(batch_headroom=0.0)
+        with pytest.raises(ValueError):
+            SchedulerConfig(batch_headroom=1.5)
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(target_batch_size=0)
+        with pytest.raises(ValueError):
+            SchedulerConfig(min_batch_size=0)
+        with pytest.raises(ValueError):
+            SchedulerConfig(max_latency_cycles=0.0)

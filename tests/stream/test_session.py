@@ -1,0 +1,322 @@
+"""StreamSession: the full pipeline, including crash recovery.
+
+The acceptance bar for the subsystem: kill a journaled session
+mid-stream, recover it, finish the trace — final cut AND partition
+vector must equal the uninterrupted run's exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.workloads import TraceConfig, generate_trace
+from repro.graph import EdgeDelete, EdgeInsert, HostGraph
+from repro.partition import PartitionConfig
+from repro.stream import SchedulerConfig, StreamSession
+from repro.utils import BackpressureError, StreamError
+from repro.utils.seeding import make_rng
+
+
+def _churn_stream(csr, seed=5, iterations=6, modifiers=25, flip=0.3):
+    """Flat modifier stream with redundancy (edge-insert flip-flops)."""
+    trace = generate_trace(
+        csr,
+        TraceConfig(
+            iterations=iterations,
+            modifiers_per_iteration=modifiers,
+            seed=seed,
+        ),
+    )
+    rng = make_rng(seed, "session-churn")
+    stream = []
+    for batch in trace:
+        for mod in batch:
+            stream.append(mod)
+            if isinstance(mod, EdgeInsert) and rng.random() < flip:
+                stream.append(EdgeDelete(mod.u, mod.v))
+                stream.append(mod)
+    return stream
+
+
+def _session(csr, tmp_path=None, target=16, **kwargs):
+    journal_dir = None if tmp_path is None else str(tmp_path / "j")
+    return StreamSession(
+        csr,
+        PartitionConfig(k=2, seed=2),
+        journal_dir=journal_dir,
+        scheduler=SchedulerConfig(target_batch_size=target),
+        **kwargs,
+    )
+
+
+class TestLifecycle:
+    def test_submit_before_start_rejected(self, small_circuit):
+        session = _session(small_circuit)
+        with pytest.raises(StreamError, match="start"):
+            session.submit(EdgeInsert(0, 250))
+
+    def test_double_start_rejected(self, small_circuit):
+        session = _session(small_circuit)
+        session.start()
+        with pytest.raises(StreamError, match="already started"):
+            session.start()
+
+    def test_context_manager_starts_and_drains(self, small_circuit):
+        with _session(small_circuit) as session:
+            session.submit(EdgeInsert(0, 250))
+        assert session.queue.is_empty()
+        assert session.telemetry.applied_modifiers == 1
+
+    def test_flush_on_empty_queue_returns_none(self, small_circuit):
+        session = _session(small_circuit)
+        session.start()
+        assert session.flush() is None
+
+    def test_checkpoint_without_journal_rejected(self, small_circuit):
+        session = _session(small_circuit)
+        session.start()
+        with pytest.raises(StreamError, match="journal"):
+            session.checkpoint()
+
+
+class TestScheduling:
+    def test_size_trigger_bounds_queue_depth(self, small_circuit):
+        session = _session(small_circuit, target=8)
+        session.start()
+        for mod in _churn_stream(small_circuit)[:40]:
+            session.submit(mod)
+            assert session.queue.depth < 8
+        assert session.telemetry.flushes_by_reason.get("size", 0) >= 4
+
+    def test_reports_cover_contiguous_seq_ranges(self, small_circuit):
+        session = _session(small_circuit, target=1000)
+        session.start()
+        stream = _churn_stream(small_circuit)[:40]
+        reports = []
+        for i, mod in enumerate(stream):
+            session.submit(mod)
+            if i % 7 == 6:  # irregular window boundaries
+                reports.append(session.flush())
+        reports.extend(session.drain())
+        # Walk every applied window: no gaps, no overlaps.
+        next_seq = 0
+        for report in reports:
+            assert report.first_seq == next_seq
+            assert report.last_seq >= report.first_seq
+            next_seq = report.last_seq + 1
+        assert next_seq == len(stream)
+        assert session.applied_seq == session.queue.next_seq - 1
+
+    def test_deadline_trigger_fires_from_ingest_clock(
+        self, small_circuit
+    ):
+        # Ingest charges host ops, so the modeled clock advances even
+        # without GPU work; a tiny deadline must fire on the next
+        # submission after the window opens.
+        session = StreamSession(
+            small_circuit,
+            PartitionConfig(k=2, seed=2),
+            scheduler=SchedulerConfig(
+                target_batch_size=1000, max_latency_cycles=1.0
+            ),
+        )
+        session.start()
+        session.submit(EdgeInsert(0, 250))
+        session.submit(EdgeInsert(0, 251))
+        assert session.telemetry.flushes_by_reason.get("deadline", 0) >= 1
+
+    def test_explicit_flush_reason_recorded(self, small_circuit):
+        session = _session(small_circuit)
+        session.start()
+        session.submit(EdgeInsert(0, 250))
+        report = session.flush()
+        assert report.reason == "explicit"
+        assert session.telemetry.flushes_by_reason == {"explicit": 1}
+
+
+class TestBackpressure:
+    def test_reject_policy_raises_and_counts(self, small_circuit):
+        session = _session(
+            small_circuit,
+            target=1000,  # never auto-flush
+            queue_capacity=4,
+            policy="reject",
+        )
+        session.start()
+        for i in range(4):
+            session.submit(EdgeInsert(0, 250 + i))
+        with pytest.raises(BackpressureError):
+            session.submit(EdgeInsert(0, 299))
+        assert session.telemetry.rejected == 1
+
+    def test_block_policy_flushes_for_the_producer(self, small_circuit):
+        session = _session(
+            small_circuit,
+            target=1000,
+            queue_capacity=4,
+            policy="block",
+        )
+        session.start()
+        for i in range(9):
+            session.submit(EdgeInsert(0, 250 + i))
+        assert session.telemetry.rejected == 0
+        assert (
+            session.telemetry.flushes_by_reason.get("backpressure", 0)
+            >= 2
+        )
+
+
+class TestGraphEquivalence:
+    def test_streamed_graph_matches_reference(self, small_circuit):
+        # Coalescing + scheduling never change the net graph: the
+        # session's final adjacency equals a plain HostGraph replay of
+        # the raw stream.
+        stream = _churn_stream(small_circuit)
+        session = _session(small_circuit, target=12)
+        session.start()
+        for mod in stream:
+            session.submit(mod)
+        session.drain()
+
+        reference = HostGraph.from_csr(small_circuit)
+        reference.apply_batch(stream)
+        streamed = session.partitioner.graph.to_host_graph()
+        assert streamed.adj == reference.adj
+        assert streamed.active == reference.active
+        assert session.telemetry.coalesced_dropped > 0
+
+
+class TestTelemetry:
+    def test_counters_add_up(self, small_circuit):
+        stream = _churn_stream(small_circuit)
+        session = _session(small_circuit, target=10)
+        session.start()
+        for mod in stream:
+            session.submit(mod)
+        session.drain()
+        t = session.telemetry
+        assert t.ingested == len(stream)
+        assert t.applied_modifiers + t.coalesced_dropped == len(stream)
+        assert 0.0 < t.coalescing_ratio < 1.0
+        assert t.last_cut == session.cut_size()
+        metrics = session.metrics()
+        assert metrics["queue_depth"] == 0
+        assert metrics["simulated_cycles"] > 0
+
+    def test_fallback_events_surface(self, small_circuit):
+        session = StreamSession(
+            small_circuit,
+            PartitionConfig(k=2, seed=2),
+            scheduler=SchedulerConfig(target_batch_size=40),
+            batch_threshold=0.05,  # 15 modifiers on 300 vertices
+        )
+        session.start()
+        for mod in _churn_stream(small_circuit)[:40]:
+            session.submit(mod)
+        session.drain()
+        assert session.telemetry.fallback_events >= 1
+        assert session.partitioner.fallbacks_taken >= 1
+
+
+class TestCrashRecovery:
+    def _run_uninterrupted(self, csr, stream):
+        session = _session(csr, target=12)
+        session.start()
+        for mod in stream:
+            session.submit(mod)
+        session.drain()
+        return session
+
+    def test_recover_replays_to_identical_state(
+        self, small_circuit, tmp_path
+    ):
+        stream = _churn_stream(small_circuit)
+        crash_at = int(len(stream) * 0.6)
+
+        crashed = _session(
+            small_circuit, tmp_path, target=12, checkpoint_every=3
+        )
+        crashed.start()
+        for mod in stream[:crash_at]:
+            crashed.submit(mod)
+        # Crash: no close(), no final checkpoint.  The journal holds a
+        # stale checkpoint plus the logged suffix.
+        backlog_at_crash = crashed.queue.depth
+        del crashed
+
+        recovered = StreamSession.recover(tmp_path / "j")
+        assert recovered.queue.depth == backlog_at_crash
+        for mod in stream[crash_at:]:
+            recovered.submit(mod)
+        recovered.drain()
+
+        reference = self._run_uninterrupted(small_circuit, stream)
+        assert recovered.cut_size() == reference.cut_size()
+        assert np.array_equal(
+            recovered.partition, reference.partition
+        )
+        assert recovered.telemetry.recoveries == 1
+        assert recovered.telemetry.ingested == len(stream)
+        recovered.close()
+
+    def test_recover_after_clean_close_matches(
+        self, small_circuit, tmp_path
+    ):
+        stream = _churn_stream(small_circuit)[:60]
+        session = _session(
+            small_circuit, tmp_path, target=12, checkpoint_every=4
+        )
+        session.start()
+        for mod in stream:
+            session.submit(mod)
+        session.drain()
+        session.close()
+
+        recovered = StreamSession.recover(tmp_path / "j")
+        assert recovered.queue.is_empty()
+        assert recovered.cut_size() == session.cut_size()
+        assert np.array_equal(recovered.partition, session.partition)
+        recovered.close()
+
+    def test_recover_restores_session_parameters(
+        self, small_circuit, tmp_path
+    ):
+        session = StreamSession(
+            small_circuit,
+            PartitionConfig(k=2, seed=2),
+            journal_dir=str(tmp_path / "j"),
+            queue_capacity=77,
+            scheduler=SchedulerConfig(target_batch_size=9),
+            checkpoint_every=5,
+            batch_threshold=0.2,
+        )
+        session.start()
+        session.close()
+
+        recovered = StreamSession.recover(tmp_path / "j")
+        assert recovered.queue.capacity == 77
+        assert recovered.scheduler.config.target_batch_size == 9
+        assert recovered.checkpoint_every == 5
+        assert recovered.partitioner.batch_threshold == 0.2
+        recovered.close()
+
+    def test_recovered_session_continues_streaming(
+        self, small_circuit, tmp_path
+    ):
+        stream = _churn_stream(small_circuit)
+        session = _session(small_circuit, tmp_path, target=12)
+        session.start()
+        for mod in stream[:30]:
+            session.submit(mod)
+        session.close()
+
+        recovered = StreamSession.recover(tmp_path / "j")
+        for mod in stream[30:60]:
+            recovered.submit(mod)
+        recovered.drain()
+        assert recovered.telemetry.ingested == 60
+        # The combined graph equals a straight replay of the prefix.
+        reference = HostGraph.from_csr(small_circuit)
+        reference.apply_batch(stream[:60])
+        streamed = recovered.partitioner.graph.to_host_graph()
+        assert streamed.adj == reference.adj
+        recovered.close()
