@@ -1,0 +1,204 @@
+"""Hot-path phase timings for the incremental sweep (perf harness).
+
+Runs a seeded incremental workload (``seeded_workload``) through
+``IGKway`` and reports, per phase, both
+
+* **host seconds** — Python wall-clock of the vectorized kernels, the
+  quantity the vector fast path optimizes and ``tools/perf_gate.py``
+  guards against regression, and
+* **device seconds** — the simulated-GPU ledger's modeled time, which
+  must stay bit-identical no matter how the host code is reorganized
+  (the cost-parity contract; see docs/ARCHITECTURE.md).
+
+Phases are measured in-tree via ``repro.utils.timing`` — the pipeline
+is instrumented with ``timed(...)`` scopes that only collect while a
+``collect_phase_times()`` block is active, so production runs pay no
+overhead.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --smoke
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --out run.json
+
+Also collected by pytest (``pytest benchmarks/bench_hotpath.py``) as a
+fast smoke test that additionally asserts warp/vector equivalence.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from bench_common import bench_record, partition_digest, seeded_workload
+from repro.core.igkway import IGKway
+from repro.gpusim.context import GpuContext
+from repro.partition.config import PartitionConfig
+from repro.utils.timing import collect_phase_times
+
+FULL_SCALE = {"n_vertices": 77_000, "batches": 10}
+SMOKE_SCALE = {"n_vertices": 5_000, "batches": 5}
+EQUIVALENCE_SCALE = {"n_vertices": 600, "batches": 3}
+
+
+def run_hotpath(
+    n_vertices: int,
+    batches: int,
+    seed: int = 7,
+    k: int = 8,
+    mode: str = "vector",
+) -> dict:
+    """One measured incremental sweep; returns a ``repro-bench-v1``
+    record (host phase seconds + deterministic device-side outputs)."""
+    csr, trace = seeded_workload(n_vertices, batches, seed=seed)
+    ig = IGKway(csr, PartitionConfig(k=k, mode=mode))
+    ig.full_partition()
+
+    dev_mod = dev_part = 0.0
+    with collect_phase_times() as phases:
+        t0 = time.perf_counter()
+        for batch in trace:
+            report = ig.apply(batch)
+            dev_mod += report.modification_seconds
+            dev_part += report.partitioning_seconds
+        sweep_total = time.perf_counter() - t0
+
+    host = dict(phases)
+    host["sweep_total"] = sweep_total
+    ledger = ig.ctx.ledger.total
+    return bench_record(
+        "hotpath",
+        workload={
+            "n_vertices": csr.num_vertices,
+            "n_edges": int(csr.num_edges),
+            "batches": batches,
+            "k": k,
+            "mode": mode,
+            "seed": seed,
+        },
+        host_seconds=host,
+        device_seconds={
+            "modification": dev_mod,
+            "partitioning": dev_part,
+        },
+        ledger={
+            "warp_instructions": ledger.warp_instructions,
+            "transactions": ledger.transactions,
+        },
+        final_cut=ig.cut_size(),
+        partition_sha256=partition_digest(ig.state.partition),
+    )
+
+
+def check_mode_equivalence(
+    n_vertices: int = EQUIVALENCE_SCALE["n_vertices"],
+    batches: int = EQUIVALENCE_SCALE["batches"],
+    seed: int = 11,
+    k: int = 4,
+) -> dict:
+    """Run the same workload in warp and vector mode; assert the
+    partitions are bit-identical.
+
+    The two modes' *ledgers* are not compared: they model some kernels
+    at different fidelity (the warp path charges per-warp, the vector
+    path closed-form) and have differed since the seed — the parity
+    contract is identical partitions plus each mode's own ledger being
+    deterministic, not cross-mode cost equality.  Both ledgers are
+    returned so callers can track them over time."""
+    results = {}
+    for mode in ("warp", "vector"):
+        csr, trace = seeded_workload(n_vertices, batches, seed=seed)
+        ig = IGKway(csr, PartitionConfig(k=k, mode=mode), ctx=GpuContext())
+        ig.full_partition()
+        for batch in trace:
+            ig.apply(batch)
+        results[mode] = {
+            "partition": ig.state.partition.copy(),
+            "cut": ig.cut_size(),
+            "warp_instructions": ig.ctx.ledger.total.warp_instructions,
+            "transactions": ig.ctx.ledger.total.transactions,
+        }
+    warp, vector = results["warp"], results["vector"]
+    assert np.array_equal(warp["partition"], vector["partition"]), (
+        "warp and vector modes diverged on the equivalence workload"
+    )
+    assert warp["cut"] == vector["cut"]
+    return {
+        "n_vertices": n_vertices,
+        "batches": batches,
+        "cut": int(warp["cut"]),
+        "partition_sha256": partition_digest(vector["partition"]),
+        "ledger": {
+            mode: {
+                "warp_instructions": int(r["warp_instructions"]),
+                "transactions": int(r["transactions"]),
+            }
+            for mode, r in results.items()
+        },
+    }
+
+
+# -- pytest smoke entry -----------------------------------------------------
+
+
+def test_hotpath_smoke():
+    """Tiny sweep: phases are populated and warp == vector."""
+    record = run_hotpath(n_vertices=1_200, batches=3)
+    assert record["host_seconds"]["sweep_total"] > 0
+    for phase in ("modifiers", "balance", "cut-size"):
+        assert phase in record["host_seconds"]
+    check_mode_equivalence(n_vertices=400, batches=2)
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small workload (%(default)s scale is the full sweep)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--k", type=int, default=8)
+    parser.add_argument(
+        "--mode", choices=["vector", "warp"], default="vector"
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the JSON record here (default: stdout only)",
+    )
+    parser.add_argument(
+        "--no-equivalence",
+        action="store_true",
+        help="skip the warp-vs-vector equivalence check",
+    )
+    args = parser.parse_args(argv)
+
+    scale = SMOKE_SCALE if args.smoke else FULL_SCALE
+    record = run_hotpath(
+        scale["n_vertices"],
+        scale["batches"],
+        seed=args.seed,
+        k=args.k,
+        mode=args.mode,
+    )
+    if not args.no_equivalence:
+        record["equivalence"] = check_mode_equivalence()
+
+    text = json.dumps(record, indent=2)
+    if args.out is not None:
+        args.out.write_text(text + "\n")
+    print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

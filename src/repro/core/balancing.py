@@ -80,6 +80,11 @@ def balance_partition(
 
     # -- Phase A: one warp per modifier (Algorithm 3 lines 1-7) -------------
     with ctx.ledger.kernel("mark-modified"):
+        # Vertex ops must replay in modifier order (a delete +
+        # re-insert with a new weight in one batch); edge endpoints are
+        # order-free and scatter into ``affected`` in one shot.
+        endpoints: List[int] = []
+        n_activations = 0
         for op in ops:
             if isinstance(op, VertexActivate):
                 # The (re-)inserted vertex may carry a new weight; the
@@ -88,14 +93,15 @@ def balance_partition(
                 state.set_vertex_weight(op.u, op.w)
                 state.move(op.u, pseudo_label)
                 buffer.append(op.u)
+                n_activations += 1
             elif isinstance(op, VertexDeactivate):
                 state.move(op.u, UNASSIGNED)
             else:
-                affected[op.u] = True
-                affected[op.v] = True
-        ctx.ledger.charge_atomics(
-            sum(1 for op in ops if isinstance(op, VertexActivate))
-        )
+                endpoints.append(op.u)
+                endpoints.append(op.v)
+        if endpoints:
+            affected[np.asarray(endpoints, dtype=np.int64)] = True
+        ctx.ledger.charge_atomics(n_activations)
         ctx.charge_wavefront(max(len(ops), 1), 2, 1)
 
     # Deactivations during the batch may have invalidated earlier
@@ -124,9 +130,8 @@ def balance_partition(
 
     # -- Phase C: deferred partition update (lines 25-26) --------------------
     with ctx.ledger.kernel("update-pseudo"):
-        for u in selected:
-            state.move(int(u), pseudo_label)
-            buffer.append(int(u))
+        state.move_many(selected, pseudo_label)
+        buffer.extend(selected.tolist())
         ctx.ledger.charge_atomics(selected.size)
         ctx.charge_wavefront(max((selected.size + 31) // 32, 1), 2, 1)
     moved_to_pseudo = int(selected.size)
@@ -146,9 +151,8 @@ def balance_partition(
         ]
         ripple_selected = _filter_ext_gt_int(ctx, graph, state, nbrs, mode)
         with ctx.ledger.kernel("update-pseudo-ripple"):
-            for u in ripple_selected:
-                state.move(int(u), pseudo_label)
-                buffer.append(int(u))
+            state.move_many(ripple_selected, pseudo_label)
+            buffer.extend(ripple_selected.tolist())
             ctx.ledger.charge_atomics(ripple_selected.size)
             ctx.charge_wavefront(
                 max((ripple_selected.size + 31) // 32, 1), 2, 1

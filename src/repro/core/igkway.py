@@ -43,6 +43,7 @@ from repro.partition.gkway import GKwayPartitioner
 from repro.partition.metrics import cut_size_bucketlist
 from repro.partition.state import UNASSIGNED, PartitionState
 from repro.utils.errors import PartitionError
+from repro.utils.timing import timed
 
 
 @dataclass
@@ -128,6 +129,9 @@ class IGKway:
                 "partition", 8 * self.graph.capacity
             )
             ledger.charge_h2d(self.graph.nbytes())
+            # Build the slot->owner index at upload time so the first
+            # incremental iteration doesn't pay the one-time scatter.
+            self.graph.slot_owner_array()
         seconds = ledger.model.seconds(ledger.total.diff(before))
 
         partition = np.full(self.graph.capacity, UNASSIGNED, dtype=np.int64)
@@ -152,15 +156,16 @@ class IGKway:
         ledger = self.ctx.ledger
 
         before_mod = ledger.snapshot()
-        with ledger.section("modification"):
+        with ledger.section("modification"), timed("modifiers"):
             ops = apply_batch(self.ctx, graph, batch, mode=self.config.mode)
         mod_seconds = ledger.model.seconds(ledger.total.diff(before_mod))
 
         before_part = ledger.snapshot()
         with ledger.section("partitioning"):
-            buffer, balance_stats = balance_partition(
-                self.ctx, graph, state, ops, mode=self.config.mode
-            )
+            with timed("balance"):
+                buffer, balance_stats = balance_partition(
+                    self.ctx, graph, state, ops, mode=self.config.mode
+                )
             refine_stats = refine_pseudo(
                 self.ctx,
                 graph,
@@ -169,14 +174,17 @@ class IGKway:
                 mode=self.config.mode,
                 max_rounds=self.config.max_incremental_rounds,
             )
-            charge_boundary_bookkeeping(self.ctx, graph)
+            with timed("bookkeeping"):
+                charge_boundary_bookkeeping(self.ctx, graph)
         part_seconds = ledger.model.seconds(ledger.total.diff(before_part))
 
+        with timed("cut-size"):
+            cut = self.cut_size()
         self.iterations_applied += 1
         return IterationReport(
             modification_seconds=mod_seconds,
             partitioning_seconds=part_seconds,
-            cut=self.cut_size(),
+            cut=cut,
             balanced=state.balanced(),
             balance_stats=balance_stats,
             refine_stats=refine_stats,

@@ -241,9 +241,7 @@ def _vertex_op_warp(
         if graph.bucket_count[u] == 0:
             # Brand-new ID: "assign u a single bucket and add the bucket
             # to the end of the bucket-list" (Algorithm 2 lines 9-10).
-            bucket = graph.allocate_buckets(1)
-            graph.bucket_start[u] = bucket
-            graph.bucket_count[u] = 1
+            graph.assign_new_buckets(u, 1)
         bucket_start, n_slots = graph.slot_range(u)
         num_bucket = n_slots // SLOTS_PER_BUCKET
     # Lines 11-13: initialize every slot to EMPTY.
@@ -286,25 +284,160 @@ def apply_ops_vector(
 ) -> None:
     """Apply a slot-op batch with NumPy scans, charging warp-equivalent
     costs.  Produces exactly the same slot layout as the warp path
-    (first empty / first match in slot order)."""
+    (first empty / first match in slot order).
+
+    The batch is processed in *runs* of consecutive same-kind slot ops:
+    ops within a run touch either distinct vertices or distinct slots of
+    one vertex, so a whole run resolves in one gather/scatter while
+    preserving the sequential slot layout bit-for-bit.  Runs that could
+    interact through allocation order (bucket overflow) or repeated
+    (u, v) pairs fall back to the per-op scan.
+    """
     _reserve_new_ids(graph, ops)
     instructions = 0
     transactions = 0
     with ctx.ledger.kernel("apply-modifiers"):
-        for op in ops:
-            if isinstance(op, SlotInsert):
-                cost = _edge_insert_vector(graph, op)
-            elif isinstance(op, SlotDelete):
-                cost = _edge_delete_vector(graph, op)
+        i = 0
+        n = len(ops)
+        while i < n:
+            op = ops[i]
+            if isinstance(op, (SlotInsert, SlotDelete)):
+                kind = type(op)
+                j = i
+                while j < n and type(ops[j]) is kind:
+                    j += 1
+                if kind is SlotInsert:
+                    cost = _insert_run_vector(graph, ops[i:j])
+                else:
+                    cost = _delete_run_vector(graph, ops[i:j])
             else:
+                j = i + 1
                 cost = _vertex_op_vector(graph, op)
             instructions += cost[0]
             transactions += cost[1]
+            i = j
         n_ops = max(len(ops), 1)
         balanced = math.ceil(instructions / ctx.resident_warps)
         longest = math.ceil(instructions / n_ops)
         ctx.ledger.charge_instructions(max(balanced, longest))
         ctx.ledger.charge_transactions(transactions)
+
+
+def _insert_run_vector(
+    graph: BucketListGraph, run: Sequence[SlotInsert]
+) -> tuple[int, int]:
+    """Apply a run of consecutive SlotInserts in one scatter.
+
+    The t-th insert targeting vertex ``u`` (in run order) lands in the
+    t-th currently-empty slot of ``u`` — exactly where the sequential
+    first-empty scan would put it, because earlier inserts only consume
+    earlier empties.  Any vertex without enough empty slots sends the
+    whole run down the sequential path, which preserves the relocation
+    (overflow) order of Algorithm 1.
+    """
+    if len(run) == 1:
+        return _edge_insert_vector(graph, run[0])
+    us = np.array([op.u for op in run], dtype=np.int64)
+    uu, group = np.unique(us, return_inverse=True)
+    # Occurrence index of each op within its vertex group (stable).
+    order = np.argsort(group, kind="stable")
+    occ = np.empty(us.size, dtype=np.int64)
+    group_sorted = group[order]
+    first_of_group = np.searchsorted(group_sorted, np.arange(uu.size))
+    occ[order] = np.arange(us.size) - first_of_group[group_sorted]
+
+    slot_idx, owner = graph.slot_index_arrays(uu)
+    empties = graph.bucket_list[slot_idx] == EMPTY
+    empty_positions = slot_idx[empties]
+    empty_owner = owner[empties]
+    per_owner = np.bincount(empty_owner, minlength=uu.size)
+    need = np.bincount(group, minlength=uu.size)
+    if np.any(per_owner < need):
+        # Overflow: some vertex needs more slots than it has empty.
+        instructions = transactions = 0
+        for op in run:
+            cost = _edge_insert_vector(graph, op)
+            instructions += cost[0]
+            transactions += cost[1]
+        return instructions, transactions
+    # ``empty_owner`` is non-decreasing (owner segments are contiguous),
+    # so each group's empties start at a searchsorted boundary.
+    group_start = np.searchsorted(empty_owner, np.arange(uu.size))
+    chosen = empty_positions[group_start[group] + occ]
+    graph.bucket_list[chosen] = np.array(
+        [op.v for op in run], dtype=np.int64
+    )
+    graph.slot_wgt[chosen] = np.array(
+        [op.w for op in run], dtype=np.int64
+    )
+    base = graph.bucket_start[uu[group]] * SLOTS_PER_BUCKET
+    buckets_scanned = (chosen - base) // SLOTS_PER_BUCKET + 1
+    instructions = int((4 * buckets_scanned + 1).sum())
+    transactions = int((buckets_scanned + 1).sum())
+    return instructions, transactions
+
+
+def _delete_run_vector(
+    graph: BucketListGraph, run: Sequence[SlotDelete]
+) -> tuple[int, int]:
+    """Apply a run of consecutive SlotDeletes in one scatter.
+
+    Deletes match by neighbor *value*, and a vertex's filled slots hold
+    distinct neighbors, so deletes within a run never contend for a
+    slot — unless the run repeats a (u, v) pair, which falls back to the
+    per-op scan to reproduce the sequential not-found error.
+    """
+    if len(run) == 1:
+        return _edge_delete_vector(graph, run[0])
+    us = np.array([op.u for op in run], dtype=np.int64)
+    vs = np.array([op.v for op in run], dtype=np.int64)
+    pairs = np.stack([us, vs], axis=1)
+    if np.unique(pairs, axis=0).shape[0] != us.size:
+        instructions = transactions = 0
+        for op in run:
+            cost = _edge_delete_vector(graph, op)
+            instructions += cost[0]
+            transactions += cost[1]
+        return instructions, transactions
+    # One slot segment *per op* (vertices repeated per delete), so each
+    # op matches its value only against its own vertex's slots.
+    slot_idx, owner = graph.slot_index_arrays(us)
+    match = graph.bucket_list[slot_idx] == vs[owner]
+    midx = np.flatnonzero(match)
+    first_owners, first_pos = np.unique(owner[midx], return_index=True)
+    found = np.zeros(us.size, dtype=bool)
+    found[first_owners] = True
+    if not found.all():
+        return _delete_run_fallback(graph, run, found)
+    # found.all() implies first_owners == arange(len(run)): the first
+    # matching slot of op i is midx[first_pos[i]].
+    chosen = slot_idx[midx[first_pos]]
+    graph.bucket_list[chosen] = EMPTY
+    graph.slot_wgt[chosen] = 0
+    base = graph.bucket_start[us] * SLOTS_PER_BUCKET
+    buckets_scanned = (chosen - base) // SLOTS_PER_BUCKET + 1
+    instructions = int((4 * buckets_scanned + 1).sum())
+    transactions = int((buckets_scanned + 1).sum())
+    return instructions, transactions
+
+
+def _delete_run_fallback(
+    graph: BucketListGraph,
+    run: Sequence[SlotDelete],
+    found: np.ndarray,
+) -> tuple[int, int]:
+    """Replay a delete run sequentially up to its first missing edge,
+    then raise exactly like the per-op path would."""
+    instructions = transactions = 0
+    first_missing = int(np.flatnonzero(~found)[0])
+    for op in run[:first_missing]:
+        cost = _edge_delete_vector(graph, op)
+        instructions += cost[0]
+        transactions += cost[1]
+    bad = run[first_missing]
+    raise ModifierError(
+        f"edge ({bad.u}, {bad.v}) not found for deletion"
+    )
 
 
 def _edge_insert_vector(
@@ -359,9 +492,7 @@ def _vertex_op_vector(
         graph.vertex_status[u] = STATUS_ACTIVE
         graph.vwgt[u] = op.w
         if graph.bucket_count[u] == 0:
-            bucket = graph.allocate_buckets(1)
-            graph.bucket_start[u] = bucket
-            graph.bucket_count[u] = 1
+            graph.assign_new_buckets(u, 1)
     start, n_slots = graph.slot_range(u)
     graph.bucket_list[start : start + n_slots] = EMPTY
     graph.slot_wgt[start : start + n_slots] = 0

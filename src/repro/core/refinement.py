@@ -27,7 +27,7 @@ Rounds repeat until the pseudo-partition is empty.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Sequence
 
 import numpy as np
 
@@ -41,6 +41,7 @@ from repro.graph.bucketlist import (
 )
 from repro.partition.state import PartitionState
 from repro.utils.errors import PartitionError
+from repro.utils.timing import timed
 
 
 @dataclass
@@ -68,7 +69,7 @@ def refine_pseudo(
     ctx: GpuContext,
     graph: BucketListGraph,
     state: PartitionState,
-    vertex_in_pseudo: List[int],
+    vertex_in_pseudo: Sequence[int],
     mode: str = "vector",
     max_rounds: int = 64,
 ) -> RefineStats:
@@ -78,22 +79,33 @@ def refine_pseudo(
         vertex_in_pseudo: The centralized buffer from Algorithm 3, in
             insertion order.
         max_rounds: Safety cap; any leftovers are force-assigned to the
-            lightest partition so the drain always terminates.
+            lightest partition that still has ``W_pmax`` headroom so the
+            drain always terminates.
     """
     stats = RefineStats()
-    buffer = list(vertex_in_pseudo)
-    while buffer and stats.rounds < max_rounds:
+    buffer = np.asarray(vertex_in_pseudo, dtype=np.int64)
+    while buffer.size and stats.rounds < max_rounds:
         stats.rounds += 1
-        moves = _find_moves(ctx, graph, state, buffer, mode)
-        applied = _commit_moves(ctx, state, moves, stats)
-        if applied:
-            applied_set = set(applied)
-            buffer = [u for u in buffer if u not in applied_set]
-        stats.rounds_move_counts.append(len(applied))
+        with timed("refine.find-moves"):
+            moves = _find_moves(ctx, graph, state, buffer, mode)
+        with timed("refine.commit"):
+            applied = _commit_moves(ctx, state, moves, stats)
+            if applied.size:
+                buffer = buffer[~np.isin(buffer, applied)]
+        stats.rounds_move_counts.append(int(applied.size))
     # Safety: force-place any leftovers (can only trigger at the cap).
+    # Honor the balance bound where possible: the lightest partition
+    # *with headroom* wins; only when no partition can absorb the vertex
+    # does the global lightest take it.
     for u in buffer:
-        target = int(np.argmin(state.part_weights))
-        state.move(u, target)
+        w_u = state.vertex_weight(int(u))
+        fits = state.part_weights + w_u <= state.w_pmax()
+        if np.any(fits):
+            weights = np.where(fits, state.part_weights, np.iinfo(np.int64).max)
+            target = int(np.argmin(weights))
+        else:
+            target = int(np.argmin(state.part_weights))
+        state.move(int(u), target)
         stats.forced_moves += 1
         stats.moves_applied += 1
     if state.pseudo_weight != 0:
@@ -110,7 +122,7 @@ def _find_moves(
     ctx: GpuContext,
     graph: BucketListGraph,
     state: PartitionState,
-    buffer: List[int],
+    buffer: Sequence[int],
     mode: str,
 ) -> _MoveSet:
     if mode == "vector":
@@ -121,36 +133,57 @@ def _find_moves(
 
 
 def _choose_partition(
-    counts_row: np.ndarray,
+    counts: np.ndarray,
     feasible: np.ndarray,
     part_weights: np.ndarray,
-) -> tuple[int, int]:
-    """Shared tie-breaking: max count, then lighter partition, then
-    smaller index.  Returns ``(partition, count)``; falls back to the
-    lightest partition when nothing is feasible."""
+) -> tuple[np.ndarray, np.ndarray]:
+    """Most-suitable partition for every row of the ``(selected, k)``
+    counts matrix, as one masked argmax.
+
+    The tie-break rule is shared with the warp path (Algorithm 4 line
+    20) and is exact integer lexicographic comparison — most neighbors,
+    then lighter partition, then smaller index — never a floating-point
+    score, so the two execution paths cannot diverge on ties.  Rows with
+    no feasible partition fall back to the globally lightest partition —
+    a progress guarantee the paper leaves implicit.
+
+    Returns aligned ``(targets, counts_at_target)`` arrays.
+    """
+    counts = np.atleast_2d(np.asarray(counts, dtype=np.int64))
+    rows = counts.shape[0]
     if not np.any(feasible):
         target = int(np.argmin(part_weights))
-        return target, int(counts_row[target])
-    total = int(part_weights.sum()) + 1
-    score = np.where(
-        feasible,
-        counts_row.astype(np.float64)
-        - part_weights.astype(np.float64) / total,
-        -np.inf,
-    )
-    target = int(np.argmax(score))
-    return target, int(counts_row[target])
+        targets = np.full(rows, target, dtype=np.int64)
+        return targets, counts[:, target].astype(np.int64)
+    # Masked argmax, stage 1: the best neighbor count among feasible
+    # partitions (counts are >= 0, so -1 marks infeasible columns).
+    masked = np.where(feasible, counts, np.int64(-1))
+    best_count = masked.max(axis=1)
+    # Stage 2: among the tied-best columns, the minimum partition
+    # weight; np.argmax then picks the first (smallest-index) column
+    # attaining both.
+    tied = masked == best_count[:, None]
+    heavy = np.iinfo(np.int64).max
+    tied_weights = np.where(tied, part_weights[None, :], heavy)
+    best_weight = tied_weights.min(axis=1)
+    targets = np.argmax(
+        tied & (tied_weights == best_weight[:, None]), axis=1
+    ).astype(np.int64)
+    chosen_counts = np.take_along_axis(
+        counts, targets[:, None], axis=1
+    )[:, 0]
+    return targets, chosen_counts.astype(np.int64)
 
 
 def _find_moves_vector(
     ctx: GpuContext,
     graph: BucketListGraph,
     state: PartitionState,
-    buffer: List[int],
+    buffer: Sequence[int],
 ) -> _MoveSet:
     pseudo = state.pseudo_label
     k = state.k
-    vertices = np.array(buffer, dtype=np.int64)
+    vertices = np.asarray(buffer, dtype=np.int64)
     partition = state.partition
     w_pmax = state.w_pmax()
 
@@ -202,16 +235,11 @@ def _find_moves_vector(
         trans = graph.bucket_count[selected] * max(k_feasible, 1) + 2
         ctx.charge_irregular_warps(instr + 4, trans)
 
-    targets = np.empty(selected.size, dtype=np.int64)
-    nbr_counts = np.empty(selected.size, dtype=np.int64)
-    for i in range(selected.size):
-        targets[i], nbr_counts[i] = _choose_partition(
-            counts[i], feasible, state.part_weights
-        )
-    ctx.ledger.charge_atomics(selected.size)
-    weights = np.array(
-        [state.vertex_weight(int(u)) for u in selected], dtype=np.int64
+    targets, nbr_counts = _choose_partition(
+        counts, feasible, state.part_weights
     )
+    ctx.ledger.charge_atomics(selected.size)
+    weights = state.vertex_weights(selected)
     return _MoveSet(selected, targets, nbr_counts, weights)
 
 
@@ -219,7 +247,7 @@ def _find_moves_warp(
     ctx: GpuContext,
     graph: BucketListGraph,
     state: PartitionState,
-    buffer: List[int],
+    buffer: Sequence[int],
 ) -> _MoveSet:
     """Algorithm 4 lines 1-23 on the 32-lane warp model."""
     from repro.gpusim.kernel import launch_warps
@@ -265,6 +293,10 @@ def _find_moves_warp(
                 mask = warp.ballot_sync(FULL_MASK, (nbr_par == p) & filled)
                 num_nbr_in_p += bin(mask).count("1")
                 bucket_cnt += 1
+            # Shared tie-break rule (see _choose_partition): most
+            # neighbors, then lighter partition, then smaller index —
+            # ascending p plus strict comparisons implements exactly
+            # that lexicographic order.
             if num_nbr_in_p > best_count or (
                 num_nbr_in_p == best_count
                 and 0 <= best_part
@@ -324,11 +356,12 @@ def longest_feasible_prefix(
     m = targets.shape[0]
     if m == 0:
         return 0
+    # One scatter builds all k segments of ``delta_p_wgt``: move j adds
+    # its weight at position (target_j, j) of the (k, m) layout and
+    # leaves every other segment's column zero.
     delta = np.zeros(k * m, dtype=np.int64)
     segment_ids = np.repeat(np.arange(k), m)
-    positions = np.arange(m)
-    for p in range(k):
-        delta[p * m + positions] = np.where(targets == p, weights, 0)
+    delta[targets * m + np.arange(m)] = weights
     scanned = segmented_inclusive_scan(ctx, delta, segment_ids)
     accumulated = scanned.reshape(k, m)
     ok = np.all(
@@ -342,11 +375,14 @@ def _commit_moves(
     state: PartitionState,
     moves: _MoveSet,
     stats: RefineStats,
-) -> List[int]:
-    """Sort moves by #nbr, apply the longest feasible prefix."""
+) -> np.ndarray:
+    """Sort moves by #nbr, apply the longest feasible prefix.
+
+    Returns the applied vertices (possibly empty) as an int64 array.
+    """
     m = moves.vertices.shape[0]
     if m == 0:
-        return []
+        return np.zeros(0, dtype=np.int64)
     _keys, order = sort_by_key(
         ctx, moves.nbr_counts, np.arange(m), descending=True
     )
@@ -367,12 +403,10 @@ def _commit_moves(
         stats.moves_applied += 1
         stats.forced_moves += 1
         stats.deferred_moves += m - 1
-        return [u]
+        return vertices[:1].copy()
 
-    applied = []
-    for u, target in zip(vertices[:prefix], targets[:prefix]):
-        state.move(int(u), int(target))
-        applied.append(int(u))
+    applied = vertices[:prefix]
+    state.apply_moves(applied, targets[:prefix])
     stats.moves_applied += prefix
     stats.deferred_moves += m - prefix
     return applied

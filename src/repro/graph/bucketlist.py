@@ -83,6 +83,15 @@ class BucketListGraph:
         self.vwgt = np.ones(capacity, dtype=np.int64)
         self.num_vertices = 0
         self.num_buckets_used = 0
+        # Bucket-geometry generation: bumped whenever any vertex's
+        # bucket_start/bucket_count changes (allocation, relocation, new
+        # vertex ID).  Host-side gather caches are stamped with it, so a
+        # stale cache can never be observed.  Edge inserts/deletes do not
+        # bump it — they only rewrite slot *contents*, which the caches
+        # never store.
+        self.geometry_generation = 0
+        self._gather_cache: dict[bytes, tuple[int, np.ndarray, np.ndarray]] = {}
+        self._slot_owner: np.ndarray | None = None
 
     # -- construction -----------------------------------------------------------
 
@@ -180,23 +189,79 @@ class BucketListGraph:
         start, n_slots = self.slot_range(u)
         return self.slot_wgt[start : start + n_slots]
 
+    #: Max memoized gather entries (FIFO eviction); each entry holds two
+    #: int64 arrays roughly the size of the vertex set's slot count.
+    GATHER_CACHE_ENTRIES = 8
+
     def slot_index_arrays(
         self, vertices: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Flattened slot indices for a set of vertices.
+        """Flattened slot indices for a set of vertices (memoized).
 
         Returns ``(slot_indices, owner)`` where ``slot_indices`` is every
         slot position belonging to a vertex in ``vertices`` (in vertex
         order) and ``owner[i]`` is the index *into ``vertices``* that owns
         slot ``slot_indices[i]``.  This is the gather pattern the
         vectorized kernels use to process many warps at once.
+
+        Repeated calls with the same vertex set (refinement rounds, the
+        per-iteration cut computation) return a cached pair stamped with
+        :attr:`geometry_generation`; any bucket allocation, relocation or
+        new vertex ID invalidates the stamp.  Callers must treat the
+        returned arrays as read-only.
         """
         vertices = np.asarray(vertices, dtype=np.int64)
+        key = vertices.tobytes()
+        hit = self._gather_cache.get(key)
+        if hit is not None and hit[0] == self.geometry_generation:
+            return hit[1], hit[2]
         n_slots = self.bucket_count[vertices] * SLOTS_PER_BUCKET
         base = self.bucket_start[vertices] * SLOTS_PER_BUCKET
         slot_indices = np.repeat(base, n_slots) + _ramp(n_slots)
         owner = np.repeat(np.arange(vertices.size), n_slots)
+        if len(self._gather_cache) >= self.GATHER_CACHE_ENTRIES:
+            self._gather_cache.pop(next(iter(self._gather_cache)))
+        self._gather_cache[key] = (
+            self.geometry_generation, slot_indices, owner
+        )
         return slot_indices, owner
+
+    def slot_owner_array(self) -> np.ndarray:
+        """Pool-wide owner map: ``slot_owner[s]`` is the vertex whose
+        bucket range contains slot ``s`` (-1 for never-assigned slots).
+
+        Built lazily, then maintained *incrementally*: bucket allocations
+        and relocations write their new ranges into the cached array
+        instead of rebuilding it, so per-iteration consumers (cut size,
+        edge count) never pay the O(pool) rebuild twice.  Slots of
+        abandoned (relocated-away) ranges keep their stale owner — they
+        are permanently EMPTY, so consumers must mask with
+        ``bucket_list != EMPTY``.  Treat as read-only.
+        """
+        if self._slot_owner is None:
+            owner = np.full(
+                self.pool_buckets * SLOTS_PER_BUCKET, -1, dtype=np.int64
+            )
+            n = self.num_vertices
+            if n:
+                counts = self.bucket_count[:n] * SLOTS_PER_BUCKET
+                base = self.bucket_start[:n] * SLOTS_PER_BUCKET
+                positions = np.repeat(base, counts) + _ramp(counts)
+                owner[positions] = np.repeat(
+                    np.arange(n, dtype=np.int64), counts
+                )
+            self._slot_owner = owner
+        return self._slot_owner
+
+    def _touch_geometry(self) -> None:
+        """Invalidate gather caches after a bucket-geometry change."""
+        self.geometry_generation += 1
+
+    def _note_bucket_assignment(self, u: int) -> None:
+        """Record ``u``'s (new) bucket range in the owner cache."""
+        if self._slot_owner is not None:
+            start, n_slots = self.slot_range(u)
+            self._slot_owner[start : start + n_slots] = u
 
     # -- host-side queries ---------------------------------------------------------
 
@@ -247,10 +312,16 @@ class BucketListGraph:
         return int(self.slot_weights(u)[hits[0]])
 
     def num_edges(self) -> int:
-        active = self.active_vertices()
-        if active.size == 0:
+        # One contiguous scan over the used pool: every filled slot is
+        # one arc (deactivation blanks a vertex's slots and modifier
+        # expansion removes dangling references, so deleted vertices
+        # contribute nothing — the same invariant ``validate`` checks).
+        used_slots = self.num_buckets_used * SLOTS_PER_BUCKET
+        if used_slots == 0:
             return 0
-        return int(self.degrees(active).sum()) // 2
+        return int(
+            np.count_nonzero(self.bucket_list[:used_slots] != EMPTY)
+        ) // 2
 
     def total_active_weight(self) -> int:
         active = self.active_vertices()
@@ -297,7 +368,20 @@ class BucketListGraph:
         last_slot = self.num_buckets_used * SLOTS_PER_BUCKET
         self.bucket_list[first_slot:last_slot] = EMPTY
         self.slot_wgt[first_slot:last_slot] = 0
+        self._touch_geometry()
         return start
+
+    def assign_new_buckets(self, u: int, n_buckets: int = 1) -> None:
+        """Allocate ``n_buckets`` fresh buckets and hand them to ``u``.
+
+        The Algorithm 2 path for brand-new vertex IDs ("assign u a single
+        bucket and add the bucket to the end of the bucket-list"), kept
+        here so the geometry caches see the assignment.
+        """
+        bucket = self.allocate_buckets(n_buckets)
+        self.bucket_start[u] = bucket
+        self.bucket_count[u] = n_buckets
+        self._note_bucket_assignment(u)
 
     def new_vertex_id(self) -> int:
         """Reserve the next vertex ID from the capacity region."""
@@ -337,6 +421,7 @@ class BucketListGraph:
         self.slot_wgt[old_start : old_start + old_slots] = 0
         self.bucket_start[u] = new_bucket
         self.bucket_count[u] = new_count
+        self._note_bucket_assignment(u)
         return old_slots
 
     # -- export / verification ----------------------------------------------------------

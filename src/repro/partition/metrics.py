@@ -19,7 +19,11 @@ import math
 
 import numpy as np
 
-from repro.graph.bucketlist import EMPTY, BucketListGraph
+from repro.graph.bucketlist import (
+    EMPTY,
+    SLOTS_PER_BUCKET,
+    BucketListGraph,
+)
 from repro.graph.csr import CSRGraph
 
 
@@ -38,16 +42,21 @@ def cut_size_csr(csr: CSRGraph, partition: np.ndarray) -> int:
 def cut_size_bucketlist(
     graph: BucketListGraph, partition: np.ndarray
 ) -> int:
-    """Weighted cut of the active subgraph of a bucket-list graph."""
-    active = graph.active_vertices()
-    if active.size == 0:
+    """Weighted cut of the active subgraph of a bucket-list graph.
+
+    Scans the used slot pool contiguously against the cached
+    ``slot_owner_array`` instead of re-gathering per-vertex slot ranges:
+    deleted vertices have blanked slots and no inbound references, so
+    masking EMPTY slots yields exactly the active subgraph's arcs.
+    """
+    used_slots = graph.num_buckets_used * SLOTS_PER_BUCKET
+    if used_slots == 0:
         return 0
-    slot_idx, owner = graph.slot_index_arrays(active)
-    nbrs = graph.bucket_list[slot_idx]
-    filled = nbrs != EMPTY
-    src = active[owner[filled]]
-    dst = nbrs[filled]
-    weights = graph.slot_wgt[slot_idx][filled]
+    dst = graph.bucket_list[:used_slots]
+    filled = dst != EMPTY
+    src = graph.slot_owner_array()[:used_slots][filled]
+    dst = dst[filled]
+    weights = graph.slot_wgt[:used_slots][filled]
     crossing = partition[src] != partition[dst]
     return int(weights[crossing].sum()) // 2
 

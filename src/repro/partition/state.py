@@ -85,6 +85,10 @@ class PartitionState:
     def vertex_weight(self, u: int) -> int:
         return int(self._vwgt[u])
 
+    def vertex_weights(self, vertices: np.ndarray) -> np.ndarray:
+        """Bulk weight gather (one ``vwgt`` load per vertex)."""
+        return self._vwgt[np.asarray(vertices, dtype=np.int64)]
+
     def set_vertex_weight(self, u: int, weight: int) -> None:
         """Update a vertex's weight, keeping cached sums consistent."""
         old = int(self._vwgt[u])
@@ -116,8 +120,55 @@ class PartitionState:
 
     def move_many(self, vertices: np.ndarray, target: int) -> None:
         """Bulk :meth:`move` of several vertices to one label."""
-        for u in np.asarray(vertices, dtype=np.int64):
-            self.move(int(u), target)
+        vertices = np.asarray(vertices, dtype=np.int64)
+        self.apply_moves(vertices, np.full(vertices.shape, target))
+
+    def apply_moves(
+        self, vertices: np.ndarray, targets: np.ndarray
+    ) -> None:
+        """Vectorized :meth:`move` of aligned ``(vertices, targets)``.
+
+        Equivalent to moving each vertex in order; ``vertices`` must not
+        contain duplicates (per-label weight deltas are accumulated in
+        one scatter-add, so a duplicate would be double-counted).
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        if vertices.size == 0:
+            return
+        if np.any(
+            (targets != UNASSIGNED) & (targets > self.pseudo_label)
+        ) or np.any(targets < UNASSIGNED):
+            bad = targets[
+                ((targets != UNASSIGNED) & (targets > self.pseudo_label))
+                | (targets < UNASSIGNED)
+            ][0]
+            raise PartitionError(f"invalid target label {int(bad)}")
+        src = self.partition[vertices]
+        changing = src != targets
+        if not np.any(changing):
+            return
+        vertices = vertices[changing]
+        src = src[changing]
+        targets = targets[changing]
+        weights = self._vwgt[vertices]
+        src_real = (src >= 0) & (src < self.k)
+        if np.any(src_real):
+            np.subtract.at(
+                self.part_weights, src[src_real], weights[src_real]
+            )
+        self.pseudo_weight -= int(
+            weights[src == self.pseudo_label].sum()
+        )
+        dst_real = (targets >= 0) & (targets < self.k)
+        if np.any(dst_real):
+            np.add.at(
+                self.part_weights, targets[dst_real], weights[dst_real]
+            )
+        self.pseudo_weight += int(
+            weights[targets == self.pseudo_label].sum()
+        )
+        self.partition[vertices] = targets
 
     # -- consistency ------------------------------------------------------------------
 

@@ -12,8 +12,11 @@ from repro.utils.errors import (
     StreamError,
 )
 from repro.utils.seeding import derive_seed, make_rng
+from repro.utils.timing import collect_phase_times, timed
 
 __all__ = [
+    "collect_phase_times",
+    "timed",
     "ReproError",
     "GraphConsistencyError",
     "BucketListFullError",

@@ -1,0 +1,59 @@
+"""Host-side phase timing for the perf-regression harness.
+
+The simulated-GPU ledger answers "how long would the device take"; this
+module answers "how long does the *host* take to drive it" — the number
+the perf gate (``tools/perf_gate.py``) protects.  Hot-path code brackets
+its phases with :func:`timed`; when no collector is active the bracket
+is a no-op apart from one attribute check, so production runs pay
+nothing measurable.
+
+Usage::
+
+    with collect_phase_times() as times:
+        partitioner.apply(batch)
+    print(times["refine.find-moves"])
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+#: The active collector (or None).  A plain module global — the hot
+#: paths are single-threaded NumPy driving; nesting replaces the
+#: innermost collector and restores it on exit.
+_active: "Dict[str, float] | None" = None
+
+
+@contextmanager
+def collect_phase_times() -> Iterator[Dict[str, float]]:
+    """Collect phase wall-clock seconds for the enclosed block.
+
+    Returns a dict accumulating ``{phase_name: seconds}``; nested
+    :func:`timed` brackets with the same name add up.
+    """
+    global _active
+    previous = _active
+    times: Dict[str, float] = {}
+    _active = times
+    try:
+        yield times
+    finally:
+        _active = previous
+
+
+@contextmanager
+def timed(name: str) -> Iterator[None]:
+    """Accumulate the block's wall time under ``name`` (if collecting)."""
+    if _active is None:
+        yield
+        return
+    collector = _active
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        collector[name] = (
+            collector.get(name, 0.0) + time.perf_counter() - start
+        )

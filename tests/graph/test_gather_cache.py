@@ -1,0 +1,166 @@
+"""Generation-stamped gather caches on the bucket-list graph.
+
+``slot_index_arrays`` memoizes the per-vertex-set slot gather and
+``slot_owner_array`` maintains a pool-wide slot->owner index; both are
+invalidated/maintained through ``geometry_generation``, which modifier
+kernels bump on any bucket allocation or relocation.  These properties
+check the cached answers against independent reconstructions from
+``bucket_start``/``bucket_count`` after arbitrary modifier batches.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.modification import apply_batch
+from repro.eval.workloads import TraceConfig, generate_trace
+from repro.graph import BucketListGraph, circuit_graph
+from repro.graph.bucketlist import EMPTY, SLOTS_PER_BUCKET
+from repro.gpusim import GpuContext
+
+
+def _reference_slot_index(graph, vertices):
+    """Recompute the gather arrays straight from the bucket geometry."""
+    idx, owner = [], []
+    for i, u in enumerate(vertices):
+        start, n_slots = graph.slot_range(int(u))
+        idx.extend(range(start, start + n_slots))
+        owner.extend([i] * n_slots)
+    return (
+        np.array(idx, dtype=np.int64),
+        np.array(owner, dtype=np.int64),
+    )
+
+
+def _churned_graph(seed, n=120, batches=3):
+    """A bucket-list graph after ``batches`` seeded modifier batches."""
+    csr = circuit_graph(n, 1.6, seed=seed)
+    graph = BucketListGraph.from_csr(csr)
+    trace = generate_trace(
+        csr,
+        TraceConfig(
+            iterations=batches,
+            modifiers_per_iteration=(8, 20),
+            seed=seed,
+        ),
+    )
+    ctx = GpuContext()
+    for batch in trace:
+        apply_batch(ctx, graph, batch, mode="vector")
+    return graph
+
+
+class TestSlotIndexCache:
+    @given(
+        seed=st.integers(0, 5_000),
+        stride=st.integers(1, 7),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_cached_matches_reference_after_churn(self, seed, stride):
+        """After inserts/deletes/relocations, the memoized gather equals
+        a from-scratch reconstruction — on both the cold (miss) and the
+        warm (hit) path."""
+        graph = _churned_graph(seed)
+        active = graph.active_vertices()
+        vertices = active[::stride]
+        ref_idx, ref_owner = _reference_slot_index(graph, vertices)
+        for _ in range(2):  # first call populates, second must hit
+            idx, owner = graph.slot_index_arrays(vertices)
+            np.testing.assert_array_equal(idx, ref_idx)
+            np.testing.assert_array_equal(owner, ref_owner)
+
+    def test_relocation_invalidates_stale_entry(self):
+        """Growing a vertex past its buckets relocates it; a cached
+        gather from before the relocation must not be served."""
+        csr = circuit_graph(80, 1.5, seed=1)
+        graph = BucketListGraph.from_csr(csr)
+        ctx = GpuContext()
+        u = 0
+        vertices = np.array([u], dtype=np.int64)
+        graph.slot_index_arrays(vertices)  # warm the cache
+        gen_before = graph.geometry_generation
+        # Insert enough distinct edges at u to overflow its buckets.
+        from repro.graph import EdgeInsert
+
+        present = set(
+            int(v)
+            for v in graph.bucket_list[
+                graph.slot_range(u)[0] : sum(graph.slot_range(u))
+            ]
+            if v != EMPTY
+        )
+        targets = [v for v in range(1, 75) if v not in present]
+        batch = [EdgeInsert(u, v) for v in targets[:40]]
+        apply_batch(ctx, graph, batch, mode="vector")
+        assert graph.geometry_generation > gen_before
+        idx, owner = graph.slot_index_arrays(vertices)
+        ref_idx, ref_owner = _reference_slot_index(graph, vertices)
+        np.testing.assert_array_equal(idx, ref_idx)
+        np.testing.assert_array_equal(owner, ref_owner)
+
+
+class TestSlotOwnerArray:
+    @given(seed=st.integers(0, 5_000))
+    @settings(max_examples=15, deadline=None)
+    def test_owner_correct_on_filled_slots_after_churn(self, seed):
+        """Every filled slot in the used pool maps back to the vertex
+        whose current bucket range contains it.  (Abandoned relocation
+        ranges may keep a stale owner, but they are permanently EMPTY,
+        so only filled slots carry the contract.)"""
+        graph = _churned_graph(seed)
+        owner = graph.slot_owner_array()
+        used = graph.num_buckets_used * SLOTS_PER_BUCKET
+        ref = np.full(used, -1, dtype=np.int64)
+        for u in graph.active_vertices():
+            start, n_slots = graph.slot_range(int(u))
+            ref[start : start + n_slots] = u
+        filled = graph.bucket_list[:used] != EMPTY
+        np.testing.assert_array_equal(owner[:used][filled], ref[filled])
+
+    def test_incrementally_maintained_not_rebuilt(self):
+        """Modifier batches keep the cached array object alive and
+        correct — the O(pool) scatter happens exactly once."""
+        from repro.graph import EdgeDelete, EdgeInsert
+
+        graph = _churned_graph(seed=9, batches=1)
+        first = graph.slot_owner_array()
+        # Hand-built churn: drop three existing edges, add three fresh
+        # ones, then grow vertex 2 until it relocates.
+        used = graph.num_buckets_used * SLOTS_PER_BUCKET
+        present = set()
+        owner0 = graph.slot_owner_array()
+        for pos in np.flatnonzero(graph.bucket_list[:used] != EMPTY):
+            u, v = int(owner0[pos]), int(graph.bucket_list[pos])
+            present.add((min(u, v), max(u, v)))
+        doomed = sorted(present)[:3]
+        n = graph.num_vertices
+        fresh = []
+        for u in range(3):
+            for v in range(20, n):
+                if (u, v) not in present and (v, u) not in present:
+                    fresh.append((u, v))
+                    present.add((u, v))
+                    break
+        grow = [
+            (2, v)
+            for v in range(3, n)
+            if (2, v) not in present and (v, 2) not in present
+        ][:40]
+        ctx = GpuContext()
+        batch = (
+            [EdgeDelete(u, v) for u, v in doomed]
+            + [EdgeInsert(u, v) for u, v in fresh]
+            + [EdgeInsert(u, v) for u, v in grow]
+        )
+        apply_batch(ctx, graph, batch, mode="vector")
+        again = graph.slot_owner_array()
+        assert again is first  # same buffer, updated in place
+        used = graph.num_buckets_used * SLOTS_PER_BUCKET
+        filled = graph.bucket_list[:used] != EMPTY
+        for u in graph.active_vertices():
+            start, n_slots = graph.slot_range(int(u))
+            seg = slice(start, start + n_slots)
+            np.testing.assert_array_equal(
+                again[seg][filled[seg]],
+                np.full(int(filled[seg].sum()), int(u)),
+            )

@@ -1,0 +1,133 @@
+"""Perf-regression gate for the vectorized hot paths.
+
+Re-runs the smoke-scale hot-path sweep (``benchmarks/bench_hotpath.py``)
+and compares it against the ``gate`` section of the checked-in
+``BENCH_hotpath.json``:
+
+* **deterministic outputs** — ledger counters, final cut, partition
+  digest and simulated device-seconds must match the baseline exactly.
+  A mismatch means the cost-parity or bit-identity contract broke, not
+  that the machine is slow, so it always fails the gate.
+* **host wall-clock** — the sweep must not regress more than
+  ``--tolerance`` (default 20%) over the baseline, with an absolute
+  floor so sub-100ms jitter on a loaded machine cannot flake the gate.
+
+Usage::
+
+    python tools/perf_gate.py            # check against BENCH_hotpath.json
+    python tools/perf_gate.py --update   # refresh the gate baseline in place
+
+Exit status 0 = pass, 1 = regression or contract violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+for entry in (REPO_ROOT / "src", REPO_ROOT / "benchmarks"):
+    if str(entry) not in sys.path:
+        sys.path.insert(0, str(entry))
+
+from bench_hotpath import run_hotpath  # noqa: E402
+
+BASELINE_PATH = REPO_ROOT / "BENCH_hotpath.json"
+# Below this absolute slack (seconds) a wall-clock difference is noise,
+# not a regression: the smoke sweep itself only takes tens of ms.
+ABSOLUTE_FLOOR = 0.05
+
+
+def run_gate_workload(baseline_gate: dict) -> dict:
+    w = baseline_gate["workload"]
+    return run_hotpath(
+        w["n_vertices"],
+        w["batches"],
+        seed=w["seed"],
+        k=w["k"],
+        mode=w["mode"],
+    )
+
+
+def compare(baseline_gate: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Return a list of failure messages (empty = gate passes)."""
+    failures: list[str] = []
+
+    for key in ("ledger", "final_cut", "partition_sha256"):
+        if baseline_gate[key] != fresh[key]:
+            failures.append(
+                f"deterministic output {key!r} changed: "
+                f"baseline={baseline_gate[key]!r} fresh={fresh[key]!r}"
+            )
+    for phase, base_dev in baseline_gate["device_seconds"].items():
+        got = fresh["device_seconds"][phase]
+        if abs(got - base_dev) > 1e-9 * max(1.0, abs(base_dev)):
+            failures.append(
+                f"simulated device seconds for {phase!r} changed: "
+                f"baseline={base_dev} fresh={got} "
+                "(cost-parity contract violation)"
+            )
+
+    base_host = baseline_gate["host_seconds"]["sweep_total"]
+    fresh_host = fresh["host_seconds"]["sweep_total"]
+    limit = base_host * (1.0 + tolerance) + ABSOLUTE_FLOOR
+    if fresh_host > limit:
+        failures.append(
+            f"host sweep regressed: {fresh_host:.3f}s > "
+            f"{base_host:.3f}s * {1 + tolerance:.2f} + {ABSOLUTE_FLOOR}s"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--baseline", type=Path, default=BASELINE_PATH,
+        help="baseline JSON (default: repo-root BENCH_hotpath.json)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help="allowed fractional host-time regression (default 0.20)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="re-measure and rewrite the baseline's gate section",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        print(f"perf-gate: baseline {args.baseline} not found", file=sys.stderr)
+        return 1
+    baseline = json.loads(args.baseline.read_text())
+    gate = baseline["gate"]
+
+    fresh = run_gate_workload(gate)
+
+    if args.update:
+        baseline["gate"] = fresh
+        args.baseline.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"perf-gate: baseline gate section updated in {args.baseline}")
+        return 0
+
+    failures = compare(gate, fresh, args.tolerance)
+    base_host = gate["host_seconds"]["sweep_total"]
+    fresh_host = fresh["host_seconds"]["sweep_total"]
+    print(
+        f"perf-gate: host sweep {fresh_host*1e3:.1f}ms "
+        f"(baseline {base_host*1e3:.1f}ms), "
+        f"ledger {fresh['ledger']['warp_instructions']} instr / "
+        f"{fresh['ledger']['transactions']} trans, "
+        f"cut {fresh['final_cut']}"
+    )
+    if failures:
+        for msg in failures:
+            print(f"perf-gate FAIL: {msg}", file=sys.stderr)
+        return 1
+    print("perf-gate: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
