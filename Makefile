@@ -1,0 +1,27 @@
+# Entry points for local development and CI.  Everything is pure
+# Python run from the repo root with PYTHONPATH=src — no build step.
+
+PYTHON ?= python
+export PYTHONPATH := src:$(PYTHONPATH)
+
+.PHONY: check test perf-gate chaos-smoke chaos bench
+
+## The pre-merge bar: full test suite + both deterministic gates.
+check: test perf-gate chaos-smoke
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+perf-gate:
+	$(PYTHON) tools/perf_gate.py
+
+chaos-smoke:
+	$(PYTHON) tools/chaos_gate.py --smoke
+
+## Full-scale (slower) variants.
+chaos:
+	$(PYTHON) tools/chaos_gate.py
+
+bench:
+	$(PYTHON) benchmarks/bench_hotpath.py --smoke
+	$(PYTHON) benchmarks/bench_chaos.py --smoke

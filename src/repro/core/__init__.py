@@ -25,6 +25,7 @@ from repro.core.refinement import (
     longest_feasible_prefix,
     refine_pseudo,
 )
+from repro.core.transaction import state_digest, transaction
 
 __all__ = [
     "IGKway",
@@ -50,4 +51,6 @@ __all__ = [
     "refine_pseudo",
     "RefineStats",
     "longest_feasible_prefix",
+    "state_digest",
+    "transaction",
 ]

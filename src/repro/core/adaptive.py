@@ -32,7 +32,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.igkway import IGKway, IterationReport
+from repro.core.igkway import FullPartitionReport, IGKway, IterationReport
 from repro.gpusim.context import GpuContext
 from repro.graph.bucketlist import BucketListGraph
 from repro.graph.csr import CSRGraph
@@ -196,6 +196,58 @@ class AdaptiveIGKway:
             used_fallback=used_fallback,
             fallback_reason=reason,
             modifiers_since_full=self.modifiers_since_full,
+        )
+
+    def full_rebuild(self) -> FullPartitionReport:
+        """Escalation path: rebuild the device structures from scratch.
+
+        Unlike :meth:`_fallback` (which re-partitions but keeps the live
+        bucket list), this materializes the current graph on the host
+        and constructs a *fresh* bucket-list graph — new pool, new
+        spare-bucket headroom, vertex IDs preserved — then runs FGP on
+        it.  This is the stream layer's last resort when incremental
+        application keeps failing: it repairs failure causes a
+        re-partition cannot, above all an exhausted bucket pool.
+        """
+        inner = self.inner
+        graph, _state = inner._require_partitioned()
+        ledger = inner.ctx.ledger
+        before = ledger.snapshot()
+        with ledger.section("partitioning"):
+            host = graph.to_host_graph()
+            ledger.charge_d2h(graph.nbytes())
+            new_graph = BucketListGraph.from_host_graph(
+                host,
+                gamma=inner.config.gamma,
+                capacity_factor=inner.capacity_factor,
+            )
+            inner.ctx.reallocate("bucket_list", new_graph.nbytes())
+            inner.ctx.reallocate("partition", 8 * new_graph.capacity)
+            ledger.charge_h2d(new_graph.nbytes())
+            new_graph.slot_owner_array()
+            csr, id_map = new_graph.to_csr()
+            result = GKwayPartitioner(
+                inner.config, ctx=inner.ctx
+            ).partition(
+                csr,
+                seed=inner.config.seed + inner.iterations_applied,
+            )
+        seconds = ledger.model.seconds(ledger.total.diff(before))
+
+        fresh = np.full(new_graph.capacity, UNASSIGNED, dtype=np.int64)
+        fresh[id_map] = result.partition
+        inner.graph = new_graph
+        inner.state = PartitionState(
+            fresh, new_graph.vwgt, inner.config.k, inner.config.epsilon
+        )
+        self.reference_cut = result.cut
+        self.modifiers_since_full = 0
+        self.fallbacks_taken += 1
+        return FullPartitionReport(
+            seconds=seconds,
+            cut=result.cut,
+            balanced=result.balanced,
+            num_levels=result.num_levels,
         )
 
     def _fallback(self, incremental: IterationReport) -> IterationReport:

@@ -33,6 +33,7 @@ from repro.core.balancing import (
 )
 from repro.core.modification import apply_batch
 from repro.core.refinement import RefineStats, refine_pseudo
+from repro.core.transaction import transaction
 from repro.gpusim.context import GpuContext
 from repro.gpusim.device import A6000, DeviceSpec
 from repro.graph.bucketlist import BucketListGraph
@@ -106,6 +107,10 @@ class IGKway:
         self.graph: BucketListGraph | None = None
         self.state: PartitionState | None = None
         self.iterations_applied = 0
+        #: When True, every transactional rollback re-hashes the state
+        #: and raises TransactionError on a digest mismatch (tests and
+        #: the chaos harness; costs a full state hash per batch).
+        self.verify_rollback_digest = False
 
     # -- stage 1: full partitioning -------------------------------------------
 
@@ -150,8 +155,31 @@ class IGKway:
 
     # -- stage 2: incremental partitioning --------------------------------------
 
-    def apply(self, batch: Sequence[Modifier]) -> IterationReport:
-        """Apply one modifier batch and incrementally refine (Figure 2)."""
+    def apply(
+        self, batch: Sequence[Modifier], transactional: bool = True
+    ) -> IterationReport:
+        """Apply one modifier batch and incrementally refine (Figure 2).
+
+        By default the batch runs inside a transaction: if any modifier
+        fails (``ModifierError``, ``CapacityError``, ...) the bucket-list
+        graph and partition state are rolled back bit-identically to
+        their pre-batch values before the error propagates, so a bad
+        batch can never leave the partitioner corrupted.  Pass
+        ``transactional=False`` to skip the undo machinery (callers that
+        already validated the batch and manage their own recovery).
+        """
+        graph, state = self._require_partitioned()
+        if not transactional:
+            return self._apply_inner(batch)
+        with transaction(
+            graph,
+            state,
+            ctx=self.ctx,
+            verify_digest=self.verify_rollback_digest,
+        ):
+            return self._apply_inner(batch)
+
+    def _apply_inner(self, batch: Sequence[Modifier]) -> IterationReport:
         graph, state = self._require_partitioned()
         ledger = self.ctx.ledger
 

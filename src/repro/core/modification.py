@@ -97,6 +97,13 @@ def expand_modifiers(
     of an ID one past the current space allocates the new ID.  Expansion
     reads the *current* adjacency, so it must run right before the batch
     is applied.
+
+    Expansion is also the validity gate: modifiers referencing inactive
+    or unknown vertices, duplicate edge insertions, missing edge
+    deletions and re-activations of live vertices are rejected *here*,
+    before any kernel writes a slot — matching :class:`HostGraph`'s
+    reference semantics.  Errors name the failing modifier's batch index
+    so bisection and operator logs are actionable.
     """
     ops: List[SlotOp] = []
     # Track adjacency deltas within the batch so expansion of a later
@@ -108,16 +115,41 @@ def expand_modifiers(
     # earlier in the same batch used to emit slot ops against the
     # blanked buckets, silently corrupting the bucket list.
     pending_status: dict[int, bool] = {}
+    next_new_id = graph.num_vertices
 
-    def check_live(w: int, modifier: Modifier) -> None:
-        if pending_status.get(w) is False:
+    def check_live(w: int, modifier: Modifier, index: int) -> None:
+        status = pending_status.get(w)
+        if status is False:
             raise ModifierError(
-                f"{modifier!r} references vertex {w} deleted earlier "
-                "in the same batch"
+                f"modifier {index}: {modifier!r} references vertex {w} "
+                "deleted earlier in the same batch",
+                modifier_index=index,
+            )
+        if status is None and not (
+            0 <= w < graph.num_vertices and graph.is_active(w)
+        ):
+            raise ModifierError(
+                f"modifier {index}: {modifier!r} references inactive or "
+                f"unknown vertex {w}",
+                modifier_index=index,
             )
 
+    def edge_exists(u: int, v: int) -> bool:
+        if v in pending_add.get(u, ()):
+            return True
+        if v in pending_del.get(u, ()):
+            return False
+        if pending_status.get(u) is True:
+            # (Re)activated this batch: buckets are blanked on apply, so
+            # only in-batch insertions (pending_add) count.
+            return False
+        return u < graph.num_vertices and graph.has_edge(u, v)
+
     def current_neighbors(u: int) -> list[int]:
-        base = [int(v) for v in graph.neighbors(u)]
+        if pending_status.get(u) is True:
+            base: list[int] = []
+        else:
+            base = [int(v) for v in graph.neighbors(u)]
         added = pending_add.get(u, set())
         removed = pending_del.get(u, set())
         # A neighbor deleted and re-inserted within the batch is in both
@@ -134,23 +166,40 @@ def expand_modifiers(
         pending_add.get(u, set()).discard(v)
         pending_del.setdefault(u, set()).add(v)
 
-    for modifier in batch:
+    for index, modifier in enumerate(batch):
         if isinstance(modifier, EdgeInsert):
-            check_live(modifier.u, modifier)
-            check_live(modifier.v, modifier)
+            if modifier.u == modifier.v:
+                raise ModifierError(
+                    f"modifier {index}: {modifier!r} is a self-loop",
+                    modifier_index=index,
+                )
+            check_live(modifier.u, modifier, index)
+            check_live(modifier.v, modifier, index)
+            if edge_exists(modifier.u, modifier.v):
+                raise ModifierError(
+                    f"modifier {index}: edge ({modifier.u}, {modifier.v}) "
+                    "already exists",
+                    modifier_index=index,
+                )
             ops.append(SlotInsert(modifier.u, modifier.v, modifier.weight))
             ops.append(SlotInsert(modifier.v, modifier.u, modifier.weight))
             note_add(modifier.u, modifier.v)
             note_add(modifier.v, modifier.u)
         elif isinstance(modifier, EdgeDelete):
-            check_live(modifier.u, modifier)
-            check_live(modifier.v, modifier)
+            check_live(modifier.u, modifier, index)
+            check_live(modifier.v, modifier, index)
+            if not edge_exists(modifier.u, modifier.v):
+                raise ModifierError(
+                    f"modifier {index}: edge ({modifier.u}, {modifier.v}) "
+                    "not found for deletion",
+                    modifier_index=index,
+                )
             ops.append(SlotDelete(modifier.u, modifier.v))
             ops.append(SlotDelete(modifier.v, modifier.u))
             note_del(modifier.u, modifier.v)
             note_del(modifier.v, modifier.u)
         elif isinstance(modifier, VertexDelete):
-            check_live(modifier.u, modifier)
+            check_live(modifier.u, modifier, index)
             for v in current_neighbors(modifier.u):
                 ops.append(SlotDelete(v, modifier.u))
                 note_del(v, modifier.u)
@@ -158,10 +207,32 @@ def expand_modifiers(
             ops.append(VertexDeactivate(modifier.u))
             pending_status[modifier.u] = False
         elif isinstance(modifier, VertexInsert):
+            status = pending_status.get(modifier.u)
+            if status is True or (
+                status is None
+                and modifier.u < graph.num_vertices
+                and graph.is_active(modifier.u)
+            ):
+                raise ModifierError(
+                    f"modifier {index}: vertex {modifier.u} is already "
+                    "active",
+                    modifier_index=index,
+                )
+            if modifier.u >= next_new_id and status is None:
+                if modifier.u != next_new_id:
+                    raise ModifierError(
+                        f"modifier {index}: new vertex ID must be "
+                        f"{next_new_id}, got {modifier.u}",
+                        modifier_index=index,
+                    )
+                next_new_id += 1
             ops.append(VertexActivate(modifier.u, modifier.weight))
             pending_status[modifier.u] = True
         else:
-            raise ModifierError(f"unknown modifier {modifier!r}")
+            raise ModifierError(
+                f"modifier {index}: unknown modifier {modifier!r}",
+                modifier_index=index,
+            )
     return ops
 
 
@@ -184,6 +255,7 @@ def _edge_insert_warp(
             if_empty = warp.ballot_sync(FULL_MASK, nbr == EMPTY)
             slot = ffs(if_empty) - 1
             if slot != -1:
+                graph._undo_slots(base + slot)
                 graph.bucket_list[base + slot] = op.v
                 graph.slot_wgt[base + slot] = op.w
                 warp.charge(instructions=1, transactions=1)
@@ -210,6 +282,7 @@ def _edge_delete_warp(
         found = warp.ballot_sync(FULL_MASK, nbr == op.v)
         slot = ffs(found) - 1
         if slot != -1:
+            graph._undo_slots(base + slot)
             graph.bucket_list[base + slot] = EMPTY
             graph.slot_wgt[base + slot] = 0
             warp.charge(instructions=1, transactions=1)
@@ -228,6 +301,7 @@ def _vertex_op_warp(
     if isinstance(op, VertexDeactivate):
         if graph.vertex_status[u] != STATUS_ACTIVE:
             raise ModifierError(f"vertex {u} is not active")
+        graph._undo_status(u)
         graph.vertex_status[u] = STATUS_DELETED
         warp.charge(instructions=1, transactions=1)
         bucket_start, n_slots = graph.slot_range(u)
@@ -235,6 +309,7 @@ def _vertex_op_warp(
     else:
         if graph.vertex_status[u] == STATUS_ACTIVE:
             raise ModifierError(f"vertex {u} is already active")
+        graph._undo_status(u)
         graph.vertex_status[u] = STATUS_ACTIVE
         graph.vwgt[u] = op.w
         warp.charge(instructions=2, transactions=1)
@@ -245,6 +320,9 @@ def _vertex_op_warp(
         bucket_start, n_slots = graph.slot_range(u)
         num_bucket = n_slots // SLOTS_PER_BUCKET
     # Lines 11-13: initialize every slot to EMPTY.
+    graph._undo_slots(
+        np.arange(bucket_start, bucket_start + n_slots, dtype=np.int64)
+    )
     for bucket_cnt in range(num_bucket):
         base = bucket_start + bucket_cnt * SLOTS_PER_BUCKET
         warp.store(graph.bucket_list, base + warp.lane_id, EMPTY)
@@ -263,13 +341,20 @@ def apply_ops_warp(
     _reserve_new_ids(graph, ops)
     from repro.gpusim.kernel import launch_warps
 
+    cursor = {"index": 0}
+
     def body(warp: Warp, op: SlotOp) -> None:
-        if isinstance(op, SlotInsert):
-            _edge_insert_warp(warp, graph, op)
-        elif isinstance(op, SlotDelete):
-            _edge_delete_warp(warp, graph, op)
-        else:
-            _vertex_op_warp(warp, graph, op)
+        index = cursor["index"]
+        cursor["index"] += 1
+        try:
+            if isinstance(op, SlotInsert):
+                _edge_insert_warp(warp, graph, op)
+            elif isinstance(op, SlotDelete):
+                _edge_delete_warp(warp, graph, op)
+            else:
+                _vertex_op_warp(warp, graph, op)
+        except ModifierError as err:
+            raise _annotate(err, index) from None
 
     launch_warps(ctx, list(ops), body, name="apply-modifiers")
 
@@ -307,12 +392,15 @@ def apply_ops_vector(
                 while j < n and type(ops[j]) is kind:
                     j += 1
                 if kind is SlotInsert:
-                    cost = _insert_run_vector(graph, ops[i:j])
+                    cost = _insert_run_vector(graph, ops[i:j], base_index=i)
                 else:
-                    cost = _delete_run_vector(graph, ops[i:j])
+                    cost = _delete_run_vector(graph, ops[i:j], base_index=i)
             else:
                 j = i + 1
-                cost = _vertex_op_vector(graph, op)
+                try:
+                    cost = _vertex_op_vector(graph, op)
+                except ModifierError as err:
+                    raise _annotate(err, i) from None
             instructions += cost[0]
             transactions += cost[1]
             i = j
@@ -324,7 +412,9 @@ def apply_ops_vector(
 
 
 def _insert_run_vector(
-    graph: BucketListGraph, run: Sequence[SlotInsert]
+    graph: BucketListGraph,
+    run: Sequence[SlotInsert],
+    base_index: int = 0,
 ) -> tuple[int, int]:
     """Apply a run of consecutive SlotInserts in one scatter.
 
@@ -336,7 +426,10 @@ def _insert_run_vector(
     (overflow) order of Algorithm 1.
     """
     if len(run) == 1:
-        return _edge_insert_vector(graph, run[0])
+        try:
+            return _edge_insert_vector(graph, run[0])
+        except ModifierError as err:
+            raise _annotate(err, base_index) from None
     us = np.array([op.u for op in run], dtype=np.int64)
     uu, group = np.unique(us, return_inverse=True)
     # Occurrence index of each op within its vertex group (stable).
@@ -355,8 +448,11 @@ def _insert_run_vector(
     if np.any(per_owner < need):
         # Overflow: some vertex needs more slots than it has empty.
         instructions = transactions = 0
-        for op in run:
-            cost = _edge_insert_vector(graph, op)
+        for offset, op in enumerate(run):
+            try:
+                cost = _edge_insert_vector(graph, op)
+            except ModifierError as err:
+                raise _annotate(err, base_index + offset) from None
             instructions += cost[0]
             transactions += cost[1]
         return instructions, transactions
@@ -364,6 +460,7 @@ def _insert_run_vector(
     # so each group's empties start at a searchsorted boundary.
     group_start = np.searchsorted(empty_owner, np.arange(uu.size))
     chosen = empty_positions[group_start[group] + occ]
+    graph._undo_slots(chosen)
     graph.bucket_list[chosen] = np.array(
         [op.v for op in run], dtype=np.int64
     )
@@ -378,7 +475,9 @@ def _insert_run_vector(
 
 
 def _delete_run_vector(
-    graph: BucketListGraph, run: Sequence[SlotDelete]
+    graph: BucketListGraph,
+    run: Sequence[SlotDelete],
+    base_index: int = 0,
 ) -> tuple[int, int]:
     """Apply a run of consecutive SlotDeletes in one scatter.
 
@@ -388,14 +487,20 @@ def _delete_run_vector(
     per-op scan to reproduce the sequential not-found error.
     """
     if len(run) == 1:
-        return _edge_delete_vector(graph, run[0])
+        try:
+            return _edge_delete_vector(graph, run[0])
+        except ModifierError as err:
+            raise _annotate(err, base_index) from None
     us = np.array([op.u for op in run], dtype=np.int64)
     vs = np.array([op.v for op in run], dtype=np.int64)
     pairs = np.stack([us, vs], axis=1)
     if np.unique(pairs, axis=0).shape[0] != us.size:
         instructions = transactions = 0
-        for op in run:
-            cost = _edge_delete_vector(graph, op)
+        for offset, op in enumerate(run):
+            try:
+                cost = _edge_delete_vector(graph, op)
+            except ModifierError as err:
+                raise _annotate(err, base_index + offset) from None
             instructions += cost[0]
             transactions += cost[1]
         return instructions, transactions
@@ -408,10 +513,11 @@ def _delete_run_vector(
     found = np.zeros(us.size, dtype=bool)
     found[first_owners] = True
     if not found.all():
-        return _delete_run_fallback(graph, run, found)
+        return _delete_run_fallback(graph, run, found, base_index)
     # found.all() implies first_owners == arange(len(run)): the first
     # matching slot of op i is midx[first_pos[i]].
     chosen = slot_idx[midx[first_pos]]
+    graph._undo_slots(chosen)
     graph.bucket_list[chosen] = EMPTY
     graph.slot_wgt[chosen] = 0
     base = graph.bucket_start[us] * SLOTS_PER_BUCKET
@@ -425,9 +531,11 @@ def _delete_run_fallback(
     graph: BucketListGraph,
     run: Sequence[SlotDelete],
     found: np.ndarray,
+    base_index: int = 0,
 ) -> tuple[int, int]:
     """Replay a delete run sequentially up to its first missing edge,
-    then raise exactly like the per-op path would."""
+    then raise exactly like the per-op path would — naming the failing
+    op's index in the slot-op sequence so callers can isolate it."""
     instructions = transactions = 0
     first_missing = int(np.flatnonzero(~found)[0])
     for op in run[:first_missing]:
@@ -436,7 +544,8 @@ def _delete_run_fallback(
         transactions += cost[1]
     bad = run[first_missing]
     raise ModifierError(
-        f"edge ({bad.u}, {bad.v}) not found for deletion"
+        f"slot-op {base_index + first_missing}: edge ({bad.u}, {bad.v}) "
+        "not found for deletion"
     )
 
 
@@ -451,6 +560,7 @@ def _edge_insert_vector(
         empties = np.flatnonzero(slots == EMPTY)
         if empties.size:
             slot = int(empties[0])
+            graph._undo_slots(start + slot)
             graph.bucket_list[start + slot] = op.v
             graph.slot_wgt[start + slot] = op.w
             buckets_scanned = slot // SLOTS_PER_BUCKET + 1
@@ -472,6 +582,7 @@ def _edge_delete_vector(
     if hits.size == 0:
         raise ModifierError(f"edge ({op.u}, {op.v}) not found for deletion")
     slot = int(hits[0])
+    graph._undo_slots(start + slot)
     graph.bucket_list[start + slot] = EMPTY
     graph.slot_wgt[start + slot] = 0
     buckets_scanned = slot // SLOTS_PER_BUCKET + 1
@@ -485,15 +596,18 @@ def _vertex_op_vector(
     if isinstance(op, VertexDeactivate):
         if graph.vertex_status[u] != STATUS_ACTIVE:
             raise ModifierError(f"vertex {u} is not active")
+        graph._undo_status(u)
         graph.vertex_status[u] = STATUS_DELETED
     else:
         if graph.vertex_status[u] == STATUS_ACTIVE:
             raise ModifierError(f"vertex {u} is already active")
+        graph._undo_status(u)
         graph.vertex_status[u] = STATUS_ACTIVE
         graph.vwgt[u] = op.w
         if graph.bucket_count[u] == 0:
             graph.assign_new_buckets(u, 1)
     start, n_slots = graph.slot_range(u)
+    graph._undo_slots(np.arange(start, start + n_slots, dtype=np.int64))
     graph.bucket_list[start : start + n_slots] = EMPTY
     graph.slot_wgt[start : start + n_slots] = 0
     num_bucket = n_slots // SLOTS_PER_BUCKET
@@ -503,6 +617,11 @@ def _vertex_op_vector(
 # ---------------------------------------------------------------------------
 # Shared helpers.
 # ---------------------------------------------------------------------------
+
+
+def _annotate(err: ModifierError, index: int) -> ModifierError:
+    """Prefix a kernel-level error with the failing slot-op's index."""
+    return type(err)(f"slot-op {index}: {err}")
 
 
 def _reserve_new_ids(

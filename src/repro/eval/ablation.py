@@ -127,7 +127,11 @@ def gamma_study(
         ctx = GpuContext()
         before = graph.num_buckets_used
         batch = ModifierBatch(
-            [EdgeInsert(0, v) for v in range(100, 140)]
+            [
+                EdgeInsert(0, v)
+                for v in range(100, 140)
+                if not graph.has_edge(0, v)
+            ]
         )
         apply_batch(ctx, graph, batch, mode="vector")
         rows.append(

@@ -57,6 +57,8 @@ def run_stream_experiment(
     max_latency_cycles: Optional[float] = None,
     journal_dir: "str | None" = None,
     checkpoint_every: int = 8,
+    max_quarantine: int = 64,
+    escalate_after: int = 3,
 ) -> StreamExperiment:
     """Stream a synthetic trace through a session and measure it.
 
@@ -86,6 +88,8 @@ def run_stream_experiment(
             max_latency_cycles=max_latency_cycles,
         ),
         checkpoint_every=checkpoint_every,
+        max_quarantine=max_quarantine,
+        escalate_after=escalate_after,
     )
     started = time.perf_counter()
     full = session.start()
@@ -128,6 +132,11 @@ def format_stream_report(experiment: StreamExperiment) -> str:
         f"{t.get('coalesced_dropped', 0) + t.get('applied_modifiers', 0)}"
         " dropped before the GPU)",
         f"  fallback events       {t.get('fallback_events', 0)}",
+        f"  batch failures        {t.get('batch_failures', 0)} "
+        f"(quarantined {t.get('quarantined', 0)}, "
+        f"recovered {t.get('quarantine_recovered', 0)}, "
+        f"dead-lettered {t.get('dead_lettered', 0)}, "
+        f"escalations {t.get('escalations', 0)})",
         f"  checkpoints written   {t.get('checkpoints_written', 0)}",
         f"  cut                   {experiment.initial_cut} -> "
         f"{experiment.final_cut} "

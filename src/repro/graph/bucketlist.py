@@ -40,6 +40,116 @@ STATUS_DELETED = np.uint8(0)
 STATUS_ACTIVE = np.uint8(1)
 
 
+class GraphUndoLog:
+    """Pre-image log for one transactional batch on a bucket-list graph.
+
+    Every mutation path of :class:`BucketListGraph` (slot writes, bucket
+    allocation / relocation, status flips, tail-pointer and vertex-ID
+    bumps) records the values it is about to overwrite.  ``rollback``
+    replays the entries in reverse, restoring the graph bit-identically
+    to its state when the log was opened — the n-Level insight that a
+    fine-grained undo log is far cheaper than a rebuild.
+
+    The log never charges the GPU ledger while recording (the pre-images
+    ride along with writes the kernels already pay for); rolling back is
+    charged by the transaction layer that requested it.
+    """
+
+    __slots__ = ("graph", "entries", "slot_writes")
+
+    def __init__(self, graph: "BucketListGraph"):
+        self.graph = graph
+        #: Reverse-ordered tuples; first element is the entry kind.
+        self.entries: list[tuple] = []
+        #: Total slots whose pre-image was recorded (rollback cost /
+        #: fault-injection probe counter).
+        self.slot_writes = 0
+
+    def note_slots(self, idx) -> None:
+        """Record ``bucket_list`` / ``slot_wgt`` pre-images for ``idx``
+        (a scalar slot position or an int64 array of positions)."""
+        g = self.graph
+        if isinstance(idx, (int, np.integer)):
+            self.entries.append(
+                (
+                    "slot",
+                    int(idx),
+                    int(g.bucket_list[idx]),
+                    int(g.slot_wgt[idx]),
+                )
+            )
+            self.slot_writes += 1
+        else:
+            idx = np.asarray(idx, dtype=np.int64)
+            if idx.size == 0:
+                return
+            self.entries.append(
+                (
+                    "slots",
+                    idx.copy(),
+                    g.bucket_list[idx].copy(),
+                    g.slot_wgt[idx].copy(),
+                )
+            )
+            self.slot_writes += int(idx.size)
+
+    def note_vertex_meta(self, u: int) -> None:
+        g = self.graph
+        self.entries.append(
+            ("meta", int(u), int(g.bucket_start[u]), int(g.bucket_count[u]))
+        )
+
+    def note_status(self, u: int) -> None:
+        g = self.graph
+        self.entries.append(
+            ("status", int(u), g.vertex_status[u], int(g.vwgt[u]))
+        )
+
+    def note_scalars(self) -> None:
+        g = self.graph
+        self.entries.append(
+            (
+                "scalars",
+                g.num_vertices,
+                g.num_buckets_used,
+                g.geometry_generation,
+            )
+        )
+
+    def rollback(self) -> None:
+        """Restore every recorded pre-image, newest first."""
+        g = self.graph
+        for entry in reversed(self.entries):
+            kind = entry[0]
+            if kind == "slot":
+                _, idx, value, weight = entry
+                g.bucket_list[idx] = value
+                g.slot_wgt[idx] = weight
+            elif kind == "slots":
+                _, idx, values, weights = entry
+                g.bucket_list[idx] = values
+                g.slot_wgt[idx] = weights
+            elif kind == "meta":
+                _, u, start, count = entry
+                g.bucket_start[u] = start
+                g.bucket_count[u] = count
+            elif kind == "status":
+                _, u, status, weight = entry
+                g.vertex_status[u] = status
+                g.vwgt[u] = weight
+            else:  # scalars
+                _, num_vertices, num_buckets_used, generation = entry
+                g.num_vertices = num_vertices
+                g.num_buckets_used = num_buckets_used
+                g.geometry_generation = generation
+        self.entries.clear()
+        # Derived caches may hold geometry from the aborted batch; the
+        # generation counter was rolled back, so a *future* bump could
+        # collide with a stale stamp.  Drop them — they rebuild lazily.
+        g._gather_cache.clear()
+        g._slot_owner = None
+
+
 class BucketListGraph:
     """GPU-resident dynamic undirected graph stored in 32-slot buckets.
 
@@ -92,6 +202,11 @@ class BucketListGraph:
         self.geometry_generation = 0
         self._gather_cache: dict[bytes, tuple[int, np.ndarray, np.ndarray]] = {}
         self._slot_owner: np.ndarray | None = None
+        # Active undo log (one transactional batch at a time) and an
+        # optional fault-injection probe called after each slot-group
+        # pre-image is captured (see repro.utils.faultinject).
+        self._undo: GraphUndoLog | None = None
+        self._write_probe = None
 
     # -- construction -----------------------------------------------------------
 
@@ -263,6 +378,62 @@ class BucketListGraph:
             start, n_slots = self.slot_range(u)
             self._slot_owner[start : start + n_slots] = u
 
+    # -- transactional undo ------------------------------------------------------
+
+    def begin_undo(self) -> GraphUndoLog:
+        """Open a pre-image log; every mutation until ``commit_undo`` /
+        ``rollback_undo`` records what it overwrites.  Transactions do
+        not nest — the graph is a single device structure."""
+        if self._undo is not None:
+            raise GraphConsistencyError(
+                "an undo log is already active on this graph"
+            )
+        self._undo = GraphUndoLog(self)
+        return self._undo
+
+    def commit_undo(self) -> GraphUndoLog:
+        """Discard the active log, keeping all mutations."""
+        if self._undo is None:
+            raise GraphConsistencyError("no active undo log to commit")
+        log, self._undo = self._undo, None
+        return log
+
+    def rollback_undo(self) -> GraphUndoLog:
+        """Replay the active log in reverse, restoring the pre-batch
+        state bit-identically, then close it."""
+        if self._undo is None:
+            raise GraphConsistencyError("no active undo log to roll back")
+        log, self._undo = self._undo, None
+        log.rollback()
+        return log
+
+    def _undo_slots(self, idx) -> None:
+        """Hook: record slot pre-images before overwriting ``idx``.
+
+        When a write probe is installed (fault injection), it fires
+        *after* the pre-image is captured — a raised error then models a
+        mid-kernel abort whose partial writes the log can still undo.
+        """
+        if self._undo is not None:
+            self._undo.note_slots(idx)
+            if self._write_probe is not None:
+                self._write_probe(self._undo.slot_writes)
+        elif self._write_probe is not None:
+            size = 1 if isinstance(idx, (int, np.integer)) else len(idx)
+            self._write_probe(size)
+
+    def _undo_vertex_meta(self, u: int) -> None:
+        if self._undo is not None:
+            self._undo.note_vertex_meta(u)
+
+    def _undo_status(self, u: int) -> None:
+        if self._undo is not None:
+            self._undo.note_status(u)
+
+    def _undo_scalars(self) -> None:
+        if self._undo is not None:
+            self._undo.note_scalars()
+
     # -- host-side queries ---------------------------------------------------------
 
     def is_active(self, u: int) -> bool:
@@ -362,10 +533,12 @@ class BucketListGraph:
                 f"{self.pool_buckets - self.num_buckets_used} free; "
                 f"increase gamma or the pool slack"
             )
+        self._undo_scalars()
         start = self.num_buckets_used
         self.num_buckets_used += n_buckets
         first_slot = start * SLOTS_PER_BUCKET
         last_slot = self.num_buckets_used * SLOTS_PER_BUCKET
+        self._undo_slots(np.arange(first_slot, last_slot, dtype=np.int64))
         self.bucket_list[first_slot:last_slot] = EMPTY
         self.slot_wgt[first_slot:last_slot] = 0
         self._touch_geometry()
@@ -379,6 +552,7 @@ class BucketListGraph:
         here so the geometry caches see the assignment.
         """
         bucket = self.allocate_buckets(n_buckets)
+        self._undo_vertex_meta(u)
         self.bucket_start[u] = bucket
         self.bucket_count[u] = n_buckets
         self._note_bucket_assignment(u)
@@ -390,6 +564,7 @@ class BucketListGraph:
                 f"vertex capacity {self.capacity} exhausted; rebuild with a "
                 f"larger capacity_factor"
             )
+        self._undo_scalars()
         u = self.num_vertices
         self.num_vertices += 1
         return u
@@ -409,6 +584,12 @@ class BucketListGraph:
         new_count = old_count + extra
         new_bucket = self.allocate_buckets(new_count)
         new_start = new_bucket * SLOTS_PER_BUCKET
+        # The new region's pre-image is covered by allocate_buckets; log
+        # the old region (about to be blanked) and u's geometry.
+        self._undo_slots(
+            np.arange(old_start, old_start + old_slots, dtype=np.int64)
+        )
+        self._undo_vertex_meta(u)
         self.bucket_list[new_start : new_start + old_slots] = self.bucket_list[
             old_start : old_start + old_slots
         ]

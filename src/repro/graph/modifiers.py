@@ -69,6 +69,14 @@ def _edge_key(u: int, v: int) -> Tuple[int, int]:
 def coalesce_modifiers(
     modifiers: Iterable[Modifier],
 ) -> Tuple[List[Modifier], Dict[str, int]]:
+    """See :func:`coalesce_modifiers_indexed`; drops the index map."""
+    out, _indices, stats = coalesce_modifiers_indexed(modifiers)
+    return out, stats
+
+
+def coalesce_modifiers_indexed(
+    modifiers: Iterable[Modifier],
+) -> Tuple[List[Modifier], List[int], Dict[str, int]]:
     """Collapse redundant pending work out of a modifier sequence.
 
     Three context-free rules, each preserving the net effect on *any*
@@ -88,8 +96,11 @@ def coalesce_modifiers(
     :class:`VertexInsert` of a brand-new ID extends the vertex-ID space,
     which later modifiers may rely on.
 
-    Returns ``(surviving_modifiers, stats)`` where ``stats`` counts
-    ``input`` / ``output`` modifiers and per-rule drops
+    Returns ``(surviving_modifiers, surviving_indices, stats)`` where
+    ``surviving_indices[i]`` is the position the ``i``-th survivor held
+    in the input sequence (the stream layer maps these back to journal
+    sequence numbers when isolating poison modifiers) and ``stats``
+    counts ``input`` / ``output`` modifiers and per-rule drops
     (``cancelled`` counts both halves of each insert+delete pair).
     """
     mods = list(modifiers)
@@ -158,9 +169,10 @@ def coalesce_modifiers(
         else:
             raise ModifierError(f"unknown modifier {mod!r}")
 
-    out = [live[idx] for idx in sorted(live)]
+    indices = sorted(live)
+    out = [live[idx] for idx in indices]
     stats["output"] = len(out)
-    return out, stats
+    return out, indices, stats
 
 
 def validate_batch(modifiers: Iterable[Modifier]) -> None:

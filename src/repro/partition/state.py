@@ -222,3 +222,20 @@ class PartitionState:
         out.part_weights = self.part_weights.copy()
         out.pseudo_weight = self.pseudo_weight
         return out
+
+    def restore(self, snapshot: "PartitionState") -> None:
+        """Restore this state in place from a :meth:`copy` snapshot.
+
+        In-place (array contents, not identities) so kernels holding a
+        reference to ``partition`` keep seeing the live state after a
+        transactional rollback.
+        """
+        if snapshot.k != self.k or snapshot.partition.shape != (
+            self.partition.shape
+        ):
+            raise PartitionError("snapshot does not match this state")
+        self.epsilon = snapshot.epsilon
+        self.partition[:] = snapshot.partition
+        self._vwgt[:] = snapshot._vwgt
+        self.part_weights[:] = snapshot.part_weights
+        self.pseudo_weight = snapshot.pseudo_weight

@@ -8,6 +8,14 @@ and a checkpointed journal makes the whole pipeline crash-recoverable
 (``StreamSession.recover`` replays the un-checkpointed suffix
 bit-identically).
 
+Failed batches degrade gracefully instead of crashing the stream: the
+transactional partitioner rolls back, the session isolates the poison
+modifiers (fast-path via the error's ``modifier_index``, bisection
+otherwise), parks them in a bounded :class:`Quarantine` with
+retry-and-backoff, dead-letters the incorrigible ones to the journal,
+and escalates to a full device-structure rebuild after repeated
+failures.  See ``docs/ARCHITECTURE.md`` ("Failure model and recovery").
+
 See ``docs/ARCHITECTURE.md`` ("Streaming service") for the pipeline
 diagram and ``examples/streaming_service.py`` for a runnable tour.
 """
@@ -15,6 +23,7 @@ diagram and ``examples/streaming_service.py`` for a runnable tour.
 from repro.stream.coalescer import Coalescer, CoalesceResult
 from repro.stream.ingest import IngestQueue, SequencedModifier
 from repro.stream.journal import JournalState, StreamJournal
+from repro.stream.quarantine import Quarantine, QuarantineEntry
 from repro.stream.scheduler import (
     BatchScheduler,
     SchedulerConfig,
@@ -29,6 +38,8 @@ __all__ = [
     "CoalesceResult",
     "IngestQueue",
     "JournalState",
+    "Quarantine",
+    "QuarantineEntry",
     "SchedulerConfig",
     "SequencedModifier",
     "StreamBatchReport",

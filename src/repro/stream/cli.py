@@ -40,6 +40,8 @@ def run_stream(args: argparse.Namespace) -> int:
         max_latency_cycles=args.max_latency_cycles,
         journal_dir=str(args.journal) if args.journal else None,
         checkpoint_every=args.checkpoint_every,
+        max_quarantine=args.max_quarantine,
+        escalate_after=args.escalate_after,
     )
     text = format_stream_report(experiment)
     print(text)
@@ -81,6 +83,10 @@ def run_inspect(args: argparse.Namespace) -> int:
     print(f"  next_seq              {meta.get('next_seq')}")
     print(f"  logged past cursor    {len(state.modifiers)} modifiers")
     print(f"  unreplayed flushes    {len(state.flushes)}")
+    print(f"  dead letters          {len(state.dead_letters)}")
+    quarantine = meta.get("resilience", {}).get("quarantine", {})
+    print(f"  quarantine pending    "
+          f"{len(quarantine.get('entries', []))}")
     print(f"  lifetime ingested     {telemetry.get('ingested', 0)}")
     print(f"  lifetime batches      {telemetry.get('batches', 0)}")
     print(f"  checkpoints written   "
@@ -120,6 +126,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="journal directory (enables durability)")
     runner.add_argument("--checkpoint-every", type=int, default=8,
                         help="checkpoint after this many flushes")
+    runner.add_argument("--max-quarantine", type=int, default=64,
+                        help="bound on simultaneously quarantined "
+                        "poison modifiers; overflow is dead-lettered")
+    runner.add_argument("--escalate-after", type=int, default=3,
+                        help="consecutive failing windows before a "
+                        "full device-structure rebuild")
     runner.add_argument("--out", type=Path, default=None,
                         help="directory to also write the report into")
     runner.set_defaults(func=run_stream)

@@ -20,12 +20,12 @@ adjacency (property-tested in ``tests/stream/test_coalescer.py``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
 
 from repro.graph.modifiers import (
     ModifierBatch,
-    coalesce_modifiers,
+    coalesce_modifiers_indexed,
     validate_batch,
 )
 from repro.stream.ingest import SequencedModifier
@@ -41,14 +41,20 @@ class CoalesceResult:
         first_seq / last_seq: Inclusive sequence range the window
             covers — the unit the recovery journal records, so replay
             can re-coalesce exactly the same raw window.
-        stats: Counters from :func:`coalesce_modifiers` (``input``,
+        stats: Counters from the coalescing pass (``input``,
             ``output``, ``cancelled``, ``deduplicated``, ``subsumed``).
+        seqs: Journal sequence number of each surviving modifier, in
+            batch order — ``seqs[i]`` is the seq of ``batch[i]``.  This
+            is what lets the session map a transactional failure's
+            ``modifier_index`` straight back to the poison submission
+            without bisecting.
     """
 
     batch: ModifierBatch
     first_seq: int
     last_seq: int
     stats: Dict[str, int]
+    seqs: Tuple[int, ...] = field(default=())
 
     @property
     def raw_count(self) -> int:
@@ -75,7 +81,7 @@ class Coalescer:
         """
         if not window:
             raise StreamError("cannot coalesce an empty window")
-        survivors, stats = coalesce_modifiers(
+        survivors, indices, stats = coalesce_modifiers_indexed(
             sm.modifier for sm in window
         )
         validate_batch(survivors)
@@ -84,4 +90,5 @@ class Coalescer:
             first_seq=window[0].seq,
             last_seq=window[-1].seq,
             stats=stats,
+            seqs=tuple(window[i].seq for i in indices),
         )

@@ -20,6 +20,21 @@ A torn final line (the write the crash interrupted) is tolerated and
 discarded; everything before it is trusted.  Checkpointing compacts the
 log, dropping records at or below the new cursor so the journal stays
 proportional to the un-checkpointed window, not the stream's lifetime.
+
+Checkpoint durability: the npz is written to a temp file, fsynced,
+rotated over the previous checkpoint (kept as ``checkpoint.prev.npz``),
+and the directory entry is fsynced.  If the newest checkpoint is
+corrupt (e.g. a torn write the rename race let through, or media
+damage), :meth:`StreamJournal.load` falls back to the previous one;
+compaction always retains every journal record the *previous*
+checkpoint would need, so the fallback replays to the same state.
+
+Degraded-mode records: a flush that had to quarantine poison modifiers
+logs them in the flush record's ``"x"`` field (replay excludes them and
+re-quarantines), and a modifier whose retry budget is exhausted gets a
+permanent ``{"r": "d", ...}`` *dead-letter* record — the audit trail
+that no rejected submission is ever silently dropped.  Dead-letter
+records survive compaction for the journal's lifetime.
 """
 
 from __future__ import annotations
@@ -28,7 +43,7 @@ import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, TextIO, Tuple
+from typing import Dict, List, Optional, Sequence, TextIO, Tuple
 
 from repro.core.igkway import IGKway
 from repro.core.serialize import load_checkpoint, save_partitioner
@@ -46,6 +61,7 @@ from repro.utils.errors import JournalError
 JOURNAL_FORMAT = 1
 
 CHECKPOINT_NAME = "checkpoint.npz"
+PREV_CHECKPOINT_NAME = "checkpoint.prev.npz"
 LOG_NAME = "journal.log"
 
 
@@ -89,8 +105,14 @@ class JournalState:
     meta: dict
     #: Raw logged modifiers past the checkpoint cursor, keyed by seq.
     modifiers: Dict[int, Modifier] = field(default_factory=dict)
-    #: Applied-window records ``(first_seq, last_seq, reason)`` in order.
-    flushes: List[Tuple[int, int, str]] = field(default_factory=list)
+    #: Applied-window records ``(first_seq, last_seq, reason,
+    #: excluded_seqs)`` in log order.  ``excluded_seqs`` are the window
+    #: members that were quarantined/dead-lettered instead of applied.
+    flushes: List[Tuple[int, int, str, Tuple[int, ...]]] = field(
+        default_factory=list
+    )
+    #: Permanently rejected modifiers: seq -> last recorded error.
+    dead_letters: Dict[int, str] = field(default_factory=dict)
 
     @property
     def applied_seq(self) -> int:
@@ -108,17 +130,31 @@ class StreamJournal:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self._log: Optional[TextIO] = None
+        # Cursors of the on-disk checkpoints, when this object knows
+        # them (None = unknown, e.g. a fresh object over an existing
+        # directory).  Compaction is skipped while the previous
+        # checkpoint's cursor is unknown — keeping extra records is
+        # always safe; dropping ones the fallback needs is not.
+        self._current_cursor: Optional[int] = None
+        self._prev_cursor: Optional[int] = None
 
     @property
     def checkpoint_path(self) -> Path:
         return self.directory / CHECKPOINT_NAME
 
     @property
+    def prev_checkpoint_path(self) -> Path:
+        return self.directory / PREV_CHECKPOINT_NAME
+
+    @property
     def log_path(self) -> Path:
         return self.directory / LOG_NAME
 
     def exists(self) -> bool:
-        return self.checkpoint_path.exists()
+        return (
+            self.checkpoint_path.exists()
+            or self.prev_checkpoint_path.exists()
+        )
 
     # -- appending -----------------------------------------------------------------
 
@@ -139,35 +175,93 @@ class StreamJournal:
         self._append(record)
 
     def log_flush(
-        self, first_seq: int, last_seq: int, reason: str
+        self,
+        first_seq: int,
+        last_seq: int,
+        reason: str,
+        excluded: Sequence[int] = (),
     ) -> None:
         """Record that the raw window ``[first_seq, last_seq]`` was
         coalesced and applied.  Replay re-derives the batch from the
-        logged modifiers in that range."""
-        self._append(
-            {"r": "f", "a": first_seq, "b": last_seq, "w": reason}
-        )
+        logged modifiers in that range.  ``excluded`` lists the seqs the
+        resilient path pulled out of the window (quarantined or
+        dead-lettered poison) — replay drops them before coalescing and
+        routes them back through the quarantine."""
+        record = {"r": "f", "a": first_seq, "b": last_seq, "w": reason}
+        if excluded:
+            record["x"] = sorted(int(s) for s in excluded)
+        self._append(record)
+
+    def log_dead_letter(
+        self, seq: int, modifier: Modifier, error: str
+    ) -> None:
+        """Permanently record a modifier whose retry budget ran out.
+
+        Dead-letter records are never compacted away: they are the
+        durable proof that a submission was rejected (and why) rather
+        than lost, and :mod:`tools.chaos_gate` audits them against the
+        injected faults.
+        """
+        record = {"r": "d", "s": seq, "e": error}
+        record.update(encode_modifier(modifier))
+        self._append(record)
 
     # -- checkpointing -------------------------------------------------------------
 
     def write_checkpoint(
         self, partitioner: IGKway, meta: dict
     ) -> None:
-        """Atomically persist the partitioner + cursor, then compact.
+        """Durably persist the partitioner + cursor, then compact.
 
-        The checkpoint lands via write-to-temp + rename so a crash mid
-        checkpoint leaves the previous one intact; only then is the log
-        compacted down to the un-checkpointed suffix.
+        Write protocol: temp file -> fsync -> rotate the live
+        checkpoint to ``checkpoint.prev.npz`` -> rename temp over the
+        live name -> fsync the directory.  A crash at any point leaves
+        at least one complete checkpoint on disk, and :meth:`load`
+        falls back to the previous one if the newest is unreadable.
+        Compaction then drops only records *both* on-disk checkpoints
+        have already covered.
         """
         meta = dict(meta)
         meta.setdefault("journal_format", JOURNAL_FORMAT)
+        new_cursor = int(meta.get("applied_seq", -1))
         tmp = self.directory / (CHECKPOINT_NAME + ".tmp.npz")
         save_partitioner(partitioner, tmp, stream_meta=meta)
+        with tmp.open("rb") as handle:
+            os.fsync(handle.fileno())
+        if self.checkpoint_path.exists():
+            os.replace(self.checkpoint_path, self.prev_checkpoint_path)
+            self._prev_cursor = self._current_cursor
         os.replace(tmp, self.checkpoint_path)
-        self._compact(int(meta.get("applied_seq", -1)))
+        self._fsync_directory()
+        self._current_cursor = new_cursor
+        if self.prev_checkpoint_path.exists():
+            if self._prev_cursor is None:
+                return  # unknown prev cursor: keep everything
+            cutoff = min(self._prev_cursor, new_cursor)
+        else:
+            cutoff = new_cursor
+        self._compact(cutoff)
+
+    def _fsync_directory(self) -> None:
+        """Make the checkpoint renames durable; best-effort on
+        filesystems that reject directory fsync."""
+        try:
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
 
     def _compact(self, applied_seq: int) -> None:
-        """Drop journal records fully covered by the checkpoint."""
+        """Drop journal records fully covered by both checkpoints.
+
+        Dead-letter records are kept unconditionally — they are the
+        stream's permanent rejection ledger.
+        """
         if not self.log_path.exists():
             return
         if self._log is not None:
@@ -175,10 +269,11 @@ class StreamJournal:
             self._log = None
         keep: List[str] = []
         for record in self._read_records():
-            if record["r"] == "m" and record["s"] > applied_seq:
-                keep.append(json.dumps(record, separators=(",", ":")))
-            elif record["r"] == "f" and record["b"] > applied_seq:
-                keep.append(json.dumps(record, separators=(",", ":")))
+            if record["r"] == "m" and record["s"] <= applied_seq:
+                continue
+            if record["r"] == "f" and record["b"] <= applied_seq:
+                continue
+            keep.append(json.dumps(record, separators=(",", ":")))
         tmp = self.directory / (LOG_NAME + ".tmp")
         tmp.write_text(
             "\n".join(keep) + ("\n" if keep else ""), encoding="utf-8"
@@ -206,28 +301,55 @@ class StreamJournal:
                 records.append(record)
         return records
 
+    def _load_latest_checkpoint(
+        self, ctx: GpuContext | None
+    ) -> Tuple[IGKway, dict]:
+        """Load the newest readable checkpoint, falling back to the
+        previous one when the newest is corrupt."""
+        failures: List[str] = []
+        for path, is_current in (
+            (self.checkpoint_path, True),
+            (self.prev_checkpoint_path, False),
+        ):
+            if not path.exists():
+                continue
+            try:
+                partitioner, meta = load_checkpoint(path, ctx=ctx)
+            except Exception as err:  # corrupt npz: try the previous
+                failures.append(f"{path.name}: {err}")
+                continue
+            if is_current:
+                self._current_cursor = int(meta.get("applied_seq", -1))
+            return partitioner, meta
+        if failures:
+            raise JournalError(
+                "every checkpoint is unreadable: " + "; ".join(failures)
+            )
+        raise JournalError(
+            f"no checkpoint at {self.checkpoint_path} "
+            "(was start() called with a journal?)"
+        )
+
     def load(self, ctx: GpuContext | None = None) -> JournalState:
         """Read checkpoint + log back into a :class:`JournalState`.
 
-        Raises :class:`JournalError` if no checkpoint exists or a flush
-        record references modifiers the log never recorded (true
-        corruption, as opposed to a torn tail).
+        Raises :class:`JournalError` if no readable checkpoint exists
+        or a flush record references modifiers the log never recorded
+        (true corruption, as opposed to a torn tail).
         """
-        if not self.exists():
-            raise JournalError(
-                f"no checkpoint at {self.checkpoint_path} "
-                "(was start() called with a journal?)"
-            )
-        partitioner, meta = load_checkpoint(self.checkpoint_path, ctx=ctx)
+        partitioner, meta = self._load_latest_checkpoint(ctx)
         state = JournalState(partitioner=partitioner, meta=meta)
         applied = state.applied_seq
         for record in self._read_records():
             if record["r"] == "m":
                 if record["s"] > applied:
                     state.modifiers[record["s"]] = decode_modifier(record)
+            elif record["r"] == "d":
+                state.dead_letters[record["s"]] = record.get("e", "")
             elif record["r"] == "f":
                 if record["b"] <= applied:
                     continue
+                excluded = tuple(record.get("x", ()))
                 for seq in range(record["a"], record["b"] + 1):
                     if seq > applied and seq not in state.modifiers:
                         raise JournalError(
@@ -236,7 +358,12 @@ class StreamJournal:
                             f"modifier seq {seq}"
                         )
                 state.flushes.append(
-                    (record["a"], record["b"], record.get("w", "replay"))
+                    (
+                        record["a"],
+                        record["b"],
+                        record.get("w", "replay"),
+                        excluded,
+                    )
                 )
         return state
 

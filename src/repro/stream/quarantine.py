@@ -1,0 +1,152 @@
+"""Bounded quarantine for poison modifiers with retry-and-backoff.
+
+When a flushed window fails transactionally, the session isolates the
+*poison* modifiers (see ``StreamSession._apply_resilient``) and parks
+them here instead of crashing the stream.  Each entry is retried with
+exponential backoff measured in simulated device cycles (the stream's
+clock); an entry whose retry budget is exhausted is *dead-lettered* — a
+durable journal record replaces the in-memory entry, so no rejected
+modifier is ever silently lost.  The quarantine itself is bounded:
+overflow skips the retry phase and dead-letters immediately.
+
+The quarantine is part of the session's durable state: its entries ride
+in the checkpoint metadata (:meth:`Quarantine.as_meta` /
+:meth:`Quarantine.restore`) with retry deadlines stored relative to the
+checkpoint clock, so recovery resumes the same backoff schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.graph.modifiers import Modifier
+from repro.stream.journal import decode_modifier, encode_modifier
+
+
+@dataclass
+class QuarantineEntry:
+    """One isolated poison modifier awaiting retry."""
+
+    seq: int
+    modifier: Modifier
+    error: str
+    attempts: int = 0
+    #: Absolute ledger-cycle time before which the entry is not retried.
+    next_retry_cycles: float = 0.0
+
+
+class Quarantine:
+    """Bounded seq-keyed store of poison modifiers.
+
+    Args:
+        capacity: Max entries held at once; an add beyond this returns
+            False and the caller dead-letters the modifier immediately.
+        max_attempts: Retries before an entry is dead-lettered (the
+            initial failed application does not count).
+        backoff_cycles: Base retry delay in device cycles; attempt ``i``
+            waits ``backoff_cycles * 2**(i-1)``.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        max_attempts: int = 4,
+        backoff_cycles: float = 1e6,
+    ):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.capacity = capacity
+        self.max_attempts = max_attempts
+        self.backoff_cycles = float(backoff_cycles)
+        self.entries: Dict[int, QuarantineEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.entries) >= self.capacity
+
+    def add(self, seq: int, modifier: Modifier, error: str, now: float) -> bool:
+        """Admit a poison modifier; False when the quarantine is full
+        (caller must dead-letter instead)."""
+        if seq in self.entries:
+            return True
+        if self.is_full:
+            return False
+        self.entries[seq] = QuarantineEntry(
+            seq=seq,
+            modifier=modifier,
+            error=error,
+            attempts=0,
+            next_retry_cycles=now + self.backoff_cycles,
+        )
+        return True
+
+    def due(self, now: float, force: bool = False) -> List[QuarantineEntry]:
+        """Entries eligible for a retry at clock ``now``, in seq order.
+
+        ``force`` ignores the backoff schedule — used right after an
+        escalation rebuild, which may have fixed the root cause (e.g. a
+        fresh bucket pool after exhaustion).
+        """
+        return [
+            entry
+            for seq, entry in sorted(self.entries.items())
+            if force or entry.next_retry_cycles <= now
+        ]
+
+    def record_failure(
+        self, entry: QuarantineEntry, error: str, now: float
+    ) -> bool:
+        """Bump the entry's attempt count; True when its retry budget is
+        exhausted (caller removes + dead-letters it)."""
+        entry.attempts += 1
+        entry.error = error
+        entry.next_retry_cycles = now + self.backoff_cycles * (
+            2 ** entry.attempts
+        )
+        return entry.attempts >= self.max_attempts
+
+    def remove(self, seq: int) -> None:
+        self.entries.pop(seq, None)
+
+    # -- checkpoint (de)serialization ----------------------------------------
+
+    def as_meta(self, now: float) -> dict:
+        """JSON-able snapshot; retry deadlines relative to ``now``."""
+        return {
+            "capacity": self.capacity,
+            "max_attempts": self.max_attempts,
+            "backoff_cycles": self.backoff_cycles,
+            "entries": [
+                {
+                    "s": entry.seq,
+                    "m": encode_modifier(entry.modifier),
+                    "e": entry.error,
+                    "a": entry.attempts,
+                    "d": max(0.0, entry.next_retry_cycles - now),
+                }
+                for _seq, entry in sorted(self.entries.items())
+            ],
+        }
+
+    @classmethod
+    def restore(cls, meta: dict, now: float) -> "Quarantine":
+        quarantine = cls(
+            capacity=int(meta.get("capacity", 64)),
+            max_attempts=int(meta.get("max_attempts", 4)),
+            backoff_cycles=float(meta.get("backoff_cycles", 1e6)),
+        )
+        for record in meta.get("entries", []):
+            quarantine.entries[int(record["s"])] = QuarantineEntry(
+                seq=int(record["s"]),
+                modifier=decode_modifier(record["m"]),
+                error=str(record.get("e", "")),
+                attempts=int(record.get("a", 0)),
+                next_retry_cycles=now + float(record.get("d", 0.0)),
+            )
+        return quarantine

@@ -31,24 +31,33 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Tuple
 
 from repro.core.adaptive import AdaptiveIGKway, AdaptiveReport
 from repro.core.igkway import FullPartitionReport
 from repro.gpusim.context import GpuContext
 from repro.graph.csr import CSRGraph
-from repro.graph.modifiers import Modifier
+from repro.graph.modifiers import Modifier, ModifierBatch
 from repro.partition.config import PartitionConfig
 from repro.stream.coalescer import Coalescer, CoalesceResult
 from repro.stream.ingest import IngestQueue, SequencedModifier
 from repro.stream.journal import StreamJournal
+from repro.stream.quarantine import Quarantine
 from repro.stream.scheduler import (
     BatchScheduler,
     SchedulerConfig,
     ledger_cycles,
 )
 from repro.stream.telemetry import StreamTelemetry
-from repro.utils.errors import BackpressureError, StreamError
+from repro.utils.errors import (
+    BackpressureError,
+    CapacityError,
+    ModifierError,
+    StreamError,
+)
+
+#: (seq, modifier, error message) for a modifier pulled out of a window.
+PoisonEntry = Tuple[int, Modifier, str]
 
 
 @dataclass(frozen=True)
@@ -65,6 +74,16 @@ class StreamBatchReport:
     used_fallback: bool
     fallback_reason: Optional[str]
     modeled_seconds: float
+    #: Poison modifiers this window parked for retry.
+    quarantined_count: int = 0
+    #: Poison modifiers permanently rejected (quarantine overflow).
+    dead_lettered_count: int = 0
+    #: Previously quarantined modifiers that re-applied cleanly after
+    #: this window.
+    recovered_count: int = 0
+    #: True when any failure handling ran (poison isolation, quarantine
+    #: traffic, or an escalation rebuild).
+    degraded: bool = False
 
 
 class StreamSession:
@@ -86,6 +105,13 @@ class StreamSession:
             written when a journal is configured).
         volume_threshold / batch_threshold / drift_threshold: Fallback
             triggers, forwarded to :class:`AdaptiveIGKway`.
+        max_quarantine: Bound on simultaneously quarantined poison
+            modifiers; overflow is dead-lettered immediately.
+        quarantine_max_attempts / quarantine_backoff_cycles: Retry
+            budget and base backoff delay for quarantined modifiers.
+        escalate_after: Consecutive failing windows before the session
+            escalates to a full device-structure rebuild
+            (:meth:`AdaptiveIGKway.full_rebuild`).
     """
 
     def __init__(
@@ -101,6 +127,10 @@ class StreamSession:
         volume_threshold: float = 0.5,
         batch_threshold: float = 0.1,
         drift_threshold: float = 2.0,
+        max_quarantine: int = 64,
+        quarantine_max_attempts: int = 4,
+        quarantine_backoff_cycles: float = 1e6,
+        escalate_after: int = 3,
     ):
         partitioner = AdaptiveIGKway(
             csr,
@@ -117,6 +147,10 @@ class StreamSession:
             policy=policy,
             scheduler=scheduler,
             checkpoint_every=checkpoint_every,
+            max_quarantine=max_quarantine,
+            quarantine_max_attempts=quarantine_max_attempts,
+            quarantine_backoff_cycles=quarantine_backoff_cycles,
+            escalate_after=escalate_after,
         )
 
     def _init_parts(
@@ -127,9 +161,15 @@ class StreamSession:
         policy: str,
         scheduler: SchedulerConfig | None,
         checkpoint_every: int,
+        max_quarantine: int = 64,
+        quarantine_max_attempts: int = 4,
+        quarantine_backoff_cycles: float = 1e6,
+        escalate_after: int = 3,
     ) -> None:
         if checkpoint_every < 0:
             raise ValueError("checkpoint_every must be >= 0")
+        if escalate_after < 1:
+            raise ValueError("escalate_after must be >= 1")
         self.partitioner = partitioner
         self.queue = IngestQueue(capacity=queue_capacity, policy=policy)
         self.coalescer = Coalescer()
@@ -139,11 +179,22 @@ class StreamSession:
         )
         self.checkpoint_every = checkpoint_every
         self.telemetry = StreamTelemetry()
+        self.quarantine = Quarantine(
+            capacity=max_quarantine,
+            max_attempts=quarantine_max_attempts,
+            backoff_cycles=quarantine_backoff_cycles,
+        )
+        self.escalate_after = escalate_after
         self.applied_seq = -1
+        self._consecutive_failures = 0
         self._flushes_since_checkpoint = 0
         self._window_opened_cycles: Optional[float] = None
         self._started = False
         self._replaying = False
+        # Set during replay of a flush record that had exclusions, so
+        # the clean re-apply doesn't reset the failure streak the
+        # crashed process had accumulated.
+        self._replay_failure = False
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -257,15 +308,34 @@ class StreamSession:
         self, window: List[SequencedModifier], reason: str
     ) -> StreamBatchReport:
         result = self.coalescer.collapse(window)
+        applied_count = 0
+        poison: List[PoisonEntry] = []
         if len(result.batch):
-            adaptive = self.partitioner.apply(result.batch)
-            cut = adaptive.iteration.cut
-            used_fallback = adaptive.used_fallback
-            fallback_reason = adaptive.fallback_reason
-            seconds = (
-                adaptive.iteration.modification_seconds
-                + adaptive.iteration.partitioning_seconds
-            )
+            entries = list(zip(result.seqs, result.batch))
+            applied_count, reports, poison = self._apply_entries(entries)
+            if reports:
+                cut = reports[-1].iteration.cut
+                used_fallback = any(r.used_fallback for r in reports)
+                fallback_reason = next(
+                    (
+                        r.fallback_reason
+                        for r in reversed(reports)
+                        if r.fallback_reason
+                    ),
+                    None,
+                )
+                seconds = sum(
+                    r.iteration.modification_seconds
+                    + r.iteration.partitioning_seconds
+                    for r in reports
+                )
+            else:
+                # Every survivor was poison; the graph is untouched
+                # (transactional rollback), so the cut is unchanged.
+                cut = self.partitioner.cut_size()
+                used_fallback = False
+                fallback_reason = None
+                seconds = 0.0
         else:
             # The whole window coalesced away: nothing reaches the GPU.
             cut = (
@@ -276,6 +346,21 @@ class StreamSession:
             used_fallback = False
             fallback_reason = None
             seconds = 0.0
+
+        dead_lettered = 0
+        if poison:
+            self.telemetry.record_batch_failure()
+            self._consecutive_failures += 1
+            now = self._clock()
+            for seq, modifier, error in poison:
+                if self.quarantine.add(seq, modifier, error, now):
+                    self.telemetry.record_quarantined()
+                else:
+                    self._dead_letter(seq, modifier, error)
+                    dead_lettered += 1
+        elif len(result.batch) and not self._replay_failure:
+            self._consecutive_failures = 0
+
         self.applied_seq = result.last_seq
         self._window_opened_cycles = (
             self._clock() if not self.queue.is_empty() else None
@@ -283,35 +368,178 @@ class StreamSession:
         self.telemetry.record_batch(
             reason=reason,
             raw_count=result.raw_count,
-            applied_count=len(result.batch),
+            applied_count=applied_count,
             cut=cut,
             used_fallback=used_fallback,
             modeled_seconds=seconds,
             queue_depth=self.queue.depth,
+            removed_count=len(poison),
         )
         if self.journal is not None and not self._replaying:
             self.journal.log_flush(
-                result.first_seq, result.last_seq, reason
+                result.first_seq,
+                result.last_seq,
+                reason,
+                excluded=[seq for seq, _m, _e in poison],
             )
             self._flushes_since_checkpoint += 1
-            if (
+            if poison:
+                # Degraded windows are checkpoint barriers: recovery
+                # must never re-run the failure, only its outcome.
+                self.checkpoint()
+            elif (
                 self.checkpoint_every
                 and self._flushes_since_checkpoint
                 >= self.checkpoint_every
             ):
                 self.checkpoint()
+
+        escalated = False
+        if poison and self._consecutive_failures >= self.escalate_after:
+            self._escalate()
+            escalated = True
+        recovered = 0
+        if not self._replaying and len(self.quarantine):
+            recovered = self.retry_quarantine(force=escalated)
         return StreamBatchReport(
             first_seq=result.first_seq,
             last_seq=result.last_seq,
             reason=reason,
             raw_count=result.raw_count,
-            applied_count=len(result.batch),
+            applied_count=applied_count,
             coalesce_stats=result.stats,
             cut=cut,
             used_fallback=used_fallback,
             fallback_reason=fallback_reason,
             modeled_seconds=seconds,
+            quarantined_count=len(poison) - dead_lettered,
+            dead_lettered_count=dead_lettered,
+            recovered_count=recovered,
+            degraded=bool(poison) or escalated or recovered > 0,
         )
+
+    # -- failure handling ----------------------------------------------------------
+
+    def _apply_entries(
+        self, entries: List[Tuple[int, Modifier]]
+    ) -> Tuple[int, List[AdaptiveReport], List[PoisonEntry]]:
+        """Apply ``(seq, modifier)`` entries, isolating poison modifiers.
+
+        The happy path is a single transactional
+        :meth:`AdaptiveIGKway.apply` of the whole batch.  On failure the
+        partitioner has already rolled back; the poison is then isolated
+        and the healthy remainder re-applied:
+
+        * **fast path** — when the error carries ``modifier_index``
+          (every expansion-level rejection does), that one modifier is
+          removed and the rest retried in a loop;
+        * **bisection** — an unindexed mid-batch failure (capacity
+          exhaustion, injected aborts) splits the batch into contiguous
+          halves, recursing until the poison is singled out.  Submission
+          order is preserved throughout (left half before right).
+
+        Returns ``(applied_count, adaptive_reports, poison_entries)``.
+        No healthy modifier is ever dropped: every entry ends up either
+        applied or in the poison list.
+        """
+        applied = 0
+        reports: List[AdaptiveReport] = []
+        poison: List[PoisonEntry] = []
+        remaining = list(entries)
+        while remaining:
+            batch = ModifierBatch([m for _seq, m in remaining])
+            try:
+                report = self.partitioner.apply(batch)
+            except (ModifierError, CapacityError) as err:
+                index = getattr(err, "modifier_index", None)
+                if index is not None and 0 <= index < len(remaining):
+                    seq, modifier = remaining.pop(index)
+                    poison.append((seq, modifier, str(err)))
+                    continue
+                if len(remaining) == 1:
+                    seq, modifier = remaining[0]
+                    poison.append((seq, modifier, str(err)))
+                    break
+                self.telemetry.record_bisection()
+                mid = len(remaining) // 2
+                a1, r1, p1 = self._apply_entries(remaining[:mid])
+                a2, r2, p2 = self._apply_entries(remaining[mid:])
+                applied += a1 + a2
+                reports.extend(r1 + r2)
+                poison.extend(p1 + p2)
+                break
+            else:
+                applied += len(remaining)
+                reports.append(report)
+                break
+        return applied, reports, poison
+
+    def _dead_letter(self, seq: int, modifier: Modifier, error: str) -> None:
+        """Permanently reject a modifier, leaving a durable trace."""
+        if self.journal is not None and not self._replaying:
+            self.journal.log_dead_letter(seq, modifier, error)
+        self.telemetry.record_dead_letter()
+
+    def retry_quarantine(self, force: bool = False) -> int:
+        """Retry quarantined modifiers whose backoff has elapsed.
+
+        Each success re-applies the modifier (counted as a
+        ``quarantine_retry`` batch); each failure doubles the entry's
+        backoff until its attempt budget runs out and it is
+        dead-lettered.  ``force`` retries everything regardless of
+        backoff — used right after an escalation rebuild.  Any change
+        to the quarantine is made durable immediately (quarantine
+        transitions are checkpoint barriers).  Returns the number of
+        recovered modifiers.
+        """
+        recovered = 0
+        changed = False
+        for entry in self.quarantine.due(self._clock(), force=force):
+            try:
+                report = self.partitioner.apply(
+                    ModifierBatch([entry.modifier])
+                )
+            except (ModifierError, CapacityError) as err:
+                changed = True
+                if self.quarantine.record_failure(
+                    entry, str(err), self._clock()
+                ):
+                    self.quarantine.remove(entry.seq)
+                    self._dead_letter(entry.seq, entry.modifier, str(err))
+            else:
+                changed = True
+                self.quarantine.remove(entry.seq)
+                recovered += 1
+                self.telemetry.record_quarantine_recovered()
+                self.telemetry.record_batch(
+                    reason="quarantine_retry",
+                    raw_count=1,
+                    applied_count=1,
+                    cut=report.iteration.cut,
+                    used_fallback=report.used_fallback,
+                    modeled_seconds=(
+                        report.iteration.modification_seconds
+                        + report.iteration.partitioning_seconds
+                    ),
+                    queue_depth=self.queue.depth,
+                )
+        if changed and self.journal is not None and not self._replaying:
+            self.checkpoint()
+        return recovered
+
+    def _escalate(self) -> None:
+        """Full device-structure rebuild after repeated window failures.
+
+        :meth:`AdaptiveIGKway.full_rebuild` constructs a fresh bucket
+        list (new pool) and re-runs FGP — the only recovery that fixes
+        structural causes like an exhausted bucket pool.
+        """
+        self.telemetry.record_escalation()
+        report = self.partitioner.full_rebuild()
+        self.telemetry.record_full_partition(report.cut, report.seconds)
+        self._consecutive_failures = 0
+        if self.journal is not None and not self._replaying:
+            self.checkpoint()
 
     # -- durability ----------------------------------------------------------------
 
@@ -346,6 +574,11 @@ class StreamSession:
             },
             "checkpoint_every": self.checkpoint_every,
             "telemetry": self.telemetry.as_dict(),
+            "resilience": {
+                "quarantine": self.quarantine.as_meta(self._clock()),
+                "consecutive_failures": self._consecutive_failures,
+                "escalate_after": self.escalate_after,
+            },
         }
         self.journal.write_checkpoint(self.partitioner.inner, meta)
         self.telemetry.checkpoints_written += 1
@@ -385,6 +618,7 @@ class StreamSession:
         )
         scheduler_meta = meta.get("scheduler", {})
         queue_meta = meta.get("queue", {})
+        resilience_meta = meta.get("resilience", {})
 
         session = cls.__new__(cls)
         session._init_parts(
@@ -401,6 +635,7 @@ class StreamSession:
                 min_batch_size=scheduler_meta.get("min_batch_size", 1),
             ),
             checkpoint_every=meta.get("checkpoint_every", 8),
+            escalate_after=int(resilience_meta.get("escalate_after", 3)),
         )
         session._started = True
         session.applied_seq = state.applied_seq
@@ -411,16 +646,55 @@ class StreamSession:
         # once by the crashed process after its last checkpoint.
         session.telemetry.ingested += len(state.modifiers)
         session.telemetry.recoveries += 1
+        # Backoff deadlines were persisted relative to the checkpoint
+        # clock; re-anchor them to this (fresh) ledger's clock.
+        session.quarantine = Quarantine.restore(
+            resilience_meta.get("quarantine", {}), now=session._clock()
+        )
+        session._consecutive_failures = int(
+            resilience_meta.get("consecutive_failures", 0)
+        )
 
         # Replay the recorded flush windows without re-journaling them.
+        # A flush record's excluded seqs were quarantined (or
+        # dead-lettered) by the crashed process after its last
+        # checkpoint: replay re-routes them the same way instead of
+        # re-running the failure itself.
         session._replaying = True
         try:
-            for first, last, reason in state.flushes:
-                window = [
-                    SequencedModifier(seq, state.modifiers.pop(seq))
-                    for seq in range(first, last + 1)
-                ]
-                session._apply_window(window, reason)
+            for first, last, reason, excluded in state.flushes:
+                excluded_set = set(excluded)
+                window = []
+                for seq in range(first, last + 1):
+                    modifier = state.modifiers.pop(seq)
+                    if seq not in excluded_set:
+                        window.append(SequencedModifier(seq, modifier))
+                    elif seq in state.dead_letters:
+                        session.telemetry.record_dead_letter()
+                    elif session.quarantine.add(
+                        seq,
+                        modifier,
+                        "re-quarantined during replay",
+                        session._clock(),
+                    ):
+                        session.telemetry.record_quarantined()
+                    else:
+                        session._dead_letter(
+                            seq, modifier, "quarantine full during replay"
+                        )
+                session._replay_failure = bool(excluded)
+                if window:
+                    session._apply_window(window, reason)
+                session._replay_failure = False
+                session.applied_seq = last
+                if excluded:
+                    session.telemetry.record_batch_failure()
+                    session._consecutive_failures += 1
+                    if (
+                        session._consecutive_failures
+                        >= session.escalate_after
+                    ):
+                        session._escalate()
         finally:
             session._replaying = False
 
@@ -462,6 +736,7 @@ class StreamSession:
                 ),
                 "simulated_cycles": self._clock(),
                 "fallbacks_taken": self.partitioner.fallbacks_taken,
+                "quarantine_pending": len(self.quarantine),
             }
         )
         return out

@@ -33,6 +33,12 @@ class StreamTelemetry:
     fallback_events: int = 0
     checkpoints_written: int = 0
     recoveries: int = 0
+    batch_failures: int = 0
+    bisection_attempts: int = 0
+    quarantined: int = 0
+    quarantine_recovered: int = 0
+    dead_lettered: int = 0
+    escalations: int = 0
     queue_depth: int = 0
     max_queue_depth: int = 0
     reference_cut: Optional[int] = None
@@ -58,13 +64,22 @@ class StreamTelemetry:
         used_fallback: bool,
         modeled_seconds: float,
         queue_depth: int,
+        removed_count: int = 0,
     ) -> None:
+        """Record one flushed window.
+
+        ``removed_count`` is the number of surviving (post-coalescing)
+        modifiers that were NOT applied because the resilient path
+        quarantined or dead-lettered them; they are counted by
+        :meth:`record_quarantined` / :meth:`record_dead_letter` instead
+        of ``coalesced_dropped``.
+        """
         self.batches += 1
         self.flushes_by_reason[reason] = (
             self.flushes_by_reason.get(reason, 0) + 1
         )
         self.applied_modifiers += applied_count
-        self.coalesced_dropped += raw_count - applied_count
+        self.coalesced_dropped += raw_count - applied_count - removed_count
         self.last_cut = cut
         if used_fallback:
             self.fallback_events += 1
@@ -76,6 +91,24 @@ class StreamTelemetry:
         self.reference_cut = cut
         self.last_cut = cut
         self.modeled_seconds += seconds
+
+    def record_batch_failure(self) -> None:
+        self.batch_failures += 1
+
+    def record_bisection(self) -> None:
+        self.bisection_attempts += 1
+
+    def record_quarantined(self, count: int = 1) -> None:
+        self.quarantined += count
+
+    def record_quarantine_recovered(self, count: int = 1) -> None:
+        self.quarantine_recovered += count
+
+    def record_dead_letter(self, count: int = 1) -> None:
+        self.dead_lettered += count
+
+    def record_escalation(self) -> None:
+        self.escalations += 1
 
     # -- derived ------------------------------------------------------------------
 
@@ -107,6 +140,12 @@ class StreamTelemetry:
             "fallback_events": self.fallback_events,
             "checkpoints_written": self.checkpoints_written,
             "recoveries": self.recoveries,
+            "batch_failures": self.batch_failures,
+            "bisection_attempts": self.bisection_attempts,
+            "quarantined": self.quarantined,
+            "quarantine_recovered": self.quarantine_recovered,
+            "dead_lettered": self.dead_lettered,
+            "escalations": self.escalations,
             "queue_depth": self.queue_depth,
             "max_queue_depth": self.max_queue_depth,
             "reference_cut": self.reference_cut,
@@ -128,6 +167,12 @@ class StreamTelemetry:
             "fallback_events",
             "checkpoints_written",
             "recoveries",
+            "batch_failures",
+            "bisection_attempts",
+            "quarantined",
+            "quarantine_recovered",
+            "dead_lettered",
+            "escalations",
             "queue_depth",
             "max_queue_depth",
             "reference_cut",

@@ -10,6 +10,12 @@ from repro.utils.errors import (
     PartitionError,
     ReproError,
     StreamError,
+    TransactionError,
+)
+from repro.utils.faultinject import (
+    FAULT_CLASSES,
+    FaultInjector,
+    InjectedAbort,
 )
 from repro.utils.seeding import derive_seed, make_rng
 from repro.utils.timing import collect_phase_times, timed
@@ -26,6 +32,10 @@ __all__ = [
     "StreamError",
     "BackpressureError",
     "JournalError",
+    "TransactionError",
+    "FAULT_CLASSES",
+    "FaultInjector",
+    "InjectedAbort",
     "derive_seed",
     "make_rng",
 ]

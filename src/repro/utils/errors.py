@@ -38,11 +38,31 @@ class BucketListFullError(CapacityError):
 
 
 class ModifierError(ReproError):
-    """A graph modifier could not be applied (e.g. deleting a missing edge)."""
+    """A graph modifier could not be applied (e.g. deleting a missing edge).
+
+    ``modifier_index``, when not None, is the failing modifier's
+    position in the (coalesced) batch — the structured counterpart of
+    the index named in the message, which lets the stream layer isolate
+    a poison modifier without bisecting.
+    """
+
+    def __init__(self, message: str, modifier_index: "int | None" = None):
+        super().__init__(message)
+        self.modifier_index = modifier_index
 
 
 class PartitionError(ReproError):
     """A partitioning operation failed or produced an invalid state."""
+
+
+class TransactionError(ReproError):
+    """A transactional rollback failed to restore the pre-batch state.
+
+    Raised only when digest verification is enabled and the post-rollback
+    sha256 state digest differs from the pre-batch one — i.e. the undo
+    log missed a write site.  This is a bug in the library, never in the
+    caller's input.
+    """
 
 
 class StreamError(ReproError):

@@ -1,0 +1,117 @@
+"""Warp/vector parity of *failed* batches (satellite of the
+transactional layer): wherever a batch dies — at any poison position,
+or mid-kernel after any number of landed writes — both execution modes
+must roll back to bit-identical states.
+
+The success-path parity contract is tested in test_hotpath_parity.py;
+this file is its failure-path twin.
+"""
+
+import numpy as np
+import pytest
+
+from repro import IGKway, PartitionConfig
+from repro.core.transaction import state_digest
+from repro.graph import EdgeInsert
+from repro.graph.generators import circuit_graph
+from repro.graph.modifiers import ModifierBatch
+from repro.utils import FaultInjector, InjectedAbort, ModifierError
+
+N_VERTICES = 200
+BATCH_SIZE = 6
+
+
+def build(mode, seed=13):
+    csr = circuit_graph(N_VERTICES, edge_ratio=1.4, seed=seed)
+    ig = IGKway(csr, PartitionConfig(k=2, seed=seed, mode=mode))
+    ig.full_partition()
+    ig.verify_rollback_digest = True
+    return ig
+
+
+def healthy_mods(graph, seed=21, count=BATCH_SIZE):
+    rng = np.random.default_rng(seed)
+    active = graph.active_vertices()
+    taken = set()
+    mods = []
+    while len(mods) < count:
+        u = int(active[rng.integers(len(active))])
+        v = int(active[rng.integers(len(active))])
+        if u != v and (u, v) not in taken and not graph.has_edge(u, v):
+            taken.add((u, v))
+            taken.add((v, u))
+            mods.append(EdgeInsert(u, v))
+    return mods
+
+
+@pytest.mark.parametrize("poison_index", range(BATCH_SIZE + 1))
+def test_poison_at_every_index_rolls_back_identically(poison_index):
+    """Failure injected at each op index: identical digests across modes."""
+    digests = {}
+    for mode in ("warp", "vector"):
+        ig = build(mode)
+        batch = healthy_mods(ig.graph)
+        injector = FaultInjector(seed=17)
+        batch.insert(poison_index, injector.duplicate_edge(ig.graph))
+        pre = state_digest(ig.graph, ig.state)
+        with pytest.raises(ModifierError) as excinfo:
+            ig.apply(ModifierBatch(batch))
+        assert excinfo.value.modifier_index == poison_index
+        post = state_digest(ig.graph, ig.state)
+        assert post == pre, f"{mode}: rollback not bit-identical"
+        digests[mode] = post
+    assert digests["warp"] == digests["vector"]
+
+
+# Each edge insert logs two slot-write units (one per direction), so a
+# batch of BATCH_SIZE inserts can fire thresholds up to 2*BATCH_SIZE.
+@pytest.mark.parametrize("after_writes", range(1, 2 * BATCH_SIZE, 2))
+def test_abort_after_every_write_count_rolls_back_identically(
+    after_writes,
+):
+    """Mid-kernel abort at each write threshold: the number of landed
+    writes differs between modes (per-op vs scatter granularity), but
+    the rolled-back state must not."""
+    digests = {}
+    for mode in ("warp", "vector"):
+        ig = build(mode)
+        batch = healthy_mods(ig.graph)
+        injector = FaultInjector(seed=17)
+        pre = state_digest(ig.graph, ig.state)
+        with injector.kernel_abort(ig.graph, after_writes=after_writes):
+            with pytest.raises(InjectedAbort):
+                ig.apply(ModifierBatch(batch))
+        post = state_digest(ig.graph, ig.state)
+        assert post == pre, f"{mode}: rollback not bit-identical"
+        digests[mode] = post
+    assert digests["warp"] == digests["vector"]
+
+
+def test_modes_still_agree_after_a_failure_history():
+    """Interleave failures and successes; both modes must stay in
+    lockstep the whole way (digest checked after every step)."""
+    partitioners = {mode: build(mode) for mode in ("warp", "vector")}
+    rngs = {mode: np.random.default_rng(3) for mode in partitioners}
+    injectors = {mode: FaultInjector(seed=29) for mode in partitioners}
+    for step in range(4):
+        step_digests = {}
+        for mode, ig in partitioners.items():
+            batch = healthy_mods(
+                ig.graph, seed=int(rngs[mode].integers(1 << 30))
+            )
+            kind = ("duplicate_edge", "missing_edge", "dead_vertex_op")[
+                step % 3
+            ]
+            batch.insert(step, injectors[mode].poison(ig.graph, kind))
+            with pytest.raises(ModifierError):
+                ig.apply(ModifierBatch(batch))
+            healthy = [
+                m for i, m in enumerate(batch) if i != step
+            ]
+            ig.apply(ModifierBatch(healthy))
+            step_digests[mode] = state_digest(ig.graph, ig.state)
+        assert step_digests["warp"] == step_digests["vector"], (
+            f"modes diverged at step {step}"
+        )
+    for ig in partitioners.values():
+        ig.validate()

@@ -286,3 +286,34 @@ class TestApplyBatchEquivalence:
     def test_unknown_mode_rejected(self, ctx, tiny_bucketlist):
         with pytest.raises(ValueError):
             apply_batch(ctx, tiny_bucketlist, [], mode="cuda")
+
+
+class TestFailingOpIndexReport:
+    """Kernel-level failures must name the failing slot-op's index —
+    the isolation machinery above (and operators reading logs) rely on
+    it to find the poison without a second failing run."""
+
+    def test_delete_run_names_first_missing_op(self, ctx, tiny_bucketlist):
+        # A run of deletes on the same vertex: (0,1) exists, (0,3) does
+        # not — the vectorized path's fallback must name index 1.
+        ops = [SlotDelete(0, 1), SlotDelete(0, 3)]
+        with pytest.raises(ModifierError, match=r"slot-op 1:"):
+            apply_ops_vector(ctx, tiny_bucketlist, ops)
+
+    def test_warp_path_names_failing_op(self, ctx, tiny_bucketlist):
+        ops = [SlotInsert(0, 3, 1), SlotInsert(3, 0, 1), SlotDelete(1, 3)]
+        with pytest.raises(ModifierError, match=r"slot-op 2:"):
+            apply_ops_warp(ctx, tiny_bucketlist, ops)
+
+    def test_vertex_op_failure_names_op_in_both_modes(
+        self, ctx, mode, tiny_bucketlist
+    ):
+        # Vertex 1 is already active: the activation at index 2 fails
+        # at kernel level (past the insert run) in both modes.
+        ops = [
+            SlotInsert(0, 3, 1),
+            SlotInsert(3, 0, 1),
+            VertexActivate(1, 5),
+        ]
+        with pytest.raises(ModifierError, match=r"slot-op 2:"):
+            apply_ops(ctx, tiny_bucketlist, ops, mode)

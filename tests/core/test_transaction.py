@@ -1,0 +1,183 @@
+"""Transactional batch application: undo log, rollback, digests."""
+
+import numpy as np
+import pytest
+
+from repro import IGKway, PartitionConfig
+from repro.core.transaction import state_digest, transaction
+from repro.graph import EdgeDelete, EdgeInsert, VertexDelete, VertexInsert
+from repro.graph.modifiers import ModifierBatch
+from repro.utils import (
+    CapacityError,
+    FaultInjector,
+    InjectedAbort,
+    ModifierError,
+    TransactionError,
+)
+
+
+@pytest.fixture(params=["warp", "vector"])
+def partitioner(request, small_circuit):
+    ig = IGKway(
+        small_circuit, PartitionConfig(k=4, seed=3, mode=request.param)
+    )
+    ig.full_partition()
+    ig.verify_rollback_digest = True
+    return ig
+
+
+def fresh_batch(graph, seed=5, count=4):
+    rng = np.random.default_rng(seed)
+    active = graph.active_vertices()
+    taken = set()
+    mods = []
+    while len(mods) < count:
+        u = int(active[rng.integers(len(active))])
+        v = int(active[rng.integers(len(active))])
+        if u != v and (u, v) not in taken and not graph.has_edge(u, v):
+            taken.add((u, v))
+            taken.add((v, u))
+            mods.append(EdgeInsert(u, v))
+    return mods
+
+
+class TestStateDigest:
+    def test_stable_for_untouched_state(self, partitioner):
+        assert state_digest(
+            partitioner.graph, partitioner.state
+        ) == state_digest(partitioner.graph, partitioner.state)
+
+    def test_changes_when_graph_changes(self, partitioner):
+        before = state_digest(partitioner.graph, partitioner.state)
+        partitioner.apply(ModifierBatch(fresh_batch(partitioner.graph)))
+        assert state_digest(partitioner.graph, partitioner.state) != before
+
+
+class TestRollback:
+    @pytest.mark.parametrize(
+        "poison_cls",
+        ["duplicate_edge", "missing_edge", "dead_vertex_op"],
+    )
+    def test_poison_mid_batch_rolls_back(self, partitioner, poison_cls):
+        injector = FaultInjector(seed=9)
+        batch = fresh_batch(partitioner.graph)
+        batch.insert(2, injector.poison(partitioner.graph, poison_cls))
+        before = state_digest(partitioner.graph, partitioner.state)
+        with pytest.raises(ModifierError):
+            partitioner.apply(ModifierBatch(batch))
+        assert state_digest(partitioner.graph, partitioner.state) == before
+
+    def test_capacity_error_rolls_back(self, partitioner):
+        injector = FaultInjector(seed=9)
+        graph = partitioner.graph
+        u = int(graph.active_vertices()[0])
+        batch = [
+            EdgeInsert(u, int(v))
+            for v in graph.active_vertices()[1:200]
+            if not graph.has_edge(u, int(v))
+        ]
+        before = state_digest(graph, partitioner.state)
+        with injector.pool_exhaustion(graph):
+            with pytest.raises(CapacityError):
+                partitioner.apply(ModifierBatch(batch))
+        assert state_digest(graph, partitioner.state) == before
+
+    def test_injected_abort_rolls_back_partial_writes(self, partitioner):
+        injector = FaultInjector(seed=9)
+        batch = fresh_batch(partitioner.graph)
+        before = state_digest(partitioner.graph, partitioner.state)
+        with injector.kernel_abort(partitioner.graph, after_writes=2):
+            with pytest.raises(InjectedAbort):
+                partitioner.apply(ModifierBatch(batch))
+        assert state_digest(partitioner.graph, partitioner.state) == before
+
+    def test_healthy_batch_applies_after_rollback(self, partitioner):
+        injector = FaultInjector(seed=9)
+        poisoned = fresh_batch(partitioner.graph, seed=5)
+        poisoned.append(injector.duplicate_edge(partitioner.graph))
+        with pytest.raises(ModifierError):
+            partitioner.apply(ModifierBatch(poisoned))
+        healthy = fresh_batch(partitioner.graph, seed=6)
+        partitioner.apply(ModifierBatch(healthy))
+        partitioner.validate()
+        for mod in healthy:
+            assert partitioner.graph.has_edge(mod.u, mod.v)
+
+    def test_rollback_covers_vertex_ops(self, partitioner):
+        graph = partitioner.graph
+        injector = FaultInjector(seed=9)
+        victim = int(graph.active_vertices()[7])
+        batch = [
+            VertexInsert(graph.num_vertices, weight=2),
+            VertexDelete(victim),
+            injector.missing_edge(graph),
+        ]
+        before = state_digest(graph, partitioner.state)
+        with pytest.raises(ModifierError):
+            partitioner.apply(ModifierBatch(batch))
+        assert state_digest(graph, partitioner.state) == before
+        assert graph.is_active(victim)
+
+    def test_rollback_charged_to_rollback_section(self, partitioner):
+        injector = FaultInjector(seed=9)
+        ledger = partitioner.ctx.ledger
+        assert ledger.seconds("rollback") == 0.0
+        batch = fresh_batch(partitioner.graph)
+        with injector.kernel_abort(partitioner.graph, after_writes=2):
+            with pytest.raises(InjectedAbort):
+                partitioner.apply(ModifierBatch(batch))
+        assert ledger.seconds("rollback") > 0.0
+
+
+class TestCostParity:
+    def test_success_path_ledger_identical(self, small_circuit):
+        """Arming the undo log must not move the deterministic ledger."""
+        totals = {}
+        for transactional in (True, False):
+            ig = IGKway(small_circuit, PartitionConfig(k=4, seed=3))
+            ig.full_partition()
+            batch = fresh_batch(ig.graph)
+            ig.apply(ModifierBatch(batch), transactional=transactional)
+            counters = ig.ctx.ledger.total
+            totals[transactional] = (
+                counters.warp_instructions,
+                counters.transactions,
+                counters.kernel_launches,
+            )
+        assert totals[True] == totals[False]
+
+
+class TestTransactionContext:
+    def test_non_repro_exceptions_also_roll_back(self, partitioner):
+        graph, state = partitioner.graph, partitioner.state
+        before = state_digest(graph, state)
+        with pytest.raises(RuntimeError):
+            with transaction(graph, state):
+                batch = fresh_batch(graph)
+                partitioner.apply(
+                    ModifierBatch(batch), transactional=False
+                )
+                raise RuntimeError("unexpected bug mid-batch")
+        assert state_digest(graph, state) == before
+
+    def test_clean_exit_commits(self, partitioner):
+        graph, state = partitioner.graph, partitioner.state
+        batch = fresh_batch(graph)
+        with transaction(graph, state):
+            partitioner.apply(ModifierBatch(batch), transactional=False)
+        for mod in batch:
+            assert graph.has_edge(mod.u, mod.v)
+
+    def test_sabotaged_rollback_raises_transaction_error(
+        self, partitioner, monkeypatch
+    ):
+        """verify_digest must catch a rollback that fails to restore."""
+        graph, state = partitioner.graph, partitioner.state
+        monkeypatch.setattr(graph, "rollback_undo", graph.commit_undo)
+        with pytest.raises(TransactionError, match="digest"):
+            with transaction(graph, state, verify_digest=True):
+                partitioner.apply(
+                    ModifierBatch(fresh_batch(graph)),
+                    transactional=False,
+                )
+                raise ModifierError("forced failure")

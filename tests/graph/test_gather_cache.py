@@ -137,14 +137,20 @@ class TestSlotOwnerArray:
         fresh = []
         for u in range(3):
             for v in range(20, n):
-                if (u, v) not in present and (v, u) not in present:
+                if (
+                    graph.is_active(v)
+                    and (u, v) not in present
+                    and (v, u) not in present
+                ):
                     fresh.append((u, v))
                     present.add((u, v))
                     break
         grow = [
             (2, v)
             for v in range(3, n)
-            if (2, v) not in present and (v, 2) not in present
+            if graph.is_active(v)
+            and (2, v) not in present
+            and (v, 2) not in present
         ][:40]
         ctx = GpuContext()
         batch = (

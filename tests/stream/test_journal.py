@@ -62,7 +62,7 @@ class TestLogAndLoad:
         state = StreamJournal(tmp_path / "j").load()
         assert state.applied_seq == -1
         assert state.modifiers == {0: mods[0], 1: mods[1], 2: mods[2]}
-        assert state.flushes == [(0, 1, "size")]
+        assert state.flushes == [(0, 1, "size", ())]
         assert state.max_logged_seq == 2
 
     def test_torn_tail_is_discarded(self, partitioner, tmp_path):
@@ -117,7 +117,22 @@ class TestCompaction:
         for seq in range(6):
             journal.log_modifier(seq, EdgeInsert(0, 9 + seq))
         journal.log_flush(0, 3, "size")
-        # Checkpoint covers seqs <= 3; 4 and 5 must survive compaction.
+        # One checkpoint covering seqs <= 3 is not enough to drop them:
+        # the previous on-disk checkpoint (cursor -1) is the corruption
+        # fallback and still needs every record to replay forward.
+        journal.write_checkpoint(partitioner, {"applied_seq": 3})
+        state = StreamJournal(tmp_path / "j").load()
+        assert sorted(state.modifiers) == [4, 5]  # past the cursor
+        assert journal.prev_checkpoint_path.exists()
+        lines = [
+            json.loads(line)
+            for line in journal.log_path.read_text().splitlines()
+        ]
+        assert {rec["s"] for rec in lines if rec["r"] == "m"} == set(
+            range(6)
+        )
+        # Once BOTH on-disk checkpoints cover seq 3, compaction drops
+        # the covered records.
         journal.write_checkpoint(partitioner, {"applied_seq": 3})
 
         lines = [
@@ -142,4 +157,72 @@ class TestCompaction:
             if "tmp" in p.name
         ]
         assert leftovers == []
+        journal.close()
+
+    def test_dead_letters_survive_compaction(
+        self, partitioner, tmp_path
+    ):
+        journal = StreamJournal(tmp_path / "j")
+        journal.write_checkpoint(partitioner, {"applied_seq": -1})
+        journal.log_modifier(0, EdgeInsert(0, 9))
+        journal.log_modifier(1, EdgeInsert(0, 10))
+        journal.log_flush(0, 1, "size", excluded=[1])
+        journal.log_dead_letter(1, EdgeInsert(0, 10), "poison")
+        # Two checkpoints past the flush: every covered m/f record is
+        # compacted away, but the rejection ledger must persist.
+        journal.write_checkpoint(partitioner, {"applied_seq": 1})
+        journal.write_checkpoint(partitioner, {"applied_seq": 1})
+        journal.close()
+
+        state = StreamJournal(tmp_path / "j").load()
+        assert state.modifiers == {}
+        assert state.flushes == []
+        assert state.dead_letters == {1: "poison"}
+
+
+class TestCheckpointCorruption:
+    def test_corrupt_checkpoint_falls_back_to_previous(
+        self, partitioner, tmp_path
+    ):
+        journal = StreamJournal(tmp_path / "j")
+        journal.write_checkpoint(partitioner, {"applied_seq": 3})
+        journal.write_checkpoint(partitioner, {"applied_seq": 7})
+        # Torn write: the newest checkpoint is half a file.
+        with journal.checkpoint_path.open("rb+") as handle:
+            handle.truncate(journal.checkpoint_path.stat().st_size // 3)
+        state = StreamJournal(tmp_path / "j").load()
+        assert state.applied_seq == 3  # the previous good checkpoint
+        assert state.partitioner.cut_size() == partitioner.cut_size()
+        journal.close()
+
+    def test_both_checkpoints_corrupt_raises(
+        self, partitioner, tmp_path
+    ):
+        journal = StreamJournal(tmp_path / "j")
+        journal.write_checkpoint(partitioner, {"applied_seq": 3})
+        journal.write_checkpoint(partitioner, {"applied_seq": 7})
+        journal.checkpoint_path.write_bytes(b"garbage")
+        journal.prev_checkpoint_path.write_bytes(b"garbage")
+        with pytest.raises(JournalError, match="checkpoint"):
+            StreamJournal(tmp_path / "j").load()
+        journal.close()
+
+    def test_records_past_previous_cursor_are_kept(
+        self, partitioner, tmp_path
+    ):
+        """Conservative compaction: the fallback checkpoint must still
+        be able to replay forward after the newest one is lost."""
+        journal = StreamJournal(tmp_path / "j")
+        journal.write_checkpoint(partitioner, {"applied_seq": -1})
+        for seq in range(4):
+            journal.log_modifier(seq, EdgeInsert(0, 9 + seq))
+        journal.log_flush(0, 3, "size")
+        journal.write_checkpoint(partitioner, {"applied_seq": 3})
+        # Newest checkpoint (cursor 3) torn; fall back to cursor -1.
+        with journal.checkpoint_path.open("rb+") as handle:
+            handle.truncate(journal.checkpoint_path.stat().st_size // 3)
+        state = StreamJournal(tmp_path / "j").load()
+        assert state.applied_seq == -1
+        assert sorted(state.modifiers) == [0, 1, 2, 3]
+        assert state.flushes == [(0, 3, "size", ())]
         journal.close()
