@@ -4,10 +4,10 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: check test perf-gate chaos-smoke chaos bench
+.PHONY: check test perf-gate chaos-smoke analysis-gate lint chaos bench
 
-## The pre-merge bar: full test suite + both deterministic gates.
-check: test perf-gate chaos-smoke
+## The pre-merge bar: full test suite + all three deterministic gates.
+check: test perf-gate chaos-smoke analysis-gate
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,6 +17,13 @@ perf-gate:
 
 chaos-smoke:
 	$(PYTHON) tools/chaos_gate.py --smoke
+
+analysis-gate:
+	$(PYTHON) tools/analysis_gate.py
+
+## Lint only (no sanitizer sweep); fast inner-loop check.
+lint:
+	$(PYTHON) -m repro.analysis.cli --baseline tools/analysis_baseline.json src tools benchmarks examples
 
 ## Full-scale (slower) variants.
 chaos:

@@ -142,6 +142,74 @@ def check_mode_equivalence(
     }
 
 
+def measure_sanitizer_overhead(
+    n_vertices: int = 400,
+    batches: int = 2,
+    seed: int = 7,
+    k: int = 4,
+    mode: str = "warp",
+) -> dict:
+    """Run the incremental sweep bare and under shadow-memory mode.
+
+    Two contracts are asserted, not just measured:
+
+    * **zero-cost when disabled** — the bare run's ledger must equal the
+      shadowed run's ledger exactly (instrumentation never charges), and
+      both runs must produce the same cut; the only price of the
+      sanitizer is host wall-clock while a session is active.
+    * **race-free** — the shadowed run reports zero conflicts on the
+      seeded workload (the analysis gate's bar, kept visible here).
+    """
+    from repro.analysis.shadow import ShadowSession, ShadowTracker
+
+    def one_run(shadowed: bool) -> tuple[float, object, int, int]:
+        csr, trace = seeded_workload(n_vertices, batches, seed=seed)
+        ctx = GpuContext()
+        ig = IGKway(csr, PartitionConfig(k=k, mode=mode), ctx=ctx)
+        ig.full_partition()
+        tracker = ShadowTracker()
+        t0 = time.perf_counter()
+        if shadowed:
+            with ShadowSession(ctx, tracker) as session:
+                session.attach_graph(ig.graph)
+                session.attach_state(ig.state)
+                for batch in trace:
+                    ig.apply(batch)
+        else:
+            for batch in trace:
+                ig.apply(batch)
+        elapsed = time.perf_counter() - t0
+        return elapsed, ctx.ledger.total, ig.cut_size(), tracker.n_conflicts
+
+    bare_seconds, bare_ledger, bare_cut, _ = one_run(shadowed=False)
+    shadow_seconds, shadow_ledger, shadow_cut, races = one_run(shadowed=True)
+
+    assert bare_ledger.warp_instructions == shadow_ledger.warp_instructions, (
+        "sanitizer charged the ledger: instrumentation must be cost-free"
+    )
+    assert bare_ledger.transactions == shadow_ledger.transactions
+    assert bare_ledger.atomic_ops == shadow_ledger.atomic_ops
+    assert bare_cut == shadow_cut, "sanitizer changed the computed partition"
+    assert races == 0, f"seeded workload raced under shadow mode ({races})"
+
+    return {
+        "workload": {
+            "n_vertices": n_vertices,
+            "batches": batches,
+            "seed": seed,
+            "k": k,
+            "mode": mode,
+        },
+        "bare_seconds": bare_seconds,
+        "shadow_seconds": shadow_seconds,
+        "overhead_ratio": (
+            shadow_seconds / bare_seconds if bare_seconds > 0 else 0.0
+        ),
+        "ledger_identical": True,
+        "races": races,
+    }
+
+
 # -- pytest smoke entry -----------------------------------------------------
 
 
@@ -152,6 +220,13 @@ def test_hotpath_smoke():
     for phase in ("modifiers", "balance", "cut-size"):
         assert phase in record["host_seconds"]
     check_mode_equivalence(n_vertices=400, batches=2)
+
+
+def test_sanitizer_overhead_contracts():
+    """Shadow mode is ledger-neutral and the seeded sweep is race-free."""
+    result = measure_sanitizer_overhead(n_vertices=300, batches=2)
+    assert result["ledger_identical"]
+    assert result["races"] == 0
 
 
 # -- CLI --------------------------------------------------------------------
@@ -192,6 +267,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     if not args.no_equivalence:
         record["equivalence"] = check_mode_equivalence()
+    if args.smoke:
+        # Shadow-mode cost check rides along at smoke scale: asserts the
+        # ledger is untouched by instrumentation and reports the host
+        # wall-clock factor of running under the sanitizer.
+        record["sanitizer_overhead"] = measure_sanitizer_overhead()
 
     text = json.dumps(record, indent=2)
     if args.out is not None:

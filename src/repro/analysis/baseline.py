@@ -1,0 +1,146 @@
+"""Checked-in baseline of grandfathered lint findings.
+
+The gate's contract is "no *new* findings": existing, justified
+findings live in ``tools/analysis_baseline.json`` and are subtracted
+from every run.  Entries are keyed by ``(rule, path, message)`` with a
+count — deliberately *not* by line number, so reflowing a file does not
+invalidate the baseline, while adding a second instance of a
+grandfathered pattern does (the count goes up).
+
+Each entry carries a human-written ``reason``; ``repro-lint
+--update-baseline`` preserves reasons for keys that survive and stamps
+``"TODO: justify"`` on new ones so unexplained grandfathering is
+visible in review.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.analysis.lintcore import Finding
+
+_TODO_REASON = "TODO: justify"
+
+
+@dataclass
+class BaselineEntry:
+    rule: str
+    path: str
+    message: str
+    count: int
+    reason: str = _TODO_REASON
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.message)
+
+
+@dataclass
+class Baseline:
+    """A set of grandfathered findings with per-key counts."""
+
+    entries: dict[tuple[str, str, str], BaselineEntry] = field(
+        default_factory=dict
+    )
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        baseline = cls()
+        if not path.exists():
+            return baseline
+        data = json.loads(path.read_text(encoding="utf-8"))
+        for raw in data.get("findings", []):
+            entry = BaselineEntry(
+                rule=raw["rule"],
+                path=raw["path"],
+                message=raw["message"],
+                count=int(raw.get("count", 1)),
+                reason=raw.get("reason", _TODO_REASON),
+            )
+            baseline.entries[entry.key] = entry
+        return baseline
+
+    @classmethod
+    def from_findings(
+        cls,
+        findings: Iterable[Finding],
+        reasons: Mapping[tuple[str, str, str], str] | None = None,
+    ) -> "Baseline":
+        """Build a baseline covering ``findings`` exactly.
+
+        ``reasons`` (typically the previous baseline's) is consulted so
+        regeneration keeps existing justifications.
+        """
+        baseline = cls()
+        reasons = reasons or {}
+        for finding in findings:
+            key = finding.key
+            entry = baseline.entries.get(key)
+            if entry is None:
+                baseline.entries[key] = BaselineEntry(
+                    rule=finding.rule,
+                    path=finding.path,
+                    message=finding.message,
+                    count=1,
+                    reason=reasons.get(key, _TODO_REASON),
+                )
+            else:
+                entry.count += 1
+        return baseline
+
+    @property
+    def reasons(self) -> dict[tuple[str, str, str], str]:
+        return {key: e.reason for key, e in self.entries.items()}
+
+    def filter(
+        self, findings: Iterable[Finding]
+    ) -> tuple[list[Finding], list[str]]:
+        """Split findings into (new, stale-baseline-descriptions).
+
+        For each key, up to ``count`` occurrences are absorbed by the
+        baseline; extras are new findings.  Baseline entries that no
+        longer match anything are reported as stale so the file gets
+        pruned rather than silently rotting.
+        """
+        remaining = {key: e.count for key, e in self.entries.items()}
+        new: list[Finding] = []
+        for finding in findings:
+            key = finding.key
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+            else:
+                new.append(finding)
+        stale = [
+            f"{key[1]}: [{key[0]}] {key[2]} "
+            f"(baseline count {self.entries[key].count}, "
+            f"{left} unmatched)"
+            for key, left in sorted(remaining.items())
+            if left > 0
+        ]
+        return new, stale
+
+    def save(self, path: str | Path) -> None:
+        path = Path(path)
+        data = {
+            "comment": (
+                "Grandfathered repro-lint findings.  Keys are "
+                "(rule, path, message) with counts; regenerate with "
+                "`repro-lint --update-baseline` and fill in reasons."
+            ),
+            "findings": [
+                {
+                    "rule": e.rule,
+                    "path": e.path,
+                    "message": e.message,
+                    "count": e.count,
+                    "reason": e.reason,
+                }
+                for _, e in sorted(self.entries.items())
+            ],
+        }
+        path.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")

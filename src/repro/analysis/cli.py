@@ -1,0 +1,128 @@
+"""``repro-lint`` — run the repo's AST lint pack from the command line.
+
+Typical invocations::
+
+    repro-lint src tools benchmarks examples
+    repro-lint --baseline tools/analysis_baseline.json src tools
+    repro-lint --update-baseline tools/analysis_baseline.json src tools
+    repro-lint --rules unseeded-rng,blind-except src
+    repro-lint --json src
+
+Exit status is 1 when any non-baselined finding remains (or when the
+baseline has stale entries that should be pruned), 0 otherwise.  Also
+runnable as ``python -m repro.analysis.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.lintcore import Finding, lint_paths
+from repro.analysis.rules import ALL_RULES, get_rules
+
+
+def _findings_json(findings: Sequence[Finding]) -> str:
+    return json.dumps(
+        [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+        indent=2,
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Repo-specific AST lint pack (see repro.analysis.rules).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="subtract grandfathered findings recorded in FILE",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        metavar="FILE",
+        help="rewrite FILE to cover the current findings exactly, "
+        "keeping reasons for surviving entries",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit findings as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            doc = (rule.__doc__ or "").strip().splitlines()[0]
+            print(f"{rule.id:22s} {doc}")
+        return 0
+
+    rule_ids = args.rules.split(",") if args.rules else None
+    try:
+        rules = get_rules(rule_ids)
+    except KeyError as exc:
+        parser.error(str(exc.args[0]))
+
+    findings = lint_paths(args.paths, rules)
+
+    if args.update_baseline:
+        previous = Baseline.load(args.update_baseline)
+        updated = Baseline.from_findings(findings, reasons=previous.reasons)
+        updated.save(args.update_baseline)
+        print(
+            f"baseline {args.update_baseline}: "
+            f"{sum(e.count for e in updated.entries.values())} finding(s) "
+            f"across {len(updated.entries)} key(s)"
+        )
+        return 0
+
+    stale: list[str] = []
+    if args.baseline:
+        baseline = Baseline.load(args.baseline)
+        findings, stale = baseline.filter(findings)
+
+    if args.json:
+        print(_findings_json(findings))
+    else:
+        for finding in findings:
+            print(finding)
+        for entry in stale:
+            print(f"stale baseline entry: {entry}")
+        if findings or stale:
+            print(
+                f"{len(findings)} finding(s), {len(stale)} stale baseline "
+                "entr(y/ies)"
+            )
+        else:
+            print("repro-lint: clean")
+    return 1 if findings or stale else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

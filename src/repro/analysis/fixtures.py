@@ -1,0 +1,92 @@
+"""Deliberately racy / deliberately clean toy kernels.
+
+These exist so the sanitizer itself is testable: the gate and the test
+suite run both and assert that the racy kernel is reliably flagged and
+the clean kernel produces zero findings (no false positive).  They use
+the same launch framework and warp primitives as the real kernels, so
+they also serve as minimal worked examples of what the sanitizer sees.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.shadow import ShadowSession, ShadowTracker, shadow_wrap
+from repro.gpusim.atomics import atomic_add
+from repro.gpusim.context import FULL_MASK, WARP_SIZE, GpuContext
+from repro.gpusim.kernel import launch_warps
+from repro.gpusim.warp import Warp
+
+
+def run_racy_kernel(n_warps: int = 4, seed: int = 0) -> ShadowTracker:
+    """All warps read-modify-write ``out[0]`` with plain accesses.
+
+    Every pair of warps is a write-write conflict on the same address,
+    unmediated by atomics — the canonical lost-update race.  ``seed``
+    only perturbs the written values, demonstrating that detection does
+    not depend on the data.
+    """
+    ctx = GpuContext()
+    out = np.zeros(8, dtype=np.int64)
+    tracker = ShadowTracker()
+    with ShadowSession(ctx, tracker):
+        shadowed = shadow_wrap(out, "fixture.out", tracker)
+
+        def body(warp: Warp, item: int) -> None:
+            old = shadowed[0]
+            warp.charge(instructions=1, transactions=1)
+            shadowed[0] = old + item + seed
+
+        launch_warps(ctx, list(range(1, n_warps + 1)), body, name="racy-sum")
+    return tracker
+
+
+def run_intra_warp_racy_kernel() -> ShadowTracker:
+    """One warp scatters to the same address from every lane.
+
+    A single ``warp.store`` whose index vector repeats an address is an
+    intra-warp hazard even though only one warp runs: the hardware
+    retires an arbitrary lane's value.
+    """
+    ctx = GpuContext()
+    out = np.zeros(WARP_SIZE, dtype=np.int64)
+    tracker = ShadowTracker()
+    with ShadowSession(ctx, tracker):
+        shadowed = shadow_wrap(out, "fixture.out", tracker)
+
+        def body(warp: Warp, item: int) -> None:
+            # Every lane targets slot 3: no leader election.
+            warp.store(
+                shadowed, np.full(WARP_SIZE, 3, dtype=np.int64), warp.lane_id
+            )
+
+        launch_warps(ctx, [0], body, name="racy-scatter")
+    return tracker
+
+
+def run_clean_kernel(n_warps: int = 4) -> ShadowTracker:
+    """A correctly-mediated kernel the sanitizer must pass.
+
+    Exercises the three legitimate patterns: disjoint per-warp writes,
+    shared-location accumulation through ``atomic_add``, and a
+    ballot-elected single-lane (leader) store after a cooperative read.
+    """
+    ctx = GpuContext()
+    per_warp = np.zeros(max(n_warps, 1), dtype=np.int64)
+    total = np.zeros(1, dtype=np.int64)
+    slots = np.arange(WARP_SIZE, dtype=np.int64)
+    tracker = ShadowTracker()
+    with ShadowSession(ctx, tracker):
+        out = shadow_wrap(per_warp, "fixture.per_warp", tracker)
+        acc = shadow_wrap(total, "fixture.total", tracker)
+        values = shadow_wrap(slots, "fixture.slots", tracker)
+
+        def body(warp: Warp, item: int) -> None:
+            lane_vals = warp.load(values, warp.lane_id)
+            hit = warp.ballot_sync(FULL_MASK, lane_vals == item)
+            # Leader lane (lowest set bit) writes this warp's own slot.
+            out[item] = (hit & -hit).bit_length() - 1
+            atomic_add(ctx, acc, 0, 1)
+
+        launch_warps(ctx, list(range(n_warps)), body, name="clean-kernel")
+    return tracker

@@ -1,0 +1,63 @@
+"""Repo-specific lint rules.
+
+Each module contributes one rule enforcing a contract an earlier PR
+established in prose:
+
+* :mod:`hotpath` — ``hot-path-loop``: files marked ``# repro-lint:
+  hot-path`` stay free of per-element Python loops (PR 2).
+* :mod:`rng` — ``unseeded-rng``: all randomness flows through seeded
+  generators; the process-global RNGs are off limits.
+* :mod:`ordering` — ``set-iter-order``: partition/core logic never
+  iterates sets/frozensets directly (hash-order dependent).
+* :mod:`ledger` — ``uncharged-kernel``: instruction/transaction
+  charges in kernel code land inside a priced ``ledger.kernel`` scope.
+* :mod:`pool` — ``untracked-pool-write``: bucket-pool arrays are only
+  mutated with the PR 3 undo log armed.
+* :mod:`exceptions` — ``blind-except``: no bare or silently-swallowed
+  broad excepts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.lintcore import LintRule
+from repro.analysis.rules.exceptions import BlindExceptRule
+from repro.analysis.rules.hotpath import HotPathLoopRule
+from repro.analysis.rules.ledger import UnchargedKernelRule
+from repro.analysis.rules.ordering import SetIterOrderRule
+from repro.analysis.rules.pool import UntrackedPoolWriteRule
+from repro.analysis.rules.rng import UnseededRngRule
+
+#: All rules in the pack, in reporting order.
+ALL_RULES: tuple[LintRule, ...] = (
+    HotPathLoopRule(),
+    UnseededRngRule(),
+    SetIterOrderRule(),
+    UnchargedKernelRule(),
+    UntrackedPoolWriteRule(),
+    BlindExceptRule(),
+)
+
+
+def get_rules(ids: Sequence[str] | None = None) -> list[LintRule]:
+    """Return the rule pack, optionally restricted to ``ids``."""
+    if ids is None:
+        return list(ALL_RULES)
+    known = {rule.id: rule for rule in ALL_RULES}
+    missing = [i for i in ids if i not in known]
+    if missing:
+        raise KeyError(f"unknown rule id(s): {', '.join(missing)}")
+    return [known[i] for i in ids]
+
+
+__all__ = [
+    "ALL_RULES",
+    "BlindExceptRule",
+    "HotPathLoopRule",
+    "SetIterOrderRule",
+    "UnchargedKernelRule",
+    "UnseededRngRule",
+    "UntrackedPoolWriteRule",
+    "get_rules",
+]

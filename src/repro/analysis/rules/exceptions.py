@@ -1,0 +1,74 @@
+"""``blind-except``: exceptions are never silently swallowed.
+
+The fault-injection harness from PR 3 raises at deliberately awkward
+moments; a ``try``/``except`` that catches everything and does nothing
+converts those injected faults — and real bugs — into silent state
+corruption.  Two shapes are flagged:
+
+* a bare ``except:`` (always, whatever the body does — it catches
+  ``KeyboardInterrupt`` and ``SystemExit`` too), and
+* ``except Exception``/``except BaseException`` (bare or in a tuple)
+  whose body does nothing but ``pass``/``...``/``continue``.
+
+A broad except that logs, re-raises, or transforms the error is fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lintcore import Finding, LintRule, ModuleInfo
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _names_broad_type(node: ast.expr | None) -> bool:
+    if node is None:
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in _BROAD
+    if isinstance(node, ast.Attribute):
+        return node.attr in _BROAD
+    if isinstance(node, ast.Tuple):
+        return any(_names_broad_type(elt) for elt in node.elts)
+    return False
+
+
+def _body_is_silent(body: list[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, ast.Constant
+        ):
+            continue  # docstring or bare `...`
+        return False
+    return True
+
+
+class BlindExceptRule(LintRule):
+    """Flag bare excepts and silent broad excepts."""
+
+    id = "blind-except"
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            func = info.enclosing_function(node)
+            scope = f"function {func.name!r}" if func else "module scope"
+            if node.type is None:
+                yield self.finding(
+                    info,
+                    node,
+                    f"bare except in {scope}; name the exception types "
+                    "(a bare except even catches KeyboardInterrupt)",
+                )
+            elif _names_broad_type(node.type) and _body_is_silent(node.body):
+                yield self.finding(
+                    info,
+                    node,
+                    f"broad except in {scope} swallows the exception "
+                    "silently; log, re-raise, or narrow the type",
+                )

@@ -1,0 +1,71 @@
+"""``hot-path-loop``: no per-element Python loops in vectorized files.
+
+PR 2 rewrote refinement and balancing around NumPy wavefronts; the perf
+gate holds the *cost* steady, but nothing stopped a later change from
+quietly reintroducing an ``O(n)`` interpreter loop whose ledger charges
+happen to match.  Files that opt in with ``# repro-lint: hot-path``
+promise to stay loop-free outside warp-simulation bodies.
+
+Warp bodies legitimately loop (they model one warp's control flow, and
+run once per work item by design), so functions named ``*warp*`` or
+taking a parameter named ``warp`` are exempt, as is everything nested
+inside them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lintcore import Finding, LintRule, ModuleInfo
+
+
+def _is_warp_function(node: ast.AST) -> bool:
+    if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return False
+    if "warp" in node.name:
+        return True
+    args = node.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    return "warp" in names
+
+
+def _loop_label(node: ast.For | ast.While) -> str:
+    if isinstance(node, ast.While):
+        return "while loop"
+    target = node.target
+    if isinstance(target, ast.Name):
+        return f"for loop over {target.id!r}"
+    if isinstance(target, ast.Tuple):
+        names = ",".join(
+            e.id for e in target.elts if isinstance(e, ast.Name)
+        )
+        return f"for loop over ({names})"
+    return "for loop"
+
+
+class HotPathLoopRule(LintRule):
+    """Flag ``for``/``while`` statements in hot-path-marked files."""
+
+    id = "hot-path-loop"
+
+    def applies_to(self, info: ModuleInfo) -> bool:
+        return info.hot_path
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(info.tree):
+            if not isinstance(node, (ast.For, ast.While)):
+                continue
+            func = info.enclosing_function(node)
+            if any(
+                _is_warp_function(anc)
+                for anc in [node, *info.ancestors(node)]
+            ):
+                continue
+            where = f"function {func.name!r}" if func else "module scope"
+            yield self.finding(
+                info,
+                node,
+                f"{_loop_label(node)} in {where} of a hot-path file; "
+                "vectorize it or justify with an allow pragma",
+            )

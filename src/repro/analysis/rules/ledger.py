@@ -1,0 +1,83 @@
+"""``uncharged-kernel``: kernel charges must land in a priced scope.
+
+The cost model only converts warp instructions and memory transactions
+into device-seconds for work recorded inside a ``ledger.kernel(...)``
+scope — that is where the compute/memory overlap pricing happens.
+Charges made outside a scope still increment the raw counters, so the
+perf gate's counter comparison passes while the *time* silently reads
+zero.  This rule catches the mistake statically in the kernel layers
+(``core/`` and ``partition/``): any ``charge_wavefront``,
+``charge_irregular_warps``, ``charge_instructions`` or
+``charge_transactions`` call must be lexically inside a ``with
+...kernel(...)`` block.
+
+Host-side and transfer charges (``charge_host_seconds``,
+``charge_pcie_bytes``, ``charge_atomics``) are priced independently of
+kernel scopes and are deliberately not checked.  A charge made by a
+helper that is only ever *called* from inside a scope is a false
+positive — suppress it with an allow pragma naming the caller.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.lintcore import Finding, LintRule, ModuleInfo
+
+_SCOPED_CHARGES = {
+    "charge_wavefront",
+    "charge_irregular_warps",
+    "charge_instructions",
+    "charge_transactions",
+}
+
+
+def _with_opens_kernel_scope(node: ast.With) -> bool:
+    for item in node.items:
+        expr = item.context_expr
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr == "kernel"
+        ):
+            return True
+    return False
+
+
+class UnchargedKernelRule(LintRule):
+    """Flag kernel-cost charges outside a ``ledger.kernel`` scope."""
+
+    id = "uncharged-kernel"
+
+    def applies_to(self, info: ModuleInfo) -> bool:
+        posix = Path(info.path).as_posix()
+        return "/partition/" in posix or "/core/" in posix
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SCOPED_CHARGES
+            ):
+                continue
+            if any(
+                isinstance(anc, ast.With) and _with_opens_kernel_scope(anc)
+                for anc in info.ancestors(node)
+            ):
+                continue
+            enclosing = info.enclosing_function(node)
+            scope = (
+                f"function {enclosing.name!r}" if enclosing else "module scope"
+            )
+            yield self.finding(
+                info,
+                node,
+                f"{func.attr} call in {scope} is not inside a "
+                "ledger.kernel(...) scope, so it will never be priced "
+                "into device-seconds",
+            )

@@ -1,0 +1,101 @@
+"""``set-iter-order``: no hash-order-dependent iteration in kernels.
+
+Partitioning results must be identical run to run (the determinism
+digest in :mod:`repro.analysis.shadow` checks the dynamic side).  On
+the static side, iterating a ``set``/``frozenset`` — or materializing
+one with ``list(set(...))`` — visits elements in hash order, which for
+strings varies per process unless ``PYTHONHASHSEED`` is pinned.  In
+``partition/`` and ``core/`` that ordering can leak into tie-breaking
+and therefore into the produced partition.  ``sorted(set(...))`` is the
+sanctioned spelling.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.lintcore import Finding, LintRule, ModuleInfo
+
+_SET_CONSTRUCTORS = {"set", "frozenset"}
+#: Set methods returning sets; iterating their result is order-dependent.
+_SET_COMBINATORS = {
+    "difference", "intersection", "symmetric_difference", "union",
+}
+_MATERIALIZERS = {"list", "tuple", "enumerate", "iter", "next"}
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _SET_CONSTRUCTORS:
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _SET_COMBINATORS:
+            # ``a.union(b)`` only returns a set when ``a`` is one; without
+            # type inference this is a heuristic, but these method names
+            # are set vocabulary throughout this repo.
+            return True
+    return False
+
+
+def _describe(node: ast.AST) -> str:
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            return f"{func.id}(...)"
+        if isinstance(func, ast.Attribute):
+            return f".{func.attr}(...)"
+    return "a set expression"
+
+
+class SetIterOrderRule(LintRule):
+    """Flag direct iteration/materialization of set expressions."""
+
+    id = "set-iter-order"
+
+    def applies_to(self, info: ModuleInfo) -> bool:
+        posix = Path(info.path).as_posix()
+        return "/partition/" in posix or "/core/" in posix
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.For) and _is_set_expression(node.iter):
+                yield self._finding(info, node, node.iter, "for loop")
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for gen in node.generators:
+                    if _is_set_expression(gen.iter):
+                        yield self._finding(
+                            info, node, gen.iter, "comprehension"
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in _MATERIALIZERS
+                    and node.args
+                    and _is_set_expression(node.args[0])
+                ):
+                    yield self._finding(
+                        info, node, node.args[0], f"{func.id}(...)"
+                    )
+
+    def _finding(
+        self, info: ModuleInfo, node: ast.AST, iterable: ast.AST, where: str
+    ) -> Finding:
+        func = info.enclosing_function(node)
+        scope = f"function {func.name!r}" if func else "module scope"
+        return self.finding(
+            info,
+            node,
+            f"{where} in {scope} iterates {_describe(iterable)} in hash "
+            "order; wrap it in sorted() to fix the order",
+        )

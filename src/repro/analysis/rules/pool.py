@@ -1,0 +1,89 @@
+"""``untracked-pool-write``: bucket-pool mutation goes through the undo log.
+
+PR 3 made batch application transactional: every mutation of the bucket
+pool's device arrays is preceded by an undo-log record so a failed
+batch can roll back to a bit-identical state.  A write that skips the
+log works fine until the first mid-batch fault, then corrupts the
+quarantine-and-retry path — the chaos gate only probes the fault points
+it knows about.
+
+This rule requires any subscript assignment to the pool arrays
+(``.bucket_list``/``.slot_wgt`` for slot data,
+``.vertex_status``/``.vwgt`` for vertex metadata) to appear in a
+function that also arms the log (calls ``begin_undo`` or the matching
+``_undo_slots``/``_undo_status``/``_undo_vertex_meta`` recorder).  The
+pool implementation itself (``graph/bucketlist.py``, where the
+recorders live and construction writes predate the log) and the
+transaction engine (``core/transaction.py``, which *replays* undo
+records) are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.lintcore import Finding, LintRule, ModuleInfo
+
+_SLOT_ATTRS = {"bucket_list", "slot_wgt"}
+_STATUS_ATTRS = {"vertex_status", "vwgt"}
+_SLOT_UNDO = {"_undo_slots", "begin_undo"}
+_STATUS_UNDO = {"_undo_status", "_undo_vertex_meta", "begin_undo"}
+_EXEMPT_SUFFIXES = ("graph/bucketlist.py", "core/transaction.py")
+
+
+def _assigned_pool_attrs(node: ast.AST) -> Iterator[tuple[str, ast.AST]]:
+    """Yield (attr, target) for pool-array subscript assignment targets."""
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    for target in targets:
+        if isinstance(target, ast.Subscript) and isinstance(
+            target.value, ast.Attribute
+        ):
+            attr = target.value.attr
+            if attr in _SLOT_ATTRS | _STATUS_ATTRS:
+                yield attr, target
+
+
+def _called_names(func: ast.AST) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            callee = node.func
+            if isinstance(callee, ast.Attribute):
+                names.add(callee.attr)
+            elif isinstance(callee, ast.Name):
+                names.add(callee.id)
+    return names
+
+
+class UntrackedPoolWriteRule(LintRule):
+    """Flag pool-array writes in functions that never arm the undo log."""
+
+    id = "untracked-pool-write"
+
+    def applies_to(self, info: ModuleInfo) -> bool:
+        posix = Path(info.path).as_posix()
+        return not posix.endswith(_EXEMPT_SUFFIXES)
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(info.tree):
+            for attr, _target in _assigned_pool_attrs(node):
+                required = _SLOT_UNDO if attr in _SLOT_ATTRS else _STATUS_UNDO
+                func = info.enclosing_function(node)
+                if func is not None and _called_names(func) & required:
+                    continue
+                scope = (
+                    f"function {func.name!r}" if func else "module scope"
+                )
+                wanted = "/".join(sorted(required))
+                yield self.finding(
+                    info,
+                    node,
+                    f"write to .{attr} in {scope} without arming the undo "
+                    f"log (no {wanted} call in the function)",
+                )

@@ -1,0 +1,98 @@
+"""``unseeded-rng``: all randomness flows through explicit seeds.
+
+The reproduction's whole value is bit-identical reruns; the perf and
+chaos gates both compare against recorded expectations.  The
+process-global generators (``np.random.*`` module functions,
+``random.*`` module functions) and generator constructors called
+without a seed break that silently.  ``repro.utils.seeding`` is the
+one sanctioned wrapper and is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.lintcore import Finding, LintRule, ModuleInfo
+
+_NUMPY_ALIASES = {"np", "numpy"}
+#: ``random`` module functions that consult the hidden global state.
+_STDLIB_GLOBAL_FNS = {
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+    "randbytes", "randint", "random", "randrange", "sample", "seed",
+    "shuffle", "triangular", "uniform", "vonmisesvariate", "weibullvariate",
+}
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """Render ``a.b.c`` attribute chains; None for anything fancier."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _has_seed_argument(call: ast.Call) -> bool:
+    return bool(call.args) or any(
+        kw.arg in (None, "seed") for kw in call.keywords
+    )
+
+
+class UnseededRngRule(LintRule):
+    """Flag global-state RNG use and seedless generator construction."""
+
+    id = "unseeded-rng"
+
+    def applies_to(self, info: ModuleInfo) -> bool:
+        return not Path(info.path).as_posix().endswith("utils/seeding.py")
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted(node.func)
+            if name is None:
+                continue
+            message = self._classify(name, node)
+            if message is not None:
+                yield self.finding(info, node, message)
+
+    def _classify(self, name: str, call: ast.Call) -> str | None:
+        head, _, rest = name.partition(".")
+        if head in _NUMPY_ALIASES and rest.startswith("random."):
+            fn = rest.removeprefix("random.")
+            if fn == "default_rng":
+                if _has_seed_argument(call):
+                    return None
+                return (
+                    "np.random.default_rng() without a seed; pass an "
+                    "explicit seed (see repro.utils.seeding)"
+                )
+            if fn in ("Generator", "SeedSequence", "PCG64", "Philox"):
+                return None
+            return (
+                f"np.random.{fn} uses the process-global RNG; construct a "
+                "seeded Generator via repro.utils.seeding instead"
+            )
+        if name == "default_rng" and not _has_seed_argument(call):
+            return (
+                "default_rng() without a seed; pass an explicit seed "
+                "(see repro.utils.seeding)"
+            )
+        if head == "random":
+            if rest in _STDLIB_GLOBAL_FNS:
+                return (
+                    f"random.{rest} uses the process-global RNG; use a "
+                    "seeded random.Random or numpy Generator instead"
+                )
+            if rest in ("Random", "SystemRandom") and not _has_seed_argument(
+                call
+            ):
+                return f"random.{rest}() constructed without a seed"
+        return None

@@ -18,6 +18,7 @@ The scattered pseudo vertices are aggregated into the centralized
 vertex-ID order, then ripple adds) is preserved because the refinement
 kernel's tie-breaking depends on it.
 """
+# repro-lint: hot-path
 
 from __future__ import annotations
 
@@ -85,6 +86,7 @@ def balance_partition(
         # order-free and scatter into ``affected`` in one shot.
         endpoints: List[int] = []
         n_activations = 0
+        # repro-lint: allow[hot-path-loop] modifier-order semantics require a sequential host loop
         for op in ops:
             if isinstance(op, VertexActivate):
                 # The (re-)inserted vertex may carry a new weight; the

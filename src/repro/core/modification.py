@@ -356,7 +356,15 @@ def apply_ops_warp(
         except ModifierError as err:
             raise _annotate(err, index) from None
 
-    launch_warps(ctx, list(ops), body, name="apply-modifiers")
+    # ordered=True: slot ops within a batch are dependent by design —
+    # two inserts on one vertex claim consecutive empty slots, a delete
+    # may target a slot an earlier op filled.  The execution model
+    # serializes ops in batch order (the vector path reproduces that
+    # layout bit-for-bit); a CUDA port must preserve the contract, e.g.
+    # by claiming slots with atomicCAS.  The warp-access sanitizer
+    # therefore exempts this launch from cross-warp conflict checks and
+    # guards it with the access-trace digest instead.
+    launch_warps(ctx, list(ops), body, name="apply-modifiers", ordered=True)
 
 
 # ---------------------------------------------------------------------------

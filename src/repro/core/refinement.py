@@ -23,6 +23,7 @@ Vertices parked in the pseudo-partition are drained in rounds:
 
 Rounds repeat until the pseudo-partition is empty.
 """
+# repro-lint: hot-path
 
 from __future__ import annotations
 
@@ -84,6 +85,7 @@ def refine_pseudo(
     """
     stats = RefineStats()
     buffer = np.asarray(vertex_in_pseudo, dtype=np.int64)
+    # repro-lint: allow[hot-path-loop] round loop bounded by max_rounds, not per-vertex
     while buffer.size and stats.rounds < max_rounds:
         stats.rounds += 1
         with timed("refine.find-moves"):
@@ -97,6 +99,7 @@ def refine_pseudo(
     # Honor the balance bound where possible: the lightest partition
     # *with headroom* wins; only when no partition can absorb the vertex
     # does the global lightest take it.
+    # repro-lint: allow[hot-path-loop] cap-overflow fallback; buffer is empty in normal runs
     for u in buffer:
         w_u = state.vertex_weight(int(u))
         fits = state.part_weights + w_u <= state.w_pmax()

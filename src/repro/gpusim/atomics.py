@@ -2,16 +2,34 @@
 
 The simulator executes warps sequentially, so the operations themselves
 are trivially race-free; what matters is that they (a) return the *old*
-value like the CUDA intrinsics and (b) charge the ledger, because atomic
+value like the CUDA intrinsics, (b) charge the ledger, because atomic
 contention is a real component of kernel cost (e.g. the ``atomicAdd`` on
-``vertex_in_pseudo_size`` in Algorithm 3 serializes across warps).
+``vertex_in_pseudo_size`` in Algorithm 3 serializes across warps), and
+(c) announce themselves to the warp-access sanitizer: accesses made
+inside an ``atomic_*`` count as *mediated*, so concurrent warps updating
+one address through atomics are not reported as races, while the same
+accesses done with plain loads/stores are.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from typing import Iterator
+
 import numpy as np
 
 from repro.gpusim.context import GpuContext
+
+
+@contextmanager
+def _mediated(ctx: GpuContext) -> Iterator[None]:
+    """Mark the enclosed read-modify-write as one atomic operation."""
+    shadow = ctx.shadow
+    if shadow is None:
+        yield
+        return
+    with shadow.atomic_scope():  # type: ignore[attr-defined]
+        yield
 
 
 def atomic_add(
@@ -19,8 +37,9 @@ def atomic_add(
 ) -> object:
     """``atomicAdd``: add ``value`` at ``array[index]``, return the old value."""
     ctx.ledger.charge_atomics(1)
-    old = array[index]
-    array[index] = old + value
+    with _mediated(ctx):
+        old = array[index]
+        array[index] = old + value
     return old
 
 
@@ -29,8 +48,9 @@ def atomic_sub(
 ) -> object:
     """``atomicSub``: subtract ``value`` at ``array[index]``, return old."""
     ctx.ledger.charge_atomics(1)
-    old = array[index]
-    array[index] = old - value
+    with _mediated(ctx):
+        old = array[index]
+        array[index] = old - value
     return old
 
 
@@ -39,9 +59,10 @@ def atomic_max(
 ) -> object:
     """``atomicMax``: store max(old, value), return old."""
     ctx.ledger.charge_atomics(1)
-    old = array[index]
-    if value > old:
-        array[index] = value
+    with _mediated(ctx):
+        old = array[index]
+        if value > old:
+            array[index] = value
     return old
 
 
@@ -50,9 +71,10 @@ def atomic_min(
 ) -> object:
     """``atomicMin``: store min(old, value), return old."""
     ctx.ledger.charge_atomics(1)
-    old = array[index]
-    if value < old:
-        array[index] = value
+    with _mediated(ctx):
+        old = array[index]
+        if value < old:
+            array[index] = value
     return old
 
 
@@ -65,9 +87,10 @@ def atomic_cas(
 ) -> object:
     """``atomicCAS``: conditional swap, returns the old value."""
     ctx.ledger.charge_atomics(1)
-    old = array[index]
-    if old == compare:
-        array[index] = value
+    with _mediated(ctx):
+        old = array[index]
+        if old == compare:
+            array[index] = value
     return old
 
 
@@ -76,6 +99,7 @@ def atomic_exch(
 ) -> object:
     """``atomicExch``: unconditional swap, returns the old value."""
     ctx.ledger.charge_atomics(1)
-    old = array[index]
-    array[index] = value
+    with _mediated(ctx):
+        old = array[index]
+        array[index] = value
     return old

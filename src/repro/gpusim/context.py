@@ -30,6 +30,13 @@ class GpuContext:
         ledger: Operation counters grouped into named sections.
         allocations: Named device-memory allocations (bytes).
         peak_allocated_bytes: High-water mark of device memory in use.
+        shadow: Warp-access sanitizer hook
+            (:class:`repro.analysis.shadow.ShadowTracker`), or ``None``.
+            Always ``None`` outside a
+            :class:`~repro.analysis.shadow.ShadowSession`; the launch
+            framework and the atomics check it with a single attribute
+            read, so disabled runs pay nothing and charge no ledger
+            entries either way.
     """
 
     def __init__(self, device: DeviceSpec = A6000):
@@ -37,6 +44,9 @@ class GpuContext:
         self.ledger = CostLedger(device)
         self.allocations: dict[str, int] = {}
         self.peak_allocated_bytes = 0
+        # Typed loosely to keep gpusim free of an analysis-layer import;
+        # repro.analysis.shadow.ShadowSession is the only writer.
+        self.shadow: "object | None" = None
 
     # -- device memory accounting ---------------------------------------------
 

@@ -14,6 +14,12 @@
 The vectorized kernels in :mod:`repro.core` do not use this module's
 per-warp loop; they charge the identical counts in bulk through
 ``GpuContext.charge_wavefront`` inside a ``ledger.kernel()`` scope.
+
+Sanitizer integration: when ``ctx.shadow`` holds a
+:class:`~repro.analysis.shadow.ShadowTracker`, each launch opens a
+tracker scope and announces the executing warp, so accesses to
+instrumented arrays are attributed ``(kernel, warp)``.  The ``ordered``
+flag is the launch's concurrency contract — see below.
 """
 
 from __future__ import annotations
@@ -30,24 +36,44 @@ def launch_warps(
     work_items: Sequence[object],
     body: Callable[[Warp, object], None],
     name: str = "warp-grid",
+    ordered: bool = False,
 ) -> None:
     """Launch one warp per element of ``work_items``.
 
     ``body(warp, item)`` is executed for each item with a fresh warp.
     All per-warp charges made through the warp (or directly through the
     ledger) are collected and re-priced for parallel execution.
+
+    ``ordered`` declares the launch's concurrency contract to the
+    warp-access sanitizer: ``False`` (the default) claims the warps are
+    order-independent — any cross-warp same-address conflict that is
+    not atomic-mediated is then reported as a race.  ``True`` declares
+    that correctness *depends* on warps executing in work-item order
+    (the simulator guarantees it; a CUDA port must serialize dependent
+    items, e.g. by chaining grids or claiming slots with atomics), so
+    cross-warp conflicts are exempt and the launch's determinism is
+    guarded by its access-trace digest instead.
     """
     ledger = ctx.ledger
-    with ledger.kernel(name):
-        if not len(work_items):
-            return
-        per_warp: list[int] = []
-        for item in work_items:
-            before = ledger.total.warp_instructions
-            warp = Warp(ctx)
-            body(warp, item)
-            per_warp.append(ledger.total.warp_instructions - before)
-        _reprice_for_parallelism(ctx, per_warp)
+    shadow = ctx.shadow
+    if shadow is not None:
+        shadow.begin_launch(name, ordered)
+    try:
+        with ledger.kernel(name):
+            if not len(work_items):
+                return
+            per_warp: list[int] = []
+            for index, item in enumerate(work_items):
+                if shadow is not None:
+                    shadow.begin_warp(index)
+                before = ledger.total.warp_instructions
+                warp = Warp(ctx)
+                body(warp, item)
+                per_warp.append(ledger.total.warp_instructions - before)
+            _reprice_for_parallelism(ctx, per_warp)
+    finally:
+        if shadow is not None:
+            shadow.end_launch()
 
 
 def launch_threads(
@@ -56,22 +82,34 @@ def launch_threads(
     body: Callable[[int, object], None],
     instructions_per_thread: int = 1,
     name: str = "thread-grid",
+    ordered: bool = False,
 ) -> None:
     """Launch one *thread* per work item (e.g. Algorithm 3 lines 25-26).
 
     Threads are grouped into warps of 32 for costing; ``body(i, item)``
-    runs sequentially in the simulator.
+    runs sequentially in the simulator.  The sanitizer sees thread ``i``
+    as lane ``i % 32`` of warp ``i // 32``, and ``ordered`` has the same
+    contract as in :func:`launch_warps`.
     """
     ledger = ctx.ledger
-    with ledger.kernel(name):
-        n = len(work_items)
-        if n == 0:
-            return
-        for i, item in enumerate(work_items):
-            body(i, item)
-        n_warps = math.ceil(n / 32)
-        ctx.charge_wavefront(n_warps, instructions_per_thread)
-        ledger.charge_transactions(n_warps)
+    shadow = ctx.shadow
+    if shadow is not None:
+        shadow.begin_launch(name, ordered)
+    try:
+        with ledger.kernel(name):
+            n = len(work_items)
+            if n == 0:
+                return
+            for i, item in enumerate(work_items):
+                if shadow is not None:
+                    shadow.begin_warp(i // 32)
+                body(i, item)
+            n_warps = math.ceil(n / 32)
+            ctx.charge_wavefront(n_warps, instructions_per_thread)
+            ledger.charge_transactions(n_warps)
+    finally:
+        if shadow is not None:
+            shadow.end_launch()
 
 
 def _reprice_for_parallelism(ctx: GpuContext, per_warp: list[int]) -> None:

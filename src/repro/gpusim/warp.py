@@ -17,6 +17,13 @@ Semantics follow the CUDA C++ Programming Guide:
 * ``any_sync``/``all_sync`` reduce predicates across the mask.
 * ``popc(x)`` counts set bits.
 * ``shfl_sync(mask, value, src_lane)`` broadcasts lane ``src_lane``'s value.
+
+Sanitizer integration: ``load``/``store`` index their target array, so
+when the array is a :class:`~repro.analysis.shadow.ShadowArray` the
+access is recorded with the executing warp automatically.  Collectives
+additionally report their *results* to the tracker — ballot masks decide
+leader election, so hashing them makes the per-launch trace digest
+sensitive to control-flow nondeterminism, not just memory addresses.
 """
 
 from __future__ import annotations
@@ -58,6 +65,12 @@ class Warp:
         self.ctx.ledger.charge_instructions(instructions)
         self.ctx.ledger.charge_transactions(transactions)
 
+    def _note_collective(self, kind: str, value: object) -> None:
+        """Report a collective's result to the warp-access sanitizer."""
+        shadow = self.ctx.shadow
+        if shadow is not None:
+            shadow.record_collective(kind, value)
+
     def load(self, array: np.ndarray, indices: np.ndarray) -> np.ndarray:
         """Warp-wide gather ``array[indices]`` with memory-transaction cost.
 
@@ -95,32 +108,41 @@ class Warp:
         for lane in range(WARP_SIZE):
             if (mask >> lane) & 1 and pred[lane]:
                 bits |= 1 << lane
+        self._note_collective("ballot", bits)
         return bits
 
     def any_sync(self, mask: int, predicate: np.ndarray) -> bool:
         """``__any_sync``: true iff any in-mask lane's predicate holds."""
         self.charge()
         pred = np.asarray(predicate, dtype=bool)
+        result = False
         for lane in range(WARP_SIZE):
             if (mask >> lane) & 1 and pred[lane]:
-                return True
-        return False
+                result = True
+                break
+        self._note_collective("any", result)
+        return result
 
     def all_sync(self, mask: int, predicate: np.ndarray) -> bool:
         """``__all_sync``: true iff every in-mask lane's predicate holds."""
         self.charge()
         pred = np.asarray(predicate, dtype=bool)
+        result = True
         for lane in range(WARP_SIZE):
             if (mask >> lane) & 1 and not pred[lane]:
-                return False
-        return True
+                result = False
+                break
+        self._note_collective("all", result)
+        return result
 
     def shfl_sync(self, mask: int, values: np.ndarray, src_lane: int) -> object:
         """``__shfl_sync``: broadcast lane ``src_lane``'s value to the warp."""
         self.charge()
         if not 0 <= src_lane < WARP_SIZE:
             raise ValueError(f"src_lane {src_lane} out of range")
-        return np.asarray(values)[src_lane]
+        result = np.asarray(values)[src_lane]
+        self._note_collective("shfl", result)
+        return result
 
     def reduce_min_sync(self, mask: int, values: np.ndarray) -> object:
         """Warp-wide min reduction (``__reduce_min_sync`` on sm_80+).
@@ -130,11 +152,15 @@ class Warp:
         self.charge(instructions=5)
         vals = np.asarray(values)
         active = [lane for lane in range(WARP_SIZE) if (mask >> lane) & 1]
-        return vals[active].min()
+        result = vals[active].min()
+        self._note_collective("reduce_min", result)
+        return result
 
     def reduce_add_sync(self, mask: int, values: np.ndarray) -> object:
         """Warp-wide sum reduction via shuffle butterfly (5 steps)."""
         self.charge(instructions=5)
         vals = np.asarray(values)
         active = [lane for lane in range(WARP_SIZE) if (mask >> lane) & 1]
-        return vals[active].sum()
+        result = vals[active].sum()
+        self._note_collective("reduce_add", result)
+        return result

@@ -57,7 +57,7 @@ class GraphUndoLog:
 
     __slots__ = ("graph", "entries", "slot_writes")
 
-    def __init__(self, graph: "BucketListGraph"):
+    def __init__(self, graph: "BucketListGraph") -> None:
         self.graph = graph
         #: Reverse-ordered tuples; first element is the entry kind.
         self.entries: list[tuple] = []
@@ -65,7 +65,7 @@ class GraphUndoLog:
         #: fault-injection probe counter).
         self.slot_writes = 0
 
-    def note_slots(self, idx) -> None:
+    def note_slots(self, idx: "int | np.integer | np.ndarray") -> None:
         """Record ``bucket_list`` / ``slot_wgt`` pre-images for ``idx``
         (a scalar slot position or an int64 array of positions)."""
         g = self.graph
@@ -174,7 +174,7 @@ class BucketListGraph:
         capacity: int,
         pool_buckets: int,
         gamma: int = 1,
-    ):
+    ) -> None:
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         if pool_buckets <= 0:
@@ -407,7 +407,7 @@ class BucketListGraph:
         log.rollback()
         return log
 
-    def _undo_slots(self, idx) -> None:
+    def _undo_slots(self, idx: "int | np.integer | np.ndarray") -> None:
         """Hook: record slot pre-images before overwriting ``idx``.
 
         When a write probe is installed (fault injection), it fires

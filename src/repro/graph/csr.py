@@ -16,6 +16,7 @@ the CPU and re-uploads it each iteration (see
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -120,7 +121,7 @@ class CSRGraph:
         return cls.from_edges(n, edges, weights, vertex_weights)
 
     @classmethod
-    def from_networkx(cls, nxg) -> "CSRGraph":
+    def from_networkx(cls, nxg: "Any") -> "CSRGraph":
         """Build from a ``networkx.Graph``.
 
         Node labels must be integers 0..n-1 (relabel with
@@ -154,7 +155,7 @@ class CSRGraph:
             n, edges, np.array(weights, dtype=np.int64), vwgt
         )
 
-    def to_networkx(self):
+    def to_networkx(self) -> "Any":
         """Export as a ``networkx.Graph`` with weight attributes."""
         import networkx as nx
 

@@ -298,7 +298,7 @@ class HostGraph:
         self,
         num_vertices: int,
         vertex_weights: np.ndarray | None = None,
-    ):
+    ) -> None:
         self.adj: Dict[int, Dict[int, int]] = {
             u: {} for u in range(num_vertices)
         }
@@ -389,6 +389,7 @@ class HostGraph:
                 )
             self.adj[u] = {}
         self.active[u] = True
+        # repro-lint: allow[untracked-pool-write] host-side dict mirror, not the device pool
         self.vwgt[u] = weight
         self.adj[u].clear()
 

@@ -46,7 +46,9 @@ class ModifierError(ReproError):
     a poison modifier without bisecting.
     """
 
-    def __init__(self, message: str, modifier_index: "int | None" = None):
+    def __init__(
+        self, message: str, modifier_index: "int | None" = None
+    ) -> None:
         super().__init__(message)
         self.modifier_index = modifier_index
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
@@ -57,7 +57,7 @@ class InjectedAbort(ModifierError):
 class FaultInjector:
     """Seeded source of every supported fault class."""
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0) -> None:
         self.seed = seed
         self.rng = np.random.default_rng(seed)
 
@@ -125,7 +125,7 @@ class FaultInjector:
     @contextmanager
     def pool_exhaustion(
         self, graph: BucketListGraph, spare_buckets: int = 0
-    ):
+    ) -> "Iterator[BucketListGraph]":
         """Temporarily shrink the bucket pool to its current fill.
 
         Any allocation needing more than ``spare_buckets`` extra
@@ -144,7 +144,9 @@ class FaultInjector:
             graph.pool_buckets = original
 
     @contextmanager
-    def kernel_abort(self, graph: BucketListGraph, after_writes: int):
+    def kernel_abort(
+        self, graph: BucketListGraph, after_writes: int
+    ) -> "Iterator[BucketListGraph]":
         """Raise :class:`InjectedAbort` once ``after_writes`` slot-write
         units have been logged inside the current batch.
 

@@ -1,0 +1,61 @@
+"""Baseline diff logic: absorb counts, expose extras, report stale."""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.lintcore import Finding
+
+
+def _f(rule="r", path="p.py", line=1, message="m"):
+    return Finding(rule=rule, path=path, line=line, message=message)
+
+
+class TestFilter:
+    def test_baselined_finding_absorbed(self):
+        baseline = Baseline.from_findings([_f()])
+        new, stale = baseline.filter([_f(line=99)])  # line moved: still same key
+        assert new == []
+        assert stale == []
+
+    def test_extra_occurrence_is_new(self):
+        baseline = Baseline.from_findings([_f()])
+        new, stale = baseline.filter([_f(line=1), _f(line=2)])
+        assert len(new) == 1
+        assert stale == []
+
+    def test_unmatched_entry_reported_stale(self):
+        baseline = Baseline.from_findings([_f(), _f(message="other")])
+        new, stale = baseline.filter([_f()])
+        assert new == []
+        assert len(stale) == 1
+        assert "other" in stale[0]
+
+    def test_empty_baseline_passes_everything_through(self):
+        new, stale = Baseline().filter([_f(), _f(rule="q")])
+        assert len(new) == 2
+        assert stale == []
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        original = Baseline.from_findings([_f(), _f(), _f(rule="q")])
+        original.save(path)
+        loaded = Baseline.load(path)
+        assert loaded.entries.keys() == original.entries.keys()
+        assert loaded.entries[("r", "p.py", "m")].count == 2
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert Baseline.load(tmp_path / "absent.json").entries == {}
+
+    def test_update_preserves_reasons(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        first = Baseline.from_findings([_f()])
+        first.entries[("r", "p.py", "m")].reason = "grandfathered: reviewed"
+        first.save(path)
+        regenerated = Baseline.from_findings(
+            [_f(), _f(rule="q")], reasons=Baseline.load(path).reasons
+        )
+        assert (
+            regenerated.entries[("r", "p.py", "m")].reason
+            == "grandfathered: reviewed"
+        )
+        assert regenerated.entries[("q", "p.py", "m")].reason == "TODO: justify"

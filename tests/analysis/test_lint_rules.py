@@ -1,0 +1,393 @@
+"""Golden-finding tests: one fixture snippet per lint rule.
+
+Each snippet is written to a path that matches the rule's scope (the
+pool/ordering/ledger rules are path-scoped) and linted in isolation;
+the expected findings are asserted by rule id and message fragment.
+"""
+
+import textwrap
+
+from repro.analysis.lintcore import lint_paths, load_module
+from repro.analysis.rules import ALL_RULES, get_rules
+
+
+def _lint_snippet(tmp_path, relpath, code, rules=None):
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(code))
+    return lint_paths([target], get_rules(rules) if rules else list(ALL_RULES))
+
+
+class TestHotPathLoop:
+    def test_loop_in_marked_file_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/core/hot.py",
+            """
+            # repro-lint: hot-path
+            def drain(buffer):
+                for u in buffer:
+                    buffer.remove(u)
+            """,
+        )
+        assert [f.rule for f in findings] == ["hot-path-loop"]
+        assert "'u'" in findings[0].message
+
+    def test_unmarked_file_exempt(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/core/cold.py",
+            """
+            def drain(buffer):
+                for u in buffer:
+                    pass
+            """,
+        )
+        assert findings == []
+
+    def test_warp_body_exempt(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/core/hot.py",
+            """
+            # repro-lint: hot-path
+            def kernel(items):
+                def body(warp, item):
+                    while item:
+                        item -= 1
+                return body
+            """,
+        )
+        assert findings == []
+
+    def test_allow_pragma_with_reason(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/core/hot.py",
+            """
+            # repro-lint: hot-path
+            def drain(rounds):
+                # repro-lint: allow[hot-path-loop] bounded round loop
+                while rounds:
+                    rounds -= 1
+            """,
+        )
+        assert findings == []
+
+    def test_allow_pragma_without_reason_is_reported(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/core/hot.py",
+            """
+            # repro-lint: hot-path
+            def drain(rounds):
+                # repro-lint: allow[hot-path-loop]
+                while rounds:
+                    rounds -= 1
+            """,
+        )
+        rules = sorted(f.rule for f in findings)
+        assert rules == ["bad-pragma", "hot-path-loop"]
+
+
+class TestUnseededRng:
+    def test_global_numpy_rng_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/eval/x.py",
+            """
+            import numpy as np
+            def jitter():
+                return np.random.rand(3)
+            """,
+        )
+        assert [f.rule for f in findings] == ["unseeded-rng"]
+        assert "np.random.rand" in findings[0].message
+
+    def test_seedless_default_rng_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/eval/x.py",
+            """
+            import numpy as np
+            rng = np.random.default_rng()
+            """,
+        )
+        assert [f.rule for f in findings] == ["unseeded-rng"]
+
+    def test_seeded_default_rng_clean(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/eval/x.py",
+            """
+            import numpy as np
+            def make(seed):
+                return np.random.default_rng(seed), np.random.default_rng(seed=3)
+            """,
+        )
+        assert findings == []
+
+    def test_stdlib_global_rng_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/eval/x.py",
+            """
+            import random
+            def pick(xs):
+                return random.choice(xs)
+            """,
+        )
+        assert [f.rule for f in findings] == ["unseeded-rng"]
+
+    def test_seeded_random_instance_clean(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/eval/x.py",
+            """
+            import random
+            def pick(xs, seed):
+                return random.Random(seed).choice(xs)
+            """,
+        )
+        assert findings == []
+
+    def test_seeding_module_exempt(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/utils/seeding.py",
+            """
+            import numpy as np
+            def fresh():
+                return np.random.default_rng()
+            """,
+        )
+        assert findings == []
+
+
+class TestSetIterOrder:
+    def test_for_over_set_call_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/core/x.py",
+            """
+            def visit(vertices):
+                for v in set(vertices):
+                    print(v)
+            """,
+        )
+        assert [f.rule for f in findings] == ["set-iter-order"]
+        assert "sorted()" in findings[0].message
+
+    def test_list_of_set_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/partition/x.py",
+            """
+            def order(vertices):
+                return list({v for v in vertices})
+            """,
+        )
+        assert [f.rule for f in findings] == ["set-iter-order"]
+
+    def test_sorted_set_clean(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/core/x.py",
+            """
+            def visit(vertices):
+                for v in sorted(set(vertices)):
+                    print(v)
+                return sorted({1, 2})
+            """,
+        )
+        assert findings == []
+
+    def test_rule_scoped_to_partition_and_core(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/eval/x.py",
+            """
+            def visit(vertices):
+                for v in set(vertices):
+                    print(v)
+            """,
+        )
+        assert findings == []
+
+
+class TestUnchargedKernel:
+    def test_charge_outside_scope_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/core/x.py",
+            """
+            def kernel(ctx, n):
+                ctx.charge_wavefront(n, 5)
+            """,
+        )
+        assert [f.rule for f in findings] == ["uncharged-kernel"]
+        assert "never be priced" in findings[0].message
+
+    def test_charge_inside_scope_clean(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/core/x.py",
+            """
+            def kernel(ctx, n):
+                with ctx.ledger.kernel("k"):
+                    ctx.charge_wavefront(n, 5)
+                    ctx.ledger.charge_transactions(n)
+            """,
+        )
+        assert findings == []
+
+    def test_rule_scoped_to_kernel_layers(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/gpusim/x.py",
+            """
+            def helper(ledger, n):
+                ledger.charge_instructions(n)
+            """,
+        )
+        assert findings == []
+
+
+class TestUntrackedPoolWrite:
+    def test_slot_write_without_undo_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/core/x.py",
+            """
+            def clobber(graph, idx, value):
+                graph.bucket_list[idx] = value
+            """,
+        )
+        assert [f.rule for f in findings] == ["untracked-pool-write"]
+        assert ".bucket_list" in findings[0].message
+
+    def test_slot_write_with_undo_clean(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/core/x.py",
+            """
+            def mutate(graph, idx, value):
+                graph._undo_slots(idx)
+                graph.bucket_list[idx] = value
+                graph.slot_wgt[idx] = value
+            """,
+        )
+        assert findings == []
+
+    def test_status_write_requires_status_undo(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/core/x.py",
+            """
+            def toggle(graph, u):
+                graph._undo_slots(u)  # wrong recorder for vertex_status
+                graph.vertex_status[u] = 1
+            """,
+        )
+        assert [f.rule for f in findings] == ["untracked-pool-write"]
+
+    def test_begin_undo_covers_both_families(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/core/x.py",
+            """
+            def txn(graph, u, idx):
+                graph.begin_undo()
+                graph.vertex_status[u] = 1
+                graph.bucket_list[idx] = u
+            """,
+        )
+        assert findings == []
+
+    def test_pool_implementation_exempt(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/graph/bucketlist.py",
+            """
+            def from_csr(graph, idx, value):
+                graph.bucket_list[idx] = value
+            """,
+        )
+        assert findings == []
+
+
+class TestBlindExcept:
+    def test_bare_except_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/eval/x.py",
+            """
+            def risky():
+                try:
+                    return 1
+                except:
+                    return 0
+            """,
+        )
+        assert [f.rule for f in findings] == ["blind-except"]
+        assert "bare except" in findings[0].message
+
+    def test_silent_broad_except_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/eval/x.py",
+            """
+            def risky():
+                try:
+                    return 1
+                except Exception:
+                    pass
+            """,
+        )
+        assert [f.rule for f in findings] == ["blind-except"]
+        assert "swallows" in findings[0].message
+
+    def test_handled_broad_except_clean(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/eval/x.py",
+            """
+            def risky(log):
+                try:
+                    return 1
+                except Exception as exc:
+                    log.warning("failed: %s", exc)
+                    raise
+            """,
+        )
+        assert findings == []
+
+    def test_narrow_silent_except_clean(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/eval/x.py",
+            """
+            def probe(path):
+                try:
+                    return path.read_text()
+                except FileNotFoundError:
+                    pass
+            """,
+        )
+        assert findings == []
+
+
+class TestFramework:
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        findings = _lint_snippet(tmp_path, "src/x.py", "def broken(:\n")
+        assert [f.rule for f in findings] == ["syntax-error"]
+
+    def test_hot_path_marker_detected(self, tmp_path):
+        target = tmp_path / "m.py"
+        target.write_text('"""Doc."""\n# repro-lint: hot-path\nx = 1\n')
+        assert load_module(target).hot_path
+
+    def test_rule_ids_unique_and_kebab(self):
+        ids = [rule.id for rule in ALL_RULES]
+        assert len(ids) == len(set(ids)) == 6
+        assert all(i == i.lower() and " " not in i for i in ids)

@@ -1,0 +1,170 @@
+"""Static-analysis and sanitizer gate — the third leg of ``make check``.
+
+Four stages, each independently pass/fail:
+
+1. **Lint** — run the ``repro-lint`` rule pack over ``src``, ``tools``,
+   ``benchmarks`` and ``examples`` (NOT ``tests`` — lint fixtures there
+   violate rules on purpose) and subtract the checked-in baseline
+   ``tools/analysis_baseline.json``.  Any new finding, or any stale
+   baseline entry, fails.
+2. **Sanitizer self-test** — the deliberately racy fixture kernels must
+   be flagged (a silent sanitizer would let stage 3 pass vacuously) and
+   the clean fixture must produce zero findings (no false positives).
+3. **Sanitized sweep** — the seeded bench_common workload runs under
+   shadow-memory mode twice; zero race findings and bit-identical
+   access-trace digests are required.
+4. **Third-party tools** — ``ruff check`` and ``mypy`` run when the
+   executables exist; when they are not installed the stage is skipped
+   with a notice (the container does not ship them), never failed.
+
+Usage::
+
+    python tools/analysis_gate.py            # run all stages
+    python tools/analysis_gate.py --skip-external
+
+Exit status 0 = pass, 1 = any stage failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import (  # noqa: E402
+    Baseline,
+    Finding,
+    get_rules,
+    lint_paths,
+)
+from repro.analysis.fixtures import (  # noqa: E402
+    run_clean_kernel,
+    run_intra_warp_racy_kernel,
+    run_racy_kernel,
+)
+from repro.analysis.sweep import check_determinism  # noqa: E402
+
+LINT_TARGETS = ("src", "tools", "benchmarks", "examples")
+BASELINE_PATH = REPO_ROOT / "tools" / "analysis_baseline.json"
+
+
+def stage_lint() -> list[str]:
+    targets = [REPO_ROOT / t for t in LINT_TARGETS if (REPO_ROOT / t).exists()]
+    baseline = Baseline.load(BASELINE_PATH)
+    # Baseline keys are repo-relative; lint_paths reports the paths it
+    # was given, so relativize before filtering.
+    findings = [
+        Finding(
+            rule=f.rule,
+            path=Path(f.path).resolve().relative_to(REPO_ROOT).as_posix(),
+            line=f.line,
+            message=f.message,
+        )
+        for f in lint_paths(targets, get_rules())
+    ]
+    new, stale = baseline.filter(findings)
+    failures = [f"new lint finding: {f}" for f in new]
+    failures.extend(f"stale baseline entry: {s}" for s in stale)
+    return failures
+
+
+def stage_selftest() -> list[str]:
+    failures: list[str] = []
+    racy = run_racy_kernel()
+    if racy.n_conflicts == 0:
+        failures.append(
+            "sanitizer self-test: the racy fixture kernel was NOT flagged"
+        )
+    intra = run_intra_warp_racy_kernel()
+    if not any(f.kind == "intra-warp-write" for f in intra.findings):
+        failures.append(
+            "sanitizer self-test: the intra-warp scatter fixture was "
+            "NOT flagged"
+        )
+    clean = run_clean_kernel()
+    if clean.n_conflicts:
+        failures.append(
+            "sanitizer self-test: the clean fixture kernel produced "
+            f"{clean.n_conflicts} false positive(s): "
+            + "; ".join(str(f) for f in clean.findings[:3])
+        )
+    return failures
+
+
+def stage_sweep() -> list[str]:
+    report, problems = check_determinism()
+    failures = [f"sanitized sweep determinism: {p}" for p in problems]
+    if not report.clean:
+        failures.append(
+            f"sanitized sweep found {report.n_conflicts} race(s): "
+            + "; ".join(str(f) for f in report.findings[:5])
+        )
+    return failures
+
+
+def stage_external() -> tuple[list[str], list[str]]:
+    """Run ruff/mypy when available.  Returns (failures, notices)."""
+    failures: list[str] = []
+    notices: list[str] = []
+    commands = {
+        "ruff": ["ruff", "check", "src", "tools", "benchmarks"],
+        "mypy": ["mypy", "--config-file", "pyproject.toml"],
+    }
+    for tool, cmd in commands.items():
+        if shutil.which(tool) is None:
+            notices.append(f"{tool} not installed; skipping (config-only)")
+            continue
+        proc = subprocess.run(
+            cmd, cwd=REPO_ROOT, capture_output=True, text=True
+        )
+        if proc.returncode != 0:
+            tail = (proc.stdout + proc.stderr).strip().splitlines()[-15:]
+            failures.append(f"{tool} failed:\n  " + "\n  ".join(tail))
+    return failures, notices
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--skip-external",
+        action="store_true",
+        help="skip the ruff/mypy stage even when the tools are installed",
+    )
+    args = parser.parse_args(argv)
+
+    stages: list[tuple[str, list[str]]] = [
+        ("lint", stage_lint()),
+        ("sanitizer self-test", stage_selftest()),
+        ("sanitized sweep", stage_sweep()),
+    ]
+    notices: list[str] = []
+    if args.skip_external:
+        notices.append("external tools skipped (--skip-external)")
+    else:
+        ext_failures, ext_notices = stage_external()
+        stages.append(("external tools", ext_failures))
+        notices.extend(ext_notices)
+
+    failed = False
+    for name, failures in stages:
+        if failures:
+            failed = True
+            print(f"analysis gate: {name} FAILED")
+            for failure in failures:
+                print(f"  {failure}")
+        else:
+            print(f"analysis gate: {name} ok")
+    for notice in notices:
+        print(f"analysis gate: note: {notice}")
+    print("analysis gate:", "FAILED" if failed else "PASSED")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
