@@ -4,10 +4,10 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: check test perf-gate chaos-smoke analysis-gate lint chaos bench
+.PHONY: check test perf-gate chaos-smoke analysis-gate obs-gate lint chaos bench
 
-## The pre-merge bar: full test suite + all three deterministic gates.
-check: test perf-gate chaos-smoke analysis-gate
+## The pre-merge bar: full test suite + all four deterministic gates.
+check: test perf-gate chaos-smoke analysis-gate obs-gate
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -20,6 +20,9 @@ chaos-smoke:
 
 analysis-gate:
 	$(PYTHON) tools/analysis_gate.py
+
+obs-gate:
+	$(PYTHON) tools/obs_gate.py
 
 ## Lint only (no sanitizer sweep); fast inner-loop check.
 lint:

@@ -10,10 +10,10 @@ Runs a seeded incremental workload (``seeded_workload``) through
   must stay bit-identical no matter how the host code is reorganized
   (the cost-parity contract; see docs/ARCHITECTURE.md).
 
-Phases are measured in-tree via ``repro.utils.timing`` — the pipeline
-is instrumented with ``timed(...)`` scopes that only collect while a
-``collect_phase_times()`` block is active, so production runs pay no
-overhead.
+Phases are measured in-tree via ``repro.obs`` spans (through the
+``repro.utils.timing`` compat shim) — the pipeline is instrumented
+with ``span(...)`` scopes that only collect while a tracer is active
+(``collect_phase_times()`` block), so production runs pay no overhead.
 
 Usage::
 
@@ -210,6 +210,73 @@ def measure_sanitizer_overhead(
     }
 
 
+def measure_tracing_overhead(
+    n_vertices: int = 400,
+    batches: int = 2,
+    seed: int = 7,
+    k: int = 4,
+    mode: str = "vector",
+) -> dict:
+    """Run the incremental sweep bare and under ``repro.obs`` tracing.
+
+    Same contract as :func:`measure_sanitizer_overhead`, for the
+    tracer: with a tracer active the ledger counters and the computed
+    partition must be *identical* to the bare run (spans observe cost,
+    they never charge it), and the only price is host wall-clock.  The
+    measured ratio is recorded next to ``sanitizer_overhead`` in the
+    smoke bench record, and ``tools/obs_gate.py`` asserts the
+    tracing-*off* path stays unmeasurable.
+    """
+    from repro.obs import Tracer
+
+    def one_run(traced: bool) -> tuple[float, object, int, int]:
+        csr, trace = seeded_workload(n_vertices, batches, seed=seed)
+        ctx = GpuContext()
+        ig = IGKway(csr, PartitionConfig(k=k, mode=mode), ctx=ctx)
+        ig.full_partition()
+        n_events = 0
+        t0 = time.perf_counter()
+        if traced:
+            tracer = Tracer(ledger=ctx.ledger, session="bench")
+            with tracer.activate():
+                for batch in trace:
+                    ig.apply(batch)
+            n_events = len(tracer.events)
+        else:
+            for batch in trace:
+                ig.apply(batch)
+        elapsed = time.perf_counter() - t0
+        return elapsed, ctx.ledger.total, ig.cut_size(), n_events
+
+    bare_seconds, bare_ledger, bare_cut, _ = one_run(traced=False)
+    traced_seconds, traced_ledger, traced_cut, events = one_run(traced=True)
+
+    assert bare_ledger.warp_instructions == traced_ledger.warp_instructions, (
+        "tracer charged the ledger: span attribution must be cost-free"
+    )
+    assert bare_ledger.transactions == traced_ledger.transactions
+    assert bare_ledger.atomic_ops == traced_ledger.atomic_ops
+    assert bare_cut == traced_cut, "tracer changed the computed partition"
+    assert events > 0, "traced sweep produced no span events"
+
+    return {
+        "workload": {
+            "n_vertices": n_vertices,
+            "batches": batches,
+            "seed": seed,
+            "k": k,
+            "mode": mode,
+        },
+        "bare_seconds": bare_seconds,
+        "traced_seconds": traced_seconds,
+        "overhead_ratio": (
+            traced_seconds / bare_seconds if bare_seconds > 0 else 0.0
+        ),
+        "ledger_identical": True,
+        "events": events,
+    }
+
+
 # -- pytest smoke entry -----------------------------------------------------
 
 
@@ -227,6 +294,13 @@ def test_sanitizer_overhead_contracts():
     result = measure_sanitizer_overhead(n_vertices=300, batches=2)
     assert result["ledger_identical"]
     assert result["races"] == 0
+
+
+def test_tracing_overhead_contracts():
+    """An active tracer is ledger-neutral and produces span events."""
+    result = measure_tracing_overhead(n_vertices=300, batches=2)
+    assert result["ledger_identical"]
+    assert result["events"] > 0
 
 
 # -- CLI --------------------------------------------------------------------
@@ -272,6 +346,9 @@ def main(argv: list[str] | None = None) -> int:
         # ledger is untouched by instrumentation and reports the host
         # wall-clock factor of running under the sanitizer.
         record["sanitizer_overhead"] = measure_sanitizer_overhead()
+        # Same contract for the obs tracer: ledger-identical with a
+        # tracer active, overhead visible as a host wall-clock ratio.
+        record["tracing_overhead"] = measure_tracing_overhead()
 
     text = json.dumps(record, indent=2)
     if args.out is not None:

@@ -15,6 +15,9 @@ established in prose:
   mutated with the PR 3 undo log armed.
 * :mod:`exceptions` — ``blind-except``: no bare or silently-swallowed
   broad excepts.
+* :mod:`obs` — ``span-literal``: trace span names are literal strings
+  (they are cross-run aggregation keys), and ``unsorted-dict-export``:
+  export methods never serialize mappings in insertion order.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from repro.analysis.lintcore import LintRule
 from repro.analysis.rules.exceptions import BlindExceptRule
 from repro.analysis.rules.hotpath import HotPathLoopRule
 from repro.analysis.rules.ledger import UnchargedKernelRule
+from repro.analysis.rules.obs import SpanLiteralRule, UnsortedDictExportRule
 from repro.analysis.rules.ordering import SetIterOrderRule
 from repro.analysis.rules.pool import UntrackedPoolWriteRule
 from repro.analysis.rules.rng import UnseededRngRule
@@ -37,6 +41,8 @@ ALL_RULES: tuple[LintRule, ...] = (
     UnchargedKernelRule(),
     UntrackedPoolWriteRule(),
     BlindExceptRule(),
+    SpanLiteralRule(),
+    UnsortedDictExportRule(),
 )
 
 
@@ -56,8 +62,10 @@ __all__ = [
     "BlindExceptRule",
     "HotPathLoopRule",
     "SetIterOrderRule",
+    "SpanLiteralRule",
     "UnchargedKernelRule",
     "UnseededRngRule",
+    "UnsortedDictExportRule",
     "UntrackedPoolWriteRule",
     "get_rules",
 ]

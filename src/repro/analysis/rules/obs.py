@@ -1,0 +1,125 @@
+"""Observability lint rules: ``span-literal`` and ``unsorted-dict-export``.
+
+``span-literal``
+    Trace spans are aggregation keys: ``repro-obs diff`` matches phases
+    *by name* across runs, and the obs gate requires two seeded runs to
+    produce structurally identical traces.  A span name built at run
+    time (f-string, concatenation, variable) fractures the aggregation
+    — every batch becomes its own phase and nothing diffs — so
+    ``obs.span(...)`` / ``timed(...)`` must be called with a literal
+    string.  Varying detail belongs in the ``batch`` correlation field,
+    not the name.
+
+``unsorted-dict-export``
+    Export methods (``as_dict`` / ``as_meta`` / ``to_dict`` /
+    ``as_json``) feed checkpoint blobs and gate baselines that are
+    compared for equality.  ``dict(self.attr)`` copies a mapping in
+    *insertion* order, which depends on event arrival history: two
+    sessions with identical contents can serialize differently (the
+    ``StreamTelemetry.flushes_by_reason`` bug).  The sanctioned
+    spelling is a comprehension over ``sorted(...)`` keys.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lintcore import Finding, LintRule, ModuleInfo
+
+#: Call names that open a trace span (module function or method form).
+_SPAN_CALLEES = {"span", "timed"}
+
+#: Method names whose return value is serialized state.
+_EXPORT_METHODS = {"as_dict", "as_meta", "to_dict", "as_json"}
+
+
+def _span_callee(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Name) and func.id in _SPAN_CALLEES:
+        return func.id
+    if isinstance(func, ast.Attribute) and func.attr in _SPAN_CALLEES:
+        return func.attr
+    return None
+
+
+class SpanLiteralRule(LintRule):
+    """Flag ``span``/``timed`` calls whose name is not a literal string."""
+
+    id = "span-literal"
+
+    def applies_to(self, info: ModuleInfo) -> bool:
+        return True
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = _span_callee(node)
+            if callee is None:
+                continue
+            if not node.args:
+                # Name passed by keyword or missing entirely; the
+                # signature made it positional for a reason.
+                name_kw = next(
+                    (kw.value for kw in node.keywords if kw.arg == "name"),
+                    None,
+                )
+                if name_kw is None or self._is_literal(name_kw):
+                    continue
+                yield self._finding(info, node, callee)
+                continue
+            if not self._is_literal(node.args[0]):
+                yield self._finding(info, node, callee)
+
+    @staticmethod
+    def _is_literal(node: ast.AST) -> bool:
+        return isinstance(node, ast.Constant) and isinstance(
+            node.value, str
+        )
+
+    def _finding(
+        self, info: ModuleInfo, node: ast.Call, callee: str
+    ) -> Finding:
+        func = info.enclosing_function(node)
+        scope = f"function {func.name!r}" if func else "module scope"
+        return self.finding(
+            info,
+            node,
+            f"{callee}(...) in {scope} builds its span name at run "
+            "time; span names are cross-run aggregation keys and must "
+            "be literal strings (put varying detail in batch=)",
+        )
+
+
+class UnsortedDictExportRule(LintRule):
+    """Flag insertion-ordered ``dict(attr)`` copies in export methods."""
+
+    id = "unsorted-dict-export"
+
+    def applies_to(self, info: ModuleInfo) -> bool:
+        return True
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Name) and func.id == "dict"):
+                continue
+            if len(node.args) != 1 or node.keywords:
+                continue
+            arg = node.args[0]
+            if not isinstance(arg, ast.Attribute):
+                continue
+            method = info.enclosing_function(node)
+            if method is None or method.name not in _EXPORT_METHODS:
+                continue
+            yield self.finding(
+                info,
+                node,
+                f"dict(.{arg.attr}) in export method {method.name!r} "
+                "serializes the mapping in insertion order, which "
+                "depends on event history; export a comprehension over "
+                "sorted(...) keys instead",
+            )

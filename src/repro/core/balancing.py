@@ -39,6 +39,7 @@ from repro.core.modification import (
     VertexActivate,
     VertexDeactivate,
 )
+from repro.obs import span
 from repro.partition.metrics import external_internal_degrees
 from repro.partition.state import UNASSIGNED, PartitionState
 
@@ -119,16 +120,17 @@ def balance_partition(
     # ``affected_vertex`` array; gathering the set ones is a stream
     # compaction over the whole array, which is the O(|V|) component of
     # iG-kway's per-iteration cost.
-    _charge_affected_scan(ctx, graph.num_vertices)
-    candidates = np.flatnonzero(affected)
-    candidates = candidates[
-        (candidates < graph.num_vertices)
-        & (graph.vertex_status[candidates] == 1)
-        & (state.partition[candidates] != pseudo_label)
-        & (state.partition[candidates] != UNASSIGNED)
-    ]
-    selected = _filter_ext_gt_int(ctx, graph, state, candidates, mode)
-    filtered_out = candidates.size - selected.size
+    with span("balance.filter-affected"):
+        _charge_affected_scan(ctx, graph.num_vertices)
+        candidates = np.flatnonzero(affected)
+        candidates = candidates[
+            (candidates < graph.num_vertices)
+            & (graph.vertex_status[candidates] == 1)
+            & (state.partition[candidates] != pseudo_label)
+            & (state.partition[candidates] != UNASSIGNED)
+        ]
+        selected = _filter_ext_gt_int(ctx, graph, state, candidates, mode)
+        filtered_out = candidates.size - selected.size
 
     # -- Phase C: deferred partition update (lines 25-26) --------------------
     with ctx.ledger.kernel("update-pseudo"):
@@ -141,25 +143,28 @@ def balance_partition(
     # -- Phase D: one-hop ripple over pseudo neighborhoods -------------------
     ripple_moved = 0
     if buffer:
-        pseudo_now = np.array(buffer, dtype=np.int64)
-        slot_idx, _owner = graph.slot_index_arrays(pseudo_now)
-        nbrs = graph.bucket_list[slot_idx]
-        nbrs = np.unique(nbrs[nbrs != EMPTY])
-        _charge_neighbor_mark(ctx, graph, pseudo_now)
-        nbrs = nbrs[
-            (graph.vertex_status[nbrs] == 1)
-            & (state.partition[nbrs] != pseudo_label)
-            & (state.partition[nbrs] != UNASSIGNED)
-        ]
-        ripple_selected = _filter_ext_gt_int(ctx, graph, state, nbrs, mode)
-        with ctx.ledger.kernel("update-pseudo-ripple"):
-            state.move_many(ripple_selected, pseudo_label)
-            buffer.extend(ripple_selected.tolist())
-            ctx.ledger.charge_atomics(ripple_selected.size)
-            ctx.charge_wavefront(
-                max((ripple_selected.size + 31) // 32, 1), 2, 1
+        with span("balance.ripple"):
+            pseudo_now = np.array(buffer, dtype=np.int64)
+            slot_idx, _owner = graph.slot_index_arrays(pseudo_now)
+            nbrs = graph.bucket_list[slot_idx]
+            nbrs = np.unique(nbrs[nbrs != EMPTY])
+            _charge_neighbor_mark(ctx, graph, pseudo_now)
+            nbrs = nbrs[
+                (graph.vertex_status[nbrs] == 1)
+                & (state.partition[nbrs] != pseudo_label)
+                & (state.partition[nbrs] != UNASSIGNED)
+            ]
+            ripple_selected = _filter_ext_gt_int(
+                ctx, graph, state, nbrs, mode
             )
-        ripple_moved = int(ripple_selected.size)
+            with ctx.ledger.kernel("update-pseudo-ripple"):
+                state.move_many(ripple_selected, pseudo_label)
+                buffer.extend(ripple_selected.tolist())
+                ctx.ledger.charge_atomics(ripple_selected.size)
+                ctx.charge_wavefront(
+                    max((ripple_selected.size + 31) // 32, 1), 2, 1
+                )
+            ripple_moved = int(ripple_selected.size)
 
     stats = BalanceStats(
         affected_marked=affected_marked,

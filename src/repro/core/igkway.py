@@ -44,7 +44,7 @@ from repro.partition.gkway import GKwayPartitioner
 from repro.partition.metrics import cut_size_bucketlist
 from repro.partition.state import UNASSIGNED, PartitionState
 from repro.utils.errors import PartitionError
-from repro.utils.timing import timed
+from repro.obs import span
 
 
 @dataclass
@@ -118,7 +118,7 @@ class IGKway:
         """Run G-kway with constrained coarsening; upload the bucket list."""
         ledger = self.ctx.ledger
         before = ledger.snapshot()
-        with ledger.section("full_partitioning"):
+        with ledger.section("full_partitioning"), span("full-partition"):
             result = GKwayPartitioner(self.config, ctx=self.ctx).partition(
                 self.initial_csr
             )
@@ -183,31 +183,39 @@ class IGKway:
         graph, state = self._require_partitioned()
         ledger = self.ctx.ledger
 
-        before_mod = ledger.snapshot()
-        with ledger.section("modification"), timed("modifiers"):
-            ops = apply_batch(self.ctx, graph, batch, mode=self.config.mode)
-        mod_seconds = ledger.model.seconds(ledger.total.diff(before_mod))
-
-        before_part = ledger.snapshot()
-        with ledger.section("partitioning"):
-            with timed("balance"):
-                buffer, balance_stats = balance_partition(
-                    self.ctx, graph, state, ops, mode=self.config.mode
+        with span("apply.batch"):
+            before_mod = ledger.snapshot()
+            with ledger.section("modification"), span("modifiers"):
+                ops = apply_batch(
+                    self.ctx, graph, batch, mode=self.config.mode
                 )
-            refine_stats = refine_pseudo(
-                self.ctx,
-                graph,
-                state,
-                buffer,
-                mode=self.config.mode,
-                max_rounds=self.config.max_incremental_rounds,
+            mod_seconds = ledger.model.seconds(
+                ledger.total.diff(before_mod)
             )
-            with timed("bookkeeping"):
-                charge_boundary_bookkeeping(self.ctx, graph)
-        part_seconds = ledger.model.seconds(ledger.total.diff(before_part))
 
-        with timed("cut-size"):
-            cut = self.cut_size()
+            before_part = ledger.snapshot()
+            with ledger.section("partitioning"):
+                with span("balance"):
+                    buffer, balance_stats = balance_partition(
+                        self.ctx, graph, state, ops, mode=self.config.mode
+                    )
+                with span("refine"):
+                    refine_stats = refine_pseudo(
+                        self.ctx,
+                        graph,
+                        state,
+                        buffer,
+                        mode=self.config.mode,
+                        max_rounds=self.config.max_incremental_rounds,
+                    )
+                with span("bookkeeping"):
+                    charge_boundary_bookkeeping(self.ctx, graph)
+            part_seconds = ledger.model.seconds(
+                ledger.total.diff(before_part)
+            )
+
+            with span("cut-size"):
+                cut = self.cut_size()
         self.iterations_applied += 1
         return IterationReport(
             modification_seconds=mod_seconds,

@@ -42,7 +42,7 @@ from repro.graph.bucketlist import (
 )
 from repro.partition.state import PartitionState
 from repro.utils.errors import PartitionError
-from repro.utils.timing import timed
+from repro.obs import span
 
 
 @dataclass
@@ -88,9 +88,9 @@ def refine_pseudo(
     # repro-lint: allow[hot-path-loop] round loop bounded by max_rounds, not per-vertex
     while buffer.size and stats.rounds < max_rounds:
         stats.rounds += 1
-        with timed("refine.find-moves"):
+        with span("refine.find-moves"):
             moves = _find_moves(ctx, graph, state, buffer, mode)
-        with timed("refine.commit"):
+        with span("refine.commit"):
             applied = _commit_moves(ctx, state, moves, stats)
             if applied.size:
                 buffer = buffer[~np.isin(buffer, applied)]

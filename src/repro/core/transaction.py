@@ -89,21 +89,35 @@ def transaction(
     try:
         yield
     except BaseException as err:
+        from repro.obs import default_registry, span
+
         restored_slots = log.slot_writes
-        graph.rollback_undo()
-        if state is not None and snapshot is not None:
-            state.restore(snapshot)
-        if ctx is not None:
-            # One coalesced scatter restoring the logged slots plus the
-            # snapshot copy-back of the partition arrays.
-            ledger = ctx.ledger
-            with ledger.section("rollback"), ledger.kernel("txn_rollback"):
-                warps = -(-max(restored_slots, 1) // SLOTS_PER_BUCKET)
-                ledger.charge_instructions(2 * warps)
-                ledger.charge_transactions(2 * warps)
-                if state is not None:
-                    n = state.partition.size
-                    ledger.charge_transactions(-(-n // 16))
+        with span("transaction.rollback"):
+            graph.rollback_undo()
+            if state is not None and snapshot is not None:
+                state.restore(snapshot)
+            if ctx is not None:
+                # One coalesced scatter restoring the logged slots plus
+                # the snapshot copy-back of the partition arrays.
+                ledger = ctx.ledger
+                with ledger.section("rollback"), ledger.kernel(
+                    "txn_rollback"
+                ):
+                    warps = -(-max(restored_slots, 1) // SLOTS_PER_BUCKET)
+                    ledger.charge_instructions(2 * warps)
+                    ledger.charge_transactions(2 * warps)
+                    if state is not None:
+                        n = state.partition.size
+                        ledger.charge_transactions(-(-n // 16))
+        registry = default_registry()
+        registry.counter(
+            "transaction_rollbacks_total",
+            "modifier batches rolled back transactionally",
+        ).inc()
+        registry.counter(
+            "transaction_rollback_slots_total",
+            "bucket-pool slots restored by rollbacks",
+        ).inc(max(restored_slots, 0))
         if pre_digest is not None:
             post_digest = state_digest(graph, state)
             if post_digest != pre_digest:

@@ -20,6 +20,7 @@ from typing import List, Optional
 from repro.eval.workloads import TraceConfig, generate_trace
 from repro.graph.csr import CSRGraph
 from repro.graph.generators import circuit_graph
+from repro.obs import Tracer, write_trace
 from repro.partition.config import PartitionConfig
 from repro.stream.scheduler import SchedulerConfig
 from repro.stream.session import StreamSession
@@ -59,6 +60,7 @@ def run_stream_experiment(
     checkpoint_every: int = 8,
     max_quarantine: int = 64,
     escalate_after: int = 3,
+    trace_path: "str | None" = None,
 ) -> StreamExperiment:
     """Stream a synthetic trace through a session and measure it.
 
@@ -66,6 +68,10 @@ def run_stream_experiment(
     (the paper's TAU-2015-style workload), but is submitted modifier by
     modifier instead of batch by batch — the scheduler, not the trace,
     decides the batch boundaries.
+
+    ``trace_path`` activates :mod:`repro.obs` tracing for the whole run
+    and writes the span/kernel trace there as JSONL (feed it to
+    ``repro-obs summary`` / ``repro-obs diff``).
     """
     if csr is None:
         csr = circuit_graph(num_vertices, edge_ratio=1.4, seed=seed)
@@ -91,12 +97,29 @@ def run_stream_experiment(
         max_quarantine=max_quarantine,
         escalate_after=escalate_after,
     )
+    tracer = (
+        Tracer(
+            ledger=session.partitioner.ctx.ledger,
+            session=f"stream-seed{seed}",
+        )
+        if trace_path is not None
+        else None
+    )
     started = time.perf_counter()
-    full = session.start()
-    for modifier in modifiers:
-        session.submit(modifier)
-    session.drain()
+    if tracer is not None:
+        with tracer.activate():
+            full = session.start()
+            for modifier in modifiers:
+                session.submit(modifier)
+            session.drain()
+    else:
+        full = session.start()
+        for modifier in modifiers:
+            session.submit(modifier)
+        session.drain()
     wall = time.perf_counter() - started
+    if tracer is not None:
+        write_trace(tracer, trace_path)
     experiment = StreamExperiment(
         num_vertices=csr.num_vertices,
         num_edges=csr.num_edges,

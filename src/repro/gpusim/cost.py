@@ -168,6 +168,14 @@ class CostLedger:
         self._kernel_stack: list[_KernelScope] = []
         self.trace_enabled = False
         self.kernel_trace: list[KernelRecord] = []
+        #: Observability hook (:class:`repro.obs.tracer.Tracer` installs
+        #: itself here while active).  Checked with a single attribute
+        #: read in :meth:`end_kernel`, so un-traced runs pay nothing —
+        #: the same contract as ``GpuContext.shadow``.  Called as
+        #: ``hook(name, section, warp_instructions, transactions,
+        #: seconds)`` after each kernel scope closes; the hook must not
+        #: charge the ledger.
+        self.obs_hook: "object | None" = None
 
     # -- section management -------------------------------------------------
 
@@ -218,6 +226,14 @@ class CostLedger:
                     seconds=seconds
                     + self.model.device.kernel_launch_overhead_s,
                 )
+            )
+        if self.obs_hook is not None:
+            self.obs_hook(
+                scope.name,
+                self.current_section,
+                scope.warp_instructions,
+                scope.transactions,
+                seconds + self.model.device.kernel_launch_overhead_s,
             )
 
     @contextmanager

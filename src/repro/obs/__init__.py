@@ -1,0 +1,97 @@
+"""repro.obs — unified tracing, metrics, and trace-diff attribution.
+
+The observability layer over the whole stack (docs/ARCHITECTURE.md
+section 11):
+
+* :mod:`repro.obs.tracer` — the span tracer.  Hot paths bracket phases
+  with :func:`span`; a :class:`Tracer` activated around a run attaches
+  host wall time, ledger deltas (warp instructions, transactions,
+  modeled device seconds/cycles) and batch/session correlation ids to
+  every span, plus per-kernel aggregates via the cost ledger's
+  ``obs_hook``.  Zero cost when no tracer is active (one global read —
+  the same bar shadow mode meets).
+* :mod:`repro.obs.metrics` — typed counters/gauges/histograms in a
+  :class:`MetricsRegistry`; the streaming telemetry, scheduler,
+  quarantine and transaction layer publish here.
+* :mod:`repro.obs.export` — JSONL (``repro-trace-v1``), Prometheus
+  text, and Chrome trace-event exporters with schema validators.
+* :mod:`repro.obs.diff` — per-phase regression attribution between two
+  traces (the ``repro-obs diff`` command).
+
+Quickstart::
+
+    from repro.obs import Tracer, span, write_trace
+
+    tracer = Tracer(ledger=ig.ctx.ledger, session="sweep")
+    with tracer.activate():
+        for batch in trace:
+            ig.apply(batch)
+    write_trace(tracer, "run.jsonl")
+    # then: repro-obs summary run.jsonl / repro-obs chrome run.jsonl
+"""
+
+from repro.obs.diff import (
+    PhaseAggregate,
+    PhaseDelta,
+    TraceDiff,
+    aggregate,
+    diff_traces,
+    event_key,
+    format_diff,
+    format_summary,
+    summarize,
+)
+from repro.obs.export import (
+    chrome_trace,
+    load_trace,
+    validate_chrome_trace,
+    validate_trace,
+    write_chrome_trace,
+    write_trace,
+    write_trace_records,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    reset_default_registry,
+)
+from repro.obs.tracer import (
+    TRACE_SCHEMA,
+    TraceEvent,
+    Tracer,
+    active_tracer,
+    span,
+)
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PhaseAggregate",
+    "PhaseDelta",
+    "TraceDiff",
+    "TraceEvent",
+    "Tracer",
+    "active_tracer",
+    "aggregate",
+    "chrome_trace",
+    "default_registry",
+    "diff_traces",
+    "event_key",
+    "format_diff",
+    "format_summary",
+    "load_trace",
+    "reset_default_registry",
+    "span",
+    "summarize",
+    "validate_chrome_trace",
+    "validate_trace",
+    "write_chrome_trace",
+    "write_trace",
+    "write_trace_records",
+]

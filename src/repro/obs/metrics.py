@@ -1,0 +1,239 @@
+"""Typed metrics registry: counters, gauges, and histograms.
+
+The streaming telemetry, scheduler, quarantine, and transaction layer
+all publish into a :class:`MetricsRegistry`; exporters render one
+registry as a flat dict (eval/JSON), Prometheus text exposition, or a
+block in a report.  The registry is deliberately minimal — a name maps
+to exactly one typed instrument, re-registering with the same type
+returns the existing instrument, and re-registering with a different
+type raises — so independent components can share a registry without
+coordination.
+
+Exports are *sorted by metric name* (and histogram buckets by bound):
+two registries that saw the same updates in different orders serialize
+identically, the contract the ``flushes_by_reason`` checkpoint bug
+taught us to hold everywhere (see ``StreamTelemetry.as_dict``).
+
+Usage::
+
+    registry = MetricsRegistry()
+    flushes = registry.counter("stream_flushes_total", "windows flushed")
+    flushes.inc()
+    print(registry.to_prometheus())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+#: Default histogram bucket upper bounds (seconds-flavored).
+DEFAULT_BUCKETS: tuple = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, float("inf"),
+)
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count."""
+
+    name: str
+    help: str = ""
+    value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a Gauge")
+        self.value += amount
+
+    def sync(self, value: Number) -> None:
+        """Set the absolute value (telemetry snapshot publishing).
+
+        Counters normally only :meth:`inc`; ``sync`` exists for
+        components like :class:`~repro.stream.telemetry.StreamTelemetry`
+        that own their own monotonic counts and mirror them into a
+        registry after the fact.
+        """
+        self.value = value
+
+
+@dataclass
+class Gauge:
+    """A value that can go up and down."""
+
+    name: str
+    help: str = ""
+    value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: Number = 1) -> None:
+        self.value -= amount
+
+
+@dataclass
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    ``buckets`` are upper bounds; an observation lands in every bucket
+    whose bound is >= the value, plus ``sum``/``count``.
+    """
+
+    name: str
+    help: str = ""
+    buckets: Sequence[float] = DEFAULT_BUCKETS
+    counts: List[int] = field(default_factory=list)
+    sum: float = 0.0
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        bounds = sorted(float(b) for b in self.buckets)
+        if not bounds or bounds[-1] != float("inf"):
+            bounds.append(float("inf"))
+        self.buckets = tuple(bounds)
+        if not self.counts:
+            self.counts = [0] * len(self.buckets)
+
+    def observe(self, value: Number) -> None:
+        self.sum += float(value)
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+
+    def quantile_bound(self, q: float) -> float:
+        """Upper bound of the bucket containing quantile ``q``."""
+        if not (0.0 <= q <= 1.0):
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        for bound, cumulative in zip(self.buckets, self.counts):
+            if cumulative >= rank:
+                return bound
+        return self.buckets[-1]
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Name-keyed store of typed instruments."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def _register(self, cls, name: str, help: str, **kwargs) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {cls.__name__}"
+                )
+            return existing
+        metric = cls(name=name, help=help, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._register(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._register(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(Histogram, name, help, buckets=buckets)
+
+    # -- export --------------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """Flat ``{name: value}`` snapshot, sorted by name.
+
+        Histograms flatten to ``name_sum`` / ``name_count`` plus
+        per-bucket ``name_bucket_<le>`` entries.
+        """
+        out: dict = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[f"{name}_count"] = metric.count
+                out[f"{name}_sum"] = metric.sum
+                for bound, cnt in zip(metric.buckets, metric.counts):
+                    out[f"{name}_bucket_{_format_bound(bound)}"] = cnt
+            else:
+                out[name] = metric.value
+        return out
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            if isinstance(metric, Counter):
+                lines.append(f"# TYPE {name} counter")
+                lines.append(f"{name} {_format_value(metric.value)}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"# TYPE {name} gauge")
+                lines.append(f"{name} {_format_value(metric.value)}")
+            else:
+                lines.append(f"# TYPE {name} histogram")
+                for bound, cnt in zip(metric.buckets, metric.counts):
+                    lines.append(
+                        f'{name}_bucket{{le="{_format_bound(bound)}"}} {cnt}'
+                    )
+                lines.append(f"{name}_sum {_format_value(metric.sum)}")
+                lines.append(f"{name}_count {metric.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _format_bound(bound: float) -> str:
+    return "+Inf" if bound == float("inf") else repr(bound)
+
+
+def _format_value(value: Number) -> str:
+    if isinstance(value, bool):  # bools are ints; be explicit
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+#: Process-wide registry for cross-cutting counters whose owners have
+#: no natural registry handle (e.g. transactional rollbacks).  Sessions
+#: and benches create their own registries; this one is for code that
+#: fires rarely and from deep inside the core layers.
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    return _DEFAULT
+
+
+def reset_default_registry() -> MetricsRegistry:
+    """Swap in a fresh default registry (tests)."""
+    global _DEFAULT
+    _DEFAULT = MetricsRegistry()
+    return _DEFAULT

@@ -42,9 +42,13 @@ def run_stream(args: argparse.Namespace) -> int:
         checkpoint_every=args.checkpoint_every,
         max_quarantine=args.max_quarantine,
         escalate_after=args.escalate_after,
+        trace_path=str(args.trace) if args.trace else None,
     )
     text = format_stream_report(experiment)
     print(text)
+    if args.trace is not None:
+        print(f"trace written to {args.trace} "
+              "(inspect with `repro-obs summary`)")
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
         (args.out / "stream.txt").write_text(text + "\n")
@@ -134,6 +138,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "full device-structure rebuild")
     runner.add_argument("--out", type=Path, default=None,
                         help="directory to also write the report into")
+    runner.add_argument("--trace", type=Path, default=None,
+                        help="write a repro.obs span trace (JSONL) of "
+                        "the run; analyze with repro-obs diff/summary")
     runner.set_defaults(func=run_stream)
 
     recover = sub.add_parser(

@@ -62,6 +62,25 @@ class Quarantine:
         self.max_attempts = max_attempts
         self.backoff_cycles = float(backoff_cycles)
         self.entries: Dict[int, QuarantineEntry] = {}
+        # Metrics instruments (None until bind_metrics).
+        self._depth_gauge = None
+        self._admitted_counter = None
+        self._retry_counter = None
+
+    def bind_metrics(self, registry) -> None:
+        """Register quarantine instruments into ``registry``
+        (a :class:`repro.obs.metrics.MetricsRegistry`)."""
+        self._depth_gauge = registry.gauge(
+            "quarantine_depth", "poison modifiers currently parked"
+        )
+        self._admitted_counter = registry.counter(
+            "quarantine_admitted_total", "poison modifiers admitted"
+        )
+        self._retry_counter = registry.counter(
+            "quarantine_retry_failures_total",
+            "failed quarantine retry attempts",
+        )
+        self._depth_gauge.set(len(self.entries))
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -84,6 +103,10 @@ class Quarantine:
             attempts=0,
             next_retry_cycles=now + self.backoff_cycles,
         )
+        if self._admitted_counter is not None:
+            self._admitted_counter.inc()
+        if self._depth_gauge is not None:
+            self._depth_gauge.set(len(self.entries))
         return True
 
     def due(self, now: float, force: bool = False) -> List[QuarantineEntry]:
@@ -109,10 +132,14 @@ class Quarantine:
         entry.next_retry_cycles = now + self.backoff_cycles * (
             2 ** entry.attempts
         )
+        if self._retry_counter is not None:
+            self._retry_counter.inc()
         return entry.attempts >= self.max_attempts
 
     def remove(self, seq: int) -> None:
         self.entries.pop(seq, None)
+        if self._depth_gauge is not None:
+            self._depth_gauge.set(len(self.entries))
 
     # -- checkpoint (de)serialization ----------------------------------------
 

@@ -81,6 +81,22 @@ class BatchScheduler:
 
     def __init__(self, config: SchedulerConfig | None = None):
         self.config = config if config is not None else SchedulerConfig()
+        # Metrics instruments (None until bind_metrics; the hot path
+        # checks one attribute, so unbound schedulers pay nothing).
+        self._size_trigger_counter = None
+        self._deadline_trigger_counter = None
+
+    def bind_metrics(self, registry) -> None:
+        """Register this scheduler's trigger counters into ``registry``
+        (a :class:`repro.obs.metrics.MetricsRegistry`)."""
+        self._size_trigger_counter = registry.counter(
+            "scheduler_size_triggers_total",
+            "flushes fired by the size trigger",
+        )
+        self._deadline_trigger_counter = registry.counter(
+            "scheduler_deadline_triggers_total",
+            "flushes fired by the latency deadline",
+        )
 
     def size_target(self, partitioner: AdaptiveIGKway) -> int:
         """Pending-window size at which the size trigger fires."""
@@ -111,6 +127,8 @@ class BatchScheduler:
         if queue_depth <= 0:
             return None
         if queue_depth >= self.size_target(partitioner):
+            if self._size_trigger_counter is not None:
+                self._size_trigger_counter.inc()
             return "size"
         cfg = self.config
         if (
@@ -119,5 +137,7 @@ class BatchScheduler:
             and now_cycles - window_opened_cycles
             >= cfg.max_latency_cycles
         ):
+            if self._deadline_trigger_counter is not None:
+                self._deadline_trigger_counter.inc()
             return "deadline"
         return None

@@ -38,6 +38,7 @@ from repro.core.igkway import FullPartitionReport
 from repro.gpusim.context import GpuContext
 from repro.graph.csr import CSRGraph
 from repro.graph.modifiers import Modifier, ModifierBatch
+from repro.obs import MetricsRegistry, span
 from repro.partition.config import PartitionConfig
 from repro.stream.coalescer import Coalescer, CoalesceResult
 from repro.stream.ingest import IngestQueue, SequencedModifier
@@ -179,11 +180,23 @@ class StreamSession:
         )
         self.checkpoint_every = checkpoint_every
         self.telemetry = StreamTelemetry()
+        #: Session-scoped metrics registry: telemetry snapshots,
+        #: scheduler trigger counts, quarantine depth and batch-latency
+        #: histograms all land here.  Export with :meth:`prometheus`
+        #: (text exposition) or ``session.obs.as_dict()`` (flat JSON).
+        self.obs = MetricsRegistry()
+        self.scheduler.bind_metrics(self.obs)
+        self._batch_seconds = self.obs.histogram(
+            "stream_batch_modeled_seconds",
+            "modeled GPU seconds per flushed window",
+            buckets=(1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0),
+        )
         self.quarantine = Quarantine(
             capacity=max_quarantine,
             max_attempts=quarantine_max_attempts,
             backoff_cycles=quarantine_backoff_cycles,
         )
+        self.quarantine.bind_metrics(self.obs)
         self.escalate_after = escalate_after
         self.applied_seq = -1
         self._consecutive_failures = 0
@@ -307,6 +320,12 @@ class StreamSession:
     def _apply_window(
         self, window: List[SequencedModifier], reason: str
     ) -> StreamBatchReport:
+        with span("stream.apply-window", batch=window[0].seq):
+            return self._apply_window_inner(window, reason)
+
+    def _apply_window_inner(
+        self, window: List[SequencedModifier], reason: str
+    ) -> StreamBatchReport:
         result = self.coalescer.collapse(window)
         applied_count = 0
         poison: List[PoisonEntry] = []
@@ -375,6 +394,8 @@ class StreamSession:
             queue_depth=self.queue.depth,
             removed_count=len(poison),
         )
+        self._batch_seconds.observe(seconds)
+        self.telemetry.publish_to(self.obs)
         if self.journal is not None and not self._replaying:
             self.journal.log_flush(
                 result.first_seq,
@@ -651,6 +672,7 @@ class StreamSession:
         session.quarantine = Quarantine.restore(
             resilience_meta.get("quarantine", {}), now=session._clock()
         )
+        session.quarantine.bind_metrics(session.obs)
         session._consecutive_failures = int(
             resilience_meta.get("consecutive_failures", 0)
         )
@@ -724,6 +746,7 @@ class StreamSession:
 
     def metrics(self) -> dict:
         """The structured telemetry dict (issue: consumable by eval)."""
+        self.telemetry.publish_to(self.obs)
         out = self.telemetry.as_dict()
         out.update(
             {
@@ -740,6 +763,11 @@ class StreamSession:
             }
         )
         return out
+
+    def prometheus(self) -> str:
+        """The session's metrics registry in Prometheus text format."""
+        self.telemetry.publish_to(self.obs)
+        return self.obs.to_prometheus()
 
     # -- internals -----------------------------------------------------------------
 

@@ -11,7 +11,10 @@ produces the flat structure the eval layer consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass
@@ -128,7 +131,15 @@ class StreamTelemetry:
     # -- (de)serialization ---------------------------------------------------------
 
     def as_dict(self) -> dict:
-        """Flat structure for reports, checkpoints, and the eval layer."""
+        """Flat structure for reports, checkpoints, and the eval layer.
+
+        ``flushes_by_reason`` is exported with *sorted* keys: the dict
+        accumulates in first-flush order, so two sessions flushing for
+        the same reasons in a different order would otherwise produce
+        unequal checkpoint metadata blobs (the insertion-order cousin
+        of the ``set-iter-order`` lint family; ``unsorted-dict-export``
+        now guards this spelling).
+        """
         return {
             "ingested": self.ingested,
             "rejected": self.rejected,
@@ -136,7 +147,10 @@ class StreamTelemetry:
             "coalesced_dropped": self.coalesced_dropped,
             "coalescing_ratio": self.coalescing_ratio,
             "batches": self.batches,
-            "flushes_by_reason": dict(self.flushes_by_reason),
+            "flushes_by_reason": {
+                reason: self.flushes_by_reason[reason]
+                for reason in sorted(self.flushes_by_reason)
+            },
             "fallback_events": self.fallback_events,
             "checkpoints_written": self.checkpoints_written,
             "recoveries": self.recoveries,
@@ -185,3 +199,49 @@ class StreamTelemetry:
             data.get("flushes_by_reason", {})
         )
         return telemetry
+
+    # -- metrics-registry publishing -----------------------------------------
+
+    def publish_to(self, registry: "MetricsRegistry") -> None:
+        """Mirror the current counters into a metrics registry.
+
+        The telemetry object stays the source of truth (it rides in
+        checkpoints); publishing synchronizes a
+        :class:`~repro.obs.metrics.MetricsRegistry` snapshot so the
+        stream exports through the same registry/exporter surface as
+        every other component (Prometheus text, flat dicts, reports).
+        """
+        for name, value in (
+            ("stream_ingested_total", self.ingested),
+            ("stream_rejected_total", self.rejected),
+            ("stream_applied_modifiers_total", self.applied_modifiers),
+            ("stream_coalesced_dropped_total", self.coalesced_dropped),
+            ("stream_batches_total", self.batches),
+            ("stream_fallback_events_total", self.fallback_events),
+            ("stream_checkpoints_written_total", self.checkpoints_written),
+            ("stream_recoveries_total", self.recoveries),
+            ("stream_batch_failures_total", self.batch_failures),
+            ("stream_bisection_attempts_total", self.bisection_attempts),
+            ("stream_quarantined_total", self.quarantined),
+            (
+                "stream_quarantine_recovered_total",
+                self.quarantine_recovered,
+            ),
+            ("stream_dead_lettered_total", self.dead_lettered),
+            ("stream_escalations_total", self.escalations),
+        ):
+            registry.counter(name).sync(value)
+        for reason in sorted(self.flushes_by_reason):
+            registry.counter(f"stream_flushes_total_{reason}").sync(
+                self.flushes_by_reason[reason]
+            )
+        registry.gauge("stream_queue_depth").set(self.queue_depth)
+        registry.gauge("stream_max_queue_depth").set(self.max_queue_depth)
+        registry.gauge("stream_last_cut").set(
+            self.last_cut if self.last_cut is not None else -1
+        )
+        registry.gauge("stream_cut_drift").set(self.cut_drift)
+        registry.gauge("stream_modeled_seconds").set(self.modeled_seconds)
+        registry.gauge("stream_coalescing_ratio").set(
+            self.coalescing_ratio
+        )

@@ -1,11 +1,23 @@
-"""Host-side phase timing for the perf-regression harness.
+"""Host-side phase timing — compatibility shim over :mod:`repro.obs`.
 
-The simulated-GPU ledger answers "how long would the device take"; this
-module answers "how long does the *host* take to drive it" — the number
-the perf gate (``tools/perf_gate.py``) protects.  Hot-path code brackets
-its phases with :func:`timed`; when no collector is active the bracket
-is a no-op apart from one attribute check, so production runs pay
-nothing measurable.
+Historically this module owned the phase collector the perf harness
+uses; since the observability PR it is a thin facade over the span
+tracer (:mod:`repro.obs.tracer`): :func:`timed` *is* ``obs.span`` and
+:func:`collect_phase_times` activates a ledger-less
+:class:`~repro.obs.tracer.Tracer` and yields its accumulated
+``{phase_name: seconds}`` dict.  Existing callers (the perf gate,
+``benchmarks/bench_hotpath.py``) keep working unchanged, and any
+``timed(...)`` bracket automatically shows up in full traces too.
+
+**Threading contract**: the collector/tracer slot is one bare module
+global in :mod:`repro.obs.tracer` with *no* locking — the hot paths
+are single-threaded NumPy driving, and a per-bracket lock would cost
+more than the phases being measured.  All brackets and collectors must
+therefore run on one thread.  Nesting on that thread is fine (the
+inner collector wins and the outer one is restored on exit), but
+entering :func:`collect_phase_times` while a collector from a
+*different* thread is active raises ``RuntimeError`` instead of
+silently corrupting the active collector's timings.
 
 Usage::
 
@@ -16,14 +28,13 @@ Usage::
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from typing import Dict, Iterator
 
-#: The active collector (or None).  A plain module global — the hot
-#: paths are single-threaded NumPy driving; nesting replaces the
-#: innermost collector and restores it on exit.
-_active: "Dict[str, float] | None" = None
+from repro.obs.tracer import Tracer
+from repro.obs.tracer import span as timed  # noqa: F401  (re-export)
+
+__all__ = ["collect_phase_times", "timed"]
 
 
 @contextmanager
@@ -31,29 +42,10 @@ def collect_phase_times() -> Iterator[Dict[str, float]]:
     """Collect phase wall-clock seconds for the enclosed block.
 
     Returns a dict accumulating ``{phase_name: seconds}``; nested
-    :func:`timed` brackets with the same name add up.
+    :func:`timed` brackets with the same name add up.  Raises
+    ``RuntimeError`` when a collector is already active on a different
+    thread (see the module docstring's threading contract).
     """
-    global _active
-    previous = _active
-    times: Dict[str, float] = {}
-    _active = times
-    try:
-        yield times
-    finally:
-        _active = previous
-
-
-@contextmanager
-def timed(name: str) -> Iterator[None]:
-    """Accumulate the block's wall time under ``name`` (if collecting)."""
-    if _active is None:
-        yield
-        return
-    collector = _active
-    start = time.perf_counter()
-    try:
-        yield
-    finally:
-        collector[name] = (
-            collector.get(name, 0.0) + time.perf_counter() - start
-        )
+    tracer = Tracer()
+    with tracer.activate():
+        yield tracer.phase_seconds

@@ -389,5 +389,160 @@ class TestFramework:
 
     def test_rule_ids_unique_and_kebab(self):
         ids = [rule.id for rule in ALL_RULES]
-        assert len(ids) == len(set(ids)) == 6
+        assert len(ids) == len(set(ids)) == 8
         assert all(i == i.lower() and " " not in i for i in ids)
+
+
+class TestSpanLiteral:
+    def test_fstring_span_name_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/core/phase.py",
+            """
+            from repro.obs import span
+
+            def run(i):
+                with span(f"batch-{i}"):
+                    pass
+            """,
+            rules=["span-literal"],
+        )
+        assert [f.rule for f in findings] == ["span-literal"]
+        assert "literal" in findings[0].message
+
+    def test_variable_timed_name_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/eval/bench.py",
+            """
+            from repro.utils.timing import timed
+
+            def run(name):
+                with timed(name):
+                    pass
+            """,
+            rules=["span-literal"],
+        )
+        assert [f.rule for f in findings] == ["span-literal"]
+
+    def test_attribute_call_and_keyword_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/stream/x.py",
+            """
+            from repro import obs
+
+            def run(label):
+                with obs.span(name=label):
+                    pass
+            """,
+            rules=["span-literal"],
+        )
+        assert [f.rule for f in findings] == ["span-literal"]
+
+    def test_literal_names_clean(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/core/phase.py",
+            """
+            from repro.obs import span
+            from repro.utils.timing import timed
+
+            def run(i):
+                with span("apply.batch", batch=i):
+                    with timed("inner"):
+                        pass
+            """,
+            rules=["span-literal"],
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/core/phase.py",
+            """
+            from repro.obs import span
+
+            def run(name):
+                # repro-lint: allow[span-literal] generated bench harness
+                with span(name):
+                    pass
+            """,
+            rules=["span-literal"],
+        )
+        assert findings == []
+
+
+class TestUnsortedDictExport:
+    def test_dict_copy_in_as_dict_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/stream/t.py",
+            """
+            class Telemetry:
+                def __init__(self):
+                    self.flushes_by_reason = {}
+
+                def as_dict(self):
+                    return {
+                        "flushes_by_reason": dict(self.flushes_by_reason),
+                    }
+            """,
+            rules=["unsorted-dict-export"],
+        )
+        assert [f.rule for f in findings] == ["unsorted-dict-export"]
+        assert "insertion order" in findings[0].message
+
+    def test_dict_copy_in_as_meta_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/stream/q.py",
+            """
+            class Quarantine:
+                def as_meta(self, now):
+                    return dict(self.entries)
+            """,
+            rules=["unsorted-dict-export"],
+        )
+        assert [f.rule for f in findings] == ["unsorted-dict-export"]
+
+    def test_sorted_comprehension_clean(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/stream/t.py",
+            """
+            class Telemetry:
+                def __init__(self):
+                    self.flushes_by_reason = {}
+
+                def as_dict(self):
+                    return {
+                        "flushes_by_reason": {
+                            k: self.flushes_by_reason[k]
+                            for k in sorted(self.flushes_by_reason)
+                        },
+                    }
+            """,
+            rules=["unsorted-dict-export"],
+        )
+        assert findings == []
+
+    def test_dict_copy_outside_export_methods_clean(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/graph/g.py",
+            """
+            class HostGraph:
+                def copy(self):
+                    out = HostGraph()
+                    out.active = dict(self.active)
+                    return out
+
+            def merge(meta):
+                meta = dict(meta)
+                return meta
+            """,
+            rules=["unsorted-dict-export"],
+        )
+        assert findings == []

@@ -1,0 +1,121 @@
+"""Trace serialization: JSONL round-trip, validation, Chrome export."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.gpusim.context import GpuContext
+from repro.obs import (
+    TRACE_SCHEMA,
+    Tracer,
+    chrome_trace,
+    load_trace,
+    span,
+    validate_chrome_trace,
+    validate_trace,
+    write_chrome_trace,
+    write_trace,
+)
+
+
+def _traced_run() -> Tracer:
+    ctx = GpuContext()
+    tracer = Tracer(ledger=ctx.ledger, session="export-test")
+    with tracer.activate():
+        with span("outer", batch=3):
+            with span("inner"):
+                with ctx.ledger.section("s"), ctx.ledger.kernel("k"):
+                    ctx.ledger.charge_instructions(64)
+                    ctx.ledger.charge_transactions(8)
+    return tracer
+
+
+def test_jsonl_round_trip(tmp_path):
+    tracer = _traced_run()
+    path = write_trace(tracer, tmp_path / "t.jsonl")
+    header, events = load_trace(path)
+    assert header["schema"] == TRACE_SCHEMA
+    assert header["session"] == "export-test"
+    assert header["has_ledger"] is True
+    assert [e.as_dict() for e in events] == [
+        e.as_dict() for e in tracer.events
+    ]
+    assert validate_trace(path) == []
+
+
+def test_jsonl_lines_have_sorted_keys(tmp_path):
+    path = write_trace(_traced_run(), tmp_path / "t.jsonl")
+    for line in path.read_text().splitlines():
+        record = json.loads(line)
+        assert list(record) == sorted(record)
+
+
+def test_validate_reports_schema_violations(tmp_path):
+    tracer = _traced_run()
+    path = write_trace(tracer, tmp_path / "t.jsonl")
+    lines = path.read_text().splitlines()
+
+    bad_header = tmp_path / "bad_header.jsonl"
+    bad_header.write_text(
+        json.dumps({"schema": "other-v9"}) + "\n" + "\n".join(lines[1:])
+    )
+    assert any("schema" in e for e in validate_trace(bad_header))
+
+    bad_field = tmp_path / "bad_field.jsonl"
+    record = json.loads(lines[1])
+    record["warp_instructions"] = "lots"
+    bad_field.write_text("\n".join([lines[0], json.dumps(record)]))
+    assert any("warp_instructions" in e for e in validate_trace(bad_field))
+
+    dangling = tmp_path / "dangling.jsonl"
+    record = json.loads(lines[1])
+    record["parent"] = 10_000
+    dangling.write_text("\n".join([lines[0], json.dumps(record)]))
+    assert any("parent" in e for e in validate_trace(dangling))
+
+    with pytest.raises(ValueError):
+        load_trace(bad_field)
+
+
+def test_children_before_parents_is_valid(tmp_path):
+    # The tracer appends spans on *close*, so children precede their
+    # parent in the file; validation must accept forward parent refs.
+    tracer = Tracer()
+    with tracer.activate():
+        with span("parent"):
+            with span("child"):
+                pass
+    assert [e.name for e in tracer.events] == ["child", "parent"]
+    path = write_trace(tracer, tmp_path / "t.jsonl")
+    assert validate_trace(path) == []
+
+
+def test_chrome_export_shape_and_validation(tmp_path):
+    tracer = _traced_run()
+    rendered = chrome_trace(tracer.header(), tracer.events)
+    assert validate_chrome_trace(rendered) == []
+    events = rendered["traceEvents"]
+    slices = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    assert {e["name"] for e in slices} == {"outer", "inner"}
+    assert [e["name"] for e in instants] == ["kernel:k"]
+    inner = next(e for e in slices if e["name"] == "inner")
+    assert inner["dur"] >= 0
+    assert inner["args"]["warp_instructions"] == 64
+    path = write_chrome_trace(
+        tracer.header(), tracer.events, tmp_path / "t.json"
+    )
+    assert validate_chrome_trace(json.loads(path.read_text())) == []
+    assert validate_chrome_trace(path) == []
+
+
+def test_validate_chrome_trace_catches_bad_events():
+    assert validate_chrome_trace({"no": "traceEvents"})
+    missing_dur = {
+        "traceEvents": [
+            {"name": "x", "ph": "X", "pid": 1, "tid": 1, "ts": 0.0}
+        ]
+    }
+    assert any("dur" in e for e in validate_chrome_trace(missing_dur))

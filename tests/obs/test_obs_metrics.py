@@ -1,0 +1,111 @@
+"""Metrics registry contracts: typing, idempotency, sorted exports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    reset_default_registry,
+)
+
+
+def test_counter_monotonic():
+    c = Counter("c")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    c.sync(17)
+    assert c.value == 17
+
+
+def test_gauge_moves_both_ways():
+    g = Gauge("g")
+    g.set(10)
+    g.dec(3)
+    g.inc()
+    assert g.value == 8
+
+
+def test_histogram_cumulative_buckets_and_quantiles():
+    h = Histogram("h", buckets=(1.0, 10.0))
+    for v in (0.5, 2.0, 5.0, 100.0):
+        h.observe(v)
+    assert h.count == 4
+    assert h.sum == pytest.approx(107.5)
+    # Cumulative: le=1 sees 1, le=10 sees 3, +Inf sees all 4.
+    assert h.buckets == (1.0, 10.0, float("inf"))
+    assert h.counts == [1, 3, 4]
+    assert h.quantile_bound(0.5) == 10.0
+    assert h.quantile_bound(1.0) == float("inf")
+    assert Histogram("empty").quantile_bound(0.9) == 0.0
+
+
+def test_histogram_always_inf_terminated():
+    h = Histogram("h", buckets=(5.0, 1.0))
+    assert h.buckets == (1.0, 5.0, float("inf"))
+
+
+def test_registry_idempotent_and_type_checked():
+    registry = MetricsRegistry()
+    first = registry.counter("x_total", "help text")
+    again = registry.counter("x_total")
+    assert first is again
+    with pytest.raises(TypeError):
+        registry.gauge("x_total")
+    assert "x_total" in registry
+    assert len(registry) == 1
+
+
+def test_as_dict_sorted_regardless_of_registration_order():
+    a = MetricsRegistry()
+    a.counter("zeta_total").inc(1)
+    a.gauge("alpha").set(2)
+    b = MetricsRegistry()
+    b.gauge("alpha").set(2)
+    b.counter("zeta_total").inc(1)
+    assert a.as_dict() == b.as_dict()
+    assert list(a.as_dict()) == sorted(a.as_dict())
+
+
+def test_as_dict_flattens_histograms():
+    registry = MetricsRegistry()
+    h = registry.histogram("lat", buckets=(1.0,))
+    h.observe(0.5)
+    snapshot = registry.as_dict()
+    assert snapshot["lat_count"] == 1
+    assert snapshot["lat_sum"] == 0.5
+    assert snapshot["lat_bucket_1.0"] == 1
+    assert snapshot["lat_bucket_+Inf"] == 1
+
+
+def test_prometheus_text_format():
+    registry = MetricsRegistry()
+    registry.counter("requests_total", "requests seen").inc(3)
+    registry.gauge("depth").set(2.5)
+    registry.histogram("lat", buckets=(1.0,)).observe(0.25)
+    text = registry.to_prometheus()
+    assert "# TYPE requests_total counter" in text
+    assert "requests_total 3" in text
+    assert "# HELP requests_total requests seen" in text
+    assert "# TYPE depth gauge" in text
+    assert "depth 2.5" in text
+    assert 'lat_bucket{le="+Inf"} 1' in text
+    assert "lat_count 1" in text
+    assert text.endswith("\n")
+    assert MetricsRegistry().to_prometheus() == ""
+
+
+def test_default_registry_reset():
+    reset_default_registry()
+    default_registry().counter("seen_total").inc()
+    assert default_registry().as_dict() == {"seen_total": 1}
+    fresh = reset_default_registry()
+    assert fresh is default_registry()
+    assert default_registry().as_dict() == {}

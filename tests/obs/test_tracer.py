@@ -1,0 +1,157 @@
+"""Tracer contracts: nesting, attribution, batching, thread safety."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.gpusim.context import GpuContext
+from repro.obs import Tracer, active_tracer, span
+
+
+def test_span_is_noop_without_tracer():
+    assert active_tracer() is None
+    with span("never-recorded"):
+        pass
+    assert active_tracer() is None
+
+
+def test_span_records_host_times_and_nesting():
+    tracer = Tracer(session="t")
+    with tracer.activate():
+        with span("outer"):
+            with span("inner"):
+                pass
+            with span("inner"):
+                pass
+    names = [e.name for e in tracer.events]
+    # Children close (and append) before their parent.
+    assert names == ["inner", "inner", "outer"]
+    outer = tracer.events[-1]
+    inner_first = tracer.events[0]
+    assert outer.depth == 0 and outer.parent is None
+    assert inner_first.depth == 1 and inner_first.parent == outer.span_id
+    assert outer.duration >= inner_first.duration >= 0.0
+    # Same-name spans accumulate in the phase dict.
+    assert tracer.phase_seconds["inner"] == pytest.approx(
+        tracer.events[0].duration + tracer.events[1].duration
+    )
+
+
+def test_ledger_attribution_covers_charged_work():
+    ctx = GpuContext()
+    tracer = Tracer(ledger=ctx.ledger, session="t")
+    with tracer.activate():
+        with span("work"):
+            with ctx.ledger.section("s"), ctx.ledger.kernel("k"):
+                ctx.ledger.charge_instructions(640)
+                ctx.ledger.charge_transactions(32)
+    spans = [e for e in tracer.events if e.kind == "span"]
+    kernels = [e for e in tracer.events if e.kind == "kernel"]
+    assert len(spans) == 1 and len(kernels) == 1
+    work = spans[0]
+    assert work.warp_instructions == 640
+    assert work.transactions == 32
+    assert work.kernel_launches == 1
+    assert work.device_seconds > 0
+    model = ctx.ledger.model
+    assert work.device_cycles == pytest.approx(
+        work.device_seconds * model.device.clock_ghz * 1e9
+    )
+    k = kernels[0]
+    assert k.name == "k" and k.section == "s" and k.count == 1
+    assert k.parent == work.span_id
+
+
+def test_kernel_launches_aggregate_per_name_under_innermost_span():
+    ctx = GpuContext()
+    tracer = Tracer(ledger=ctx.ledger)
+    with tracer.activate():
+        with span("phase"):
+            for _ in range(5):
+                with ctx.ledger.section("s"), ctx.ledger.kernel("again"):
+                    ctx.ledger.charge_instructions(32)
+    kernels = [e for e in tracer.events if e.kind == "kernel"]
+    assert len(kernels) == 1
+    assert kernels[0].count == 5
+    assert kernels[0].kernel_launches == 5
+    assert kernels[0].warp_instructions == 5 * 32
+
+
+def test_batch_correlation_propagates_and_restores():
+    tracer = Tracer()
+    with tracer.activate():
+        with span("window", batch=42):
+            with span("child"):
+                pass
+        with span("after"):
+            pass
+    by_name = {e.name: e for e in tracer.events}
+    assert by_name["window"].batch == 42
+    assert by_name["child"].batch == 42
+    assert by_name["after"].batch is None
+
+
+def test_nested_tracer_wins_and_outer_restored():
+    outer = Tracer()
+    inner = Tracer()
+    with outer.activate():
+        with span("outer-only"):
+            pass
+        with inner.activate():
+            assert active_tracer() is inner
+            with span("inner-only"):
+                pass
+        assert active_tracer() is outer
+    assert [e.name for e in outer.events] == ["outer-only"]
+    assert [e.name for e in inner.events] == ["inner-only"]
+
+
+def test_cross_thread_activation_raises():
+    outer = Tracer()
+    errors: list[BaseException] = []
+
+    def other_thread():
+        try:
+            with Tracer().activate():
+                pass
+        except BaseException as exc:  # noqa: BLE001 - recorded for assert
+            errors.append(exc)
+
+    with outer.activate():
+        worker = threading.Thread(target=other_thread)
+        worker.start()
+        worker.join()
+    assert len(errors) == 1
+    assert isinstance(errors[0], RuntimeError)
+    # After the contested activation, the owning thread still works.
+    with Tracer().activate() as t:
+        with span("ok"):
+            pass
+    assert [e.name for e in t.events] == ["ok"]
+
+
+def test_exception_inside_span_still_closes_it():
+    tracer = Tracer()
+    with tracer.activate():
+        with pytest.raises(ValueError):
+            with span("doomed"):
+                raise ValueError("boom")
+    assert [e.name for e in tracer.events] == ["doomed"]
+    assert active_tracer() is None
+
+
+def test_ledger_delta_tracks_activation_window():
+    ctx = GpuContext()
+    with ctx.ledger.section("pre"), ctx.ledger.kernel("warmup"):
+        ctx.ledger.charge_instructions(100)
+    tracer = Tracer(ledger=ctx.ledger)
+    with tracer.activate():
+        with span("work"):
+            with ctx.ledger.section("s"), ctx.ledger.kernel("k"):
+                ctx.ledger.charge_instructions(64)
+    delta = tracer.ledger_delta()
+    assert delta is not None
+    assert delta.warp_instructions == 64
+    assert Tracer().ledger_delta() is None

@@ -1,0 +1,70 @@
+"""StreamTelemetry export ordering and registry publishing."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import MetricsRegistry
+from repro.stream.telemetry import StreamTelemetry
+
+
+def _record(telemetry: StreamTelemetry, reason: str) -> None:
+    telemetry.record_batch(
+        reason=reason,
+        raw_count=2,
+        applied_count=1,
+        cut=10,
+        used_fallback=False,
+        modeled_seconds=0.1,
+        queue_depth=0,
+    )
+
+
+def test_flushes_by_reason_exports_sorted_regardless_of_order():
+    """Two sessions flushing for the same reasons in a different order
+    must serialize identically (checkpoint blobs are compared)."""
+    a = StreamTelemetry()
+    _record(a, "size")
+    _record(a, "deadline")
+    _record(a, "explicit")
+    b = StreamTelemetry()
+    _record(b, "explicit")
+    _record(b, "deadline")
+    _record(b, "size")
+    assert json.dumps(a.as_dict(), sort_keys=False) == json.dumps(
+        b.as_dict(), sort_keys=False
+    )
+    exported = list(a.as_dict()["flushes_by_reason"])
+    assert exported == sorted(exported)
+
+
+def test_as_dict_round_trips_through_restore():
+    telemetry = StreamTelemetry()
+    _record(telemetry, "size")
+    _record(telemetry, "deadline")
+    telemetry.record_ingest(queue_depth=5)
+    restored = StreamTelemetry.restore(telemetry.as_dict())
+    assert restored.as_dict() == telemetry.as_dict()
+
+
+def test_publish_to_mirrors_counters_and_gauges():
+    telemetry = StreamTelemetry()
+    telemetry.record_ingest(queue_depth=3)
+    _record(telemetry, "size")
+    _record(telemetry, "size")
+    registry = MetricsRegistry()
+    telemetry.publish_to(registry)
+    snapshot = registry.as_dict()
+    assert snapshot["stream_ingested_total"] == 1
+    assert snapshot["stream_batches_total"] == 2
+    assert snapshot["stream_flushes_total_size"] == 2
+    assert snapshot["stream_queue_depth"] == 0  # last record_batch depth
+    assert snapshot["stream_max_queue_depth"] == 3
+    # Republishing after more activity refreshes, not double-counts.
+    _record(telemetry, "deadline")
+    telemetry.publish_to(registry)
+    snapshot = registry.as_dict()
+    assert snapshot["stream_batches_total"] == 3
+    assert snapshot["stream_flushes_total_deadline"] == 1
+    # The registry export surfaces are ordered too.
+    assert list(snapshot) == sorted(snapshot)

@@ -1,0 +1,99 @@
+"""``repro.utils.timing`` compat shim: nesting, threading, exceptions.
+
+The shim's surface (``timed`` + ``collect_phase_times``) predates the
+observability layer; these tests pin the semantics callers like
+``benchmarks/bench_hotpath.py`` rely on now that it delegates to
+:mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.utils.timing import collect_phase_times, timed
+
+
+def test_noop_outside_collector():
+    with timed("uncollected"):
+        pass  # must not raise, must not record anywhere
+
+
+def test_same_name_accumulates():
+    with collect_phase_times() as phases:
+        for _ in range(3):
+            with timed("step"):
+                time.sleep(0.001)
+    assert set(phases) == {"step"}
+    assert phases["step"] >= 0.003
+
+
+def test_nested_brackets_both_recorded():
+    with collect_phase_times() as phases:
+        with timed("outer"):
+            with timed("inner"):
+                time.sleep(0.001)
+    assert phases["outer"] >= phases["inner"] > 0
+
+
+def test_nested_collectors_inner_wins_outer_restored():
+    with collect_phase_times() as outer:
+        with timed("before"):
+            pass
+        with collect_phase_times() as inner:
+            with timed("shadowed"):
+                pass
+        with timed("after"):
+            pass
+    assert set(inner) == {"shadowed"}
+    assert set(outer) == {"before", "after"}
+
+
+def test_exception_in_bracket_still_records_and_unwinds():
+    with collect_phase_times() as phases:
+        with pytest.raises(ValueError):
+            with timed("doomed"):
+                raise ValueError("boom")
+        # The collector survives the exception and keeps collecting.
+        with timed("next"):
+            pass
+    assert set(phases) == {"doomed", "next"}
+
+
+def test_exception_exits_collector_cleanly():
+    with pytest.raises(ValueError):
+        with collect_phase_times():
+            raise ValueError("boom")
+    # Collection is off again: brackets are no-ops.
+    with timed("uncollected"):
+        pass
+
+
+def test_cross_thread_collector_raises():
+    """Entering a collector while another thread's is active raises."""
+    failures: list[BaseException] = []
+    started = threading.Event()
+    release = threading.Event()
+
+    def holder():
+        with collect_phase_times():
+            started.set()
+            release.wait(timeout=5)
+
+    worker = threading.Thread(target=holder)
+    worker.start()
+    try:
+        assert started.wait(timeout=5)
+        with pytest.raises(RuntimeError, match="single-threaded"):
+            with collect_phase_times():
+                pass  # pragma: no cover - must not be reached
+    finally:
+        release.set()
+        worker.join()
+    # The other thread's collector is gone; this thread works again.
+    with collect_phase_times() as phases:
+        with timed("recovered"):
+            pass
+    assert set(phases) == {"recovered"}

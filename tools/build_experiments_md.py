@@ -21,6 +21,17 @@ def artifact(name: str) -> str:
     return path.read_text().rstrip()
 
 
+def obs_artifact() -> str:
+    """The obs-gate trace summary; optional (tracing is opt-in)."""
+    path = RESULTS / "obs.txt"
+    if not path.exists():
+        return (
+            "(no trace captured on this run; "
+            "`python tools/obs_gate.py` writes results/obs.txt)"
+        )
+    return path.read_text().rstrip()
+
+
 def graph_inventory() -> str:
     from repro.graph import BENCHMARKS, graph_summary, make_benchmark_graph
 
@@ -51,6 +62,7 @@ def main() -> int:
         "<<ABLATIONS>>": artifact("ablations"),
         "<<SELFCHECK>>": artifact("selfcheck"),
         "<<VARIANCE>>": artifact("variance"),
+        "<<OBSTRACE>>": obs_artifact(),
         "<<GRAPHS>>": graph_inventory(),
     }
     for key, value in substitutions.items():
