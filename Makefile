@@ -4,10 +4,10 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: check test perf-gate chaos-smoke analysis-gate obs-gate lint chaos bench
+.PHONY: check test perf-gate chaos-smoke analysis-gate obs-gate serve-gate lint chaos bench
 
-## The pre-merge bar: full test suite + all four deterministic gates.
-check: test perf-gate chaos-smoke analysis-gate obs-gate
+## The pre-merge bar: full test suite + all five deterministic gates.
+check: test perf-gate chaos-smoke analysis-gate obs-gate serve-gate
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -24,6 +24,9 @@ analysis-gate:
 obs-gate:
 	$(PYTHON) tools/obs_gate.py
 
+serve-gate:
+	$(PYTHON) tools/serve_gate.py
+
 ## Lint only (no sanitizer sweep); fast inner-loop check.
 lint:
 	$(PYTHON) -m repro.analysis.cli --baseline tools/analysis_baseline.json src tools benchmarks examples
@@ -35,3 +38,4 @@ chaos:
 bench:
 	$(PYTHON) benchmarks/bench_hotpath.py --smoke
 	$(PYTHON) benchmarks/bench_chaos.py --smoke
+	$(PYTHON) benchmarks/bench_serve.py --smoke

@@ -18,6 +18,9 @@ established in prose:
 * :mod:`obs` — ``span-literal``: trace span names are literal strings
   (they are cross-run aggregation keys), and ``unsorted-dict-export``:
   export methods never serialize mappings in insertion order.
+* :mod:`asynclint` — ``blocking-call-in-async``: no blocking
+  sleep/socket/select calls inside ``async def`` (the PR 6 serve loop
+  hosts every tenant; one blocking call stalls them all).
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.analysis.lintcore import LintRule
+from repro.analysis.rules.asynclint import BlockingCallInAsyncRule
 from repro.analysis.rules.exceptions import BlindExceptRule
 from repro.analysis.rules.hotpath import HotPathLoopRule
 from repro.analysis.rules.ledger import UnchargedKernelRule
@@ -43,6 +47,7 @@ ALL_RULES: tuple[LintRule, ...] = (
     BlindExceptRule(),
     SpanLiteralRule(),
     UnsortedDictExportRule(),
+    BlockingCallInAsyncRule(),
 )
 
 
@@ -60,6 +65,7 @@ def get_rules(ids: Sequence[str] | None = None) -> list[LintRule]:
 __all__ = [
     "ALL_RULES",
     "BlindExceptRule",
+    "BlockingCallInAsyncRule",
     "HotPathLoopRule",
     "SetIterOrderRule",
     "SpanLiteralRule",

@@ -56,7 +56,10 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     default_registry,
+    escape_label_value,
+    merge_into,
     reset_default_registry,
+    to_prometheus_labeled,
 )
 from repro.obs.tracer import (
     TRACE_SCHEMA,
@@ -86,9 +89,12 @@ __all__ = [
     "format_diff",
     "format_summary",
     "load_trace",
+    "escape_label_value",
+    "merge_into",
     "reset_default_registry",
     "span",
     "summarize",
+    "to_prometheus_labeled",
     "validate_chrome_trace",
     "validate_trace",
     "write_chrome_trace",

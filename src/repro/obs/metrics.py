@@ -209,6 +209,104 @@ class MetricsRegistry:
         return "\n".join(lines) + ("\n" if lines else "")
 
 
+def merge_into(dest: MetricsRegistry, src: MetricsRegistry) -> None:
+    """Fold ``src``'s instruments into ``dest`` by name, summing values.
+
+    The serving layer aggregates one scrape per tenant out of several
+    per-session registries: counters and gauges add, histograms add
+    bucket counts / sum / count (and must agree on bucket bounds).
+    Registering a name under two different types — or two bucket
+    layouts — raises, mirroring :class:`MetricsRegistry`'s own
+    single-type contract.
+    """
+    for name in sorted(src._metrics):
+        metric = src._metrics[name]
+        if isinstance(metric, Counter):
+            dest.counter(name, metric.help).inc(metric.value)
+        elif isinstance(metric, Gauge):
+            dest.gauge(name, metric.help).inc(metric.value)
+        else:
+            merged = dest.histogram(
+                name, metric.help, buckets=metric.buckets
+            )
+            if merged.buckets != metric.buckets:
+                raise ValueError(
+                    f"histogram {name!r} bucket mismatch: "
+                    f"{merged.buckets} vs {metric.buckets}"
+                )
+            merged.sum += metric.sum
+            merged.count += metric.count
+            for i, cnt in enumerate(metric.counts):
+                merged.counts[i] += cnt
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a Prometheus label value (backslash, quote, newline)."""
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def to_prometheus_labeled(
+    registries: "dict[str, MetricsRegistry]", label: str
+) -> str:
+    """Render several registries as one labeled Prometheus exposition.
+
+    ``registries`` maps a label *value* (e.g. a tenant name) to that
+    tenant's registry.  Metrics sharing a name across registries are
+    grouped under a single ``# HELP`` / ``# TYPE`` header — required by
+    the text format — with one sample per label value, sorted by metric
+    name then label value.  A name registered with different instrument
+    types in two registries raises :class:`TypeError`.
+    """
+    by_name: Dict[str, List[tuple]] = {}
+    for value in sorted(registries):
+        registry = registries[value]
+        for name in sorted(registry._metrics):
+            by_name.setdefault(name, []).append(
+                (value, registry._metrics[name])
+            )
+    lines: List[str] = []
+    for name in sorted(by_name):
+        samples = by_name[name]
+        first = samples[0][1]
+        for _value, metric in samples[1:]:
+            if type(metric) is not type(first):
+                raise TypeError(
+                    f"metric {name!r} registered as "
+                    f"{type(first).__name__} and "
+                    f"{type(metric).__name__} across labeled registries"
+                )
+        help_text = next((m.help for _v, m in samples if m.help), "")
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        if isinstance(first, Counter):
+            lines.append(f"# TYPE {name} counter")
+        elif isinstance(first, Gauge):
+            lines.append(f"# TYPE {name} gauge")
+        else:
+            lines.append(f"# TYPE {name} histogram")
+        for value, metric in samples:
+            pair = f'{label}="{escape_label_value(value)}"'
+            if isinstance(metric, (Counter, Gauge)):
+                lines.append(
+                    f"{name}{{{pair}}} {_format_value(metric.value)}"
+                )
+            else:
+                for bound, cnt in zip(metric.buckets, metric.counts):
+                    lines.append(
+                        f'{name}_bucket{{{pair},le='
+                        f'"{_format_bound(bound)}"}} {cnt}'
+                    )
+                lines.append(
+                    f"{name}_sum{{{pair}}} {_format_value(metric.sum)}"
+                )
+                lines.append(f"{name}_count{{{pair}}} {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
 def _format_bound(bound: float) -> str:
     return "+Inf" if bound == float("inf") else repr(bound)
 

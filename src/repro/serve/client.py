@@ -1,0 +1,170 @@
+"""Blocking client for the partition server.
+
+:class:`ServeClient` is intentionally boring: one stdlib TCP socket,
+one request/response frame at a time, typed errors surfaced as
+:class:`~repro.utils.errors.ServeError` with the server's error code
+attached.  It exists so examples, gates, and benchmarks can drive a
+:class:`~repro.serve.server.PartitionServer` without touching asyncio —
+including from the same process, against a
+:class:`~repro.serve.server.ServerThread`.
+
+Retry contract: any response whose code is in
+:data:`~repro.serve.protocol.RETRYABLE_CODES` (quota windows, load
+shedding, ingest backpressure) clears on its own once the server drains
+backlog.  :meth:`ServeClient.submit_with_retry` encodes the productive
+back-off for the simulated-time world: on a retryable reject it asks
+the server to *flush* the session (draining is what actually lowers
+the backlog — sleeping wouldn't, since the server never looks at wall
+time) and resubmits the same modifiers.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import List, Optional, Sequence
+
+from repro.graph.modifiers import Modifier
+from repro.serve.protocol import (
+    RETRYABLE_CODES,
+    raise_for_response,
+    read_frame,
+    write_frame,
+)
+from repro.stream.journal import encode_modifier
+from repro.utils.errors import ServeError
+
+
+class ServeClient:
+    """Synchronous framed-JSON client bound to one tenant.
+
+    Usable as a context manager; the connection closes on exit.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str,
+        timeout: float = 30.0,
+    ):
+        self.tenant = tenant
+        self._sock = socket.create_connection(
+            (host, port), timeout=timeout
+        )
+
+    def close(self) -> None:
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- request plumbing ----------------------------------------------------------
+
+    def call(self, op: str, **fields) -> dict:
+        """One request/response; raises typed :class:`ServeError` on
+        a failure response."""
+        if self._sock is None:
+            raise ServeError("client is closed")
+        request = {"op": op, "tenant": self.tenant}
+        request.update(fields)
+        write_frame(self._sock, request)
+        response = read_frame(self._sock)
+        if response is None:
+            raise ServeError("server closed the connection")
+        return raise_for_response(response)
+
+    # -- convenience wrappers ------------------------------------------------------
+
+    def hello(self) -> dict:
+        return self.call("hello")
+
+    def create(
+        self,
+        session: str,
+        graph: dict,
+        k: int,
+        seed: int = 0,
+        target_batch_size: Optional[int] = None,
+        **extra,
+    ) -> dict:
+        fields = dict(
+            session=session, graph=graph, k=k, seed=seed, **extra
+        )
+        if target_batch_size is not None:
+            fields["target_batch_size"] = target_batch_size
+        return self.call("create", **fields)
+
+    def attach(self, session: str) -> dict:
+        return self.call("attach", session=session)
+
+    def submit(
+        self, session: str, modifiers: Sequence[Modifier]
+    ) -> dict:
+        return self.call(
+            "submit",
+            session=session,
+            modifiers=[encode_modifier(m) for m in modifiers],
+        )
+
+    def flush(self, session: str, drain: bool = True) -> dict:
+        return self.call("flush", session=session, drain=drain)
+
+    def checkpoint(self, session: str) -> dict:
+        return self.call("checkpoint", session=session)
+
+    def evict(self, session: str) -> dict:
+        return self.call("evict", session=session)
+
+    def digest(self, session: str) -> dict:
+        return self.call("digest", session=session)
+
+    def metrics(self) -> dict:
+        return self.call("metrics")
+
+    def stats(self) -> dict:
+        return self.call("stats")
+
+    # -- retry loop ----------------------------------------------------------------
+
+    def submit_with_retry(
+        self,
+        session: str,
+        modifiers: Sequence[Modifier],
+        max_attempts: int = 16,
+        chunk: Optional[int] = None,
+    ) -> List[dict]:
+        """Submit, flushing-and-retrying through retryable rejects.
+
+        Submits ``modifiers`` (in ``chunk``-sized slices when given);
+        on a retryable code the session is flushed — the act that
+        drains backlog in simulated time — and the *same slice* is
+        resubmitted, so a shed or quota reject never drops or reorders
+        work.  Non-retryable errors propagate immediately.
+        """
+        responses: List[dict] = []
+        pending = list(modifiers)
+        if not pending:
+            return responses
+        size = len(pending) if chunk is None else chunk
+        if size < 1:
+            raise ValueError("chunk must be >= 1")
+        while pending:
+            batch, rest = pending[:size], pending[size:]
+            for attempt in range(max_attempts):
+                try:
+                    responses.append(self.submit(session, batch))
+                    break
+                except ServeError as err:
+                    if (
+                        err.code not in RETRYABLE_CODES
+                        or attempt == max_attempts - 1
+                    ):
+                        raise
+                    self.flush(session, drain=True)
+            pending = rest
+        return responses

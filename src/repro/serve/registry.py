@@ -1,0 +1,380 @@
+"""Session registry: tenant-scoped session lifecycle over shared devices.
+
+The registry owns every hosted :class:`~repro.stream.session.
+StreamSession` and the mapping onto the worker pool of simulated
+devices.  It is deliberately synchronous — a pure state machine the
+asyncio server drives — so the whole lifecycle is unit-testable without
+sockets or an event loop.
+
+Lifecycle::
+
+    create ──> live ──submit/flush/checkpoint──> live
+                │  ▲
+          evict │  │ attach (StreamSession.recover, transparent)
+                ▼  │
+              evicted (journal only, no device state)
+
+Every session is journaled under ``data_dir/<tenant>/<session>/``, so
+**evict** is cheap: :meth:`StreamSession.suspend` checkpoints (including
+the logged-but-unflushed queue suffix) and drops the in-memory engine
+state; a later **attach** — or any op routed at an evicted session —
+recovers it bit-identically via :meth:`StreamSession.recover`.  Idle
+eviction runs the same path from a deterministic op-count clock: a
+session untouched for ``idle_evict_after_ops`` registry operations is
+suspended on the next sweep.
+
+Device sharing: each :class:`DeviceWorker` models one simulated GPU.
+Sessions keep private :class:`~repro.gpusim.context.GpuContext`\\ s
+(device *state* is per-session — exactly what makes tenant partitions
+bit-identical to standalone runs), while the worker serializes
+execution and owns the cycle accounting: every operation's ledger
+delta is charged to ``(worker, tenant)``, and the per-tenant charges
+sum exactly to the worker total — the attribution invariant
+``tools/serve_gate.py`` enforces.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.generators import (
+    circuit_graph,
+    community_graph,
+    mesh_graph_2d,
+    random_graph,
+)
+from repro.partition.config import PartitionConfig
+from repro.stream.scheduler import SchedulerConfig, ledger_cycles
+from repro.stream.session import StreamSession
+from repro.utils.errors import ServeError
+from repro.serve.protocol import (
+    E_BAD_REQUEST,
+    E_SESSION_EXISTS,
+    E_UNKNOWN_SESSION,
+)
+
+#: Graph generators a ``create`` request may name.  Closed set: the
+#: wire protocol must not become an arbitrary-code front door.
+GRAPH_GENERATORS = {
+    "circuit": circuit_graph,
+    "community": community_graph,
+    "mesh2d": mesh_graph_2d,
+    "random": random_graph,
+}
+
+
+def build_graph(spec: dict):
+    """Construct the CSR graph a ``create`` request describes.
+
+    ``spec`` is ``{"generator": <name>, "args": {...}}`` with the
+    generator drawn from :data:`GRAPH_GENERATORS`.  Specs are
+    deterministic by construction (every generator is seeded), which is
+    what lets the gate rebuild the identical graph for its standalone
+    reference runs.
+    """
+    if not isinstance(spec, dict):
+        raise ServeError(
+            "graph spec must be an object", code=E_BAD_REQUEST
+        )
+    name = spec.get("generator")
+    factory = GRAPH_GENERATORS.get(name)
+    if factory is None:
+        raise ServeError(
+            f"unknown graph generator {name!r} "
+            f"(expected one of {sorted(GRAPH_GENERATORS)})",
+            code=E_BAD_REQUEST,
+        )
+    args = spec.get("args", {})
+    if not isinstance(args, dict):
+        raise ServeError(
+            "graph spec args must be an object", code=E_BAD_REQUEST
+        )
+    try:
+        return factory(**args)
+    except (TypeError, ValueError) as err:
+        raise ServeError(
+            f"graph generator {name!r} rejected args: {err}",
+            code=E_BAD_REQUEST,
+        ) from err
+
+
+def partition_sha256(partition: np.ndarray) -> str:
+    """SHA-256 of the raw partition label array (bit-identity witness)."""
+    return hashlib.sha256(
+        np.ascontiguousarray(partition).tobytes()
+    ).hexdigest()
+
+
+class DeviceWorker:
+    """One simulated device of the shared pool.
+
+    ``lock`` serializes execution (one kernel stream per device) for
+    the asyncio server; the cycle counters are the device's aggregate
+    clock and its per-tenant attribution.
+    """
+
+    def __init__(self, index: int):
+        self.index = index
+        self.lock = asyncio.Lock()
+        self.total_cycles = 0.0
+        self.cycles_by_tenant: Dict[str, float] = {}
+
+    def charge(self, tenant: str, delta: float) -> None:
+        if delta < 0:
+            raise ValueError("cycle charge must be non-negative")
+        self.total_cycles += delta
+        self.cycles_by_tenant[tenant] = (
+            self.cycles_by_tenant.get(tenant, 0.0) + delta
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "total_cycles": self.total_cycles,
+            "cycles_by_tenant": {
+                tenant: self.cycles_by_tenant[tenant]
+                for tenant in sorted(self.cycles_by_tenant)
+            },
+        }
+
+
+@dataclass
+class SessionEntry:
+    """Registry record for one hosted session."""
+
+    tenant: str
+    name: str
+    journal_dir: Path
+    worker: DeviceWorker
+    session: Optional[StreamSession] = None
+    #: Registry op-counter value of the last operation that touched
+    #: this session (the idle clock; no wall time).
+    last_active_op: int = 0
+    evictions: int = 0
+    #: Ledger cycle reading already charged to the worker, so each op
+    #: charges only its delta.
+    charged_cycles: float = 0.0
+
+    @property
+    def live(self) -> bool:
+        return self.session is not None
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.tenant, self.name)
+
+
+class SessionRegistry:
+    """All hosted sessions, keyed ``(tenant, session_name)``."""
+
+    def __init__(
+        self,
+        data_dir: "str | Path",
+        workers: int = 1,
+        idle_evict_after_ops: int = 0,
+    ):
+        if workers < 1:
+            raise ValueError("need at least one device worker")
+        if idle_evict_after_ops < 0:
+            raise ValueError("idle_evict_after_ops must be >= 0")
+        self.data_dir = Path(data_dir)
+        self.workers = [DeviceWorker(i) for i in range(workers)]
+        self.idle_evict_after_ops = idle_evict_after_ops
+        self._entries: Dict[Tuple[str, str], SessionEntry] = {}
+        self._op_counter = 0
+        self._created = 0
+
+    # -- queries -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def op_counter(self) -> int:
+        return self._op_counter
+
+    def entries_for(self, tenant: str) -> List[SessionEntry]:
+        return [
+            self._entries[key]
+            for key in sorted(self._entries)
+            if key[0] == tenant
+        ]
+
+    def live_session_count(self, tenant: str) -> int:
+        return sum(1 for e in self.entries_for(tenant) if e.live)
+
+    def queued_modifiers(self, tenant: Optional[str] = None) -> int:
+        """Pending ingest-queue depth, per tenant or globally.
+
+        Evicted sessions count zero: their backlog is journaled, not
+        occupying a device.
+        """
+        total = 0
+        for key in sorted(self._entries):
+            entry = self._entries[key]
+            if tenant is not None and entry.tenant != tenant:
+                continue
+            if entry.live:
+                total += entry.session.queue.depth
+        return total
+
+    def get(self, tenant: str, name: str) -> SessionEntry:
+        entry = self._entries.get((tenant, name))
+        if entry is None:
+            raise ServeError(
+                f"tenant {tenant!r} has no session {name!r}",
+                code=E_UNKNOWN_SESSION,
+            )
+        return entry
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def touch(self, entry: SessionEntry) -> None:
+        """Advance the op clock and stamp ``entry`` as just-used."""
+        self._op_counter += 1
+        entry.last_active_op = self._op_counter
+
+    def create(
+        self,
+        tenant: str,
+        name: str,
+        graph_spec: dict,
+        k: int,
+        seed: int = 0,
+        target_batch_size: Optional[int] = None,
+        queue_capacity: int = 4096,
+        policy: str = "reject",
+    ) -> SessionEntry:
+        """Create, start, and journal a new session.
+
+        The server defaults the backpressure policy to ``"reject"``:
+        a remote producer gets the typed ``backpressure`` response and
+        retries, instead of the server silently flushing on its behalf
+        (the library's single-process ``"block"`` default).
+        """
+        key = (tenant, name)
+        if key in self._entries:
+            raise ServeError(
+                f"tenant {tenant!r} already has a session {name!r}",
+                code=E_SESSION_EXISTS,
+            )
+        csr = build_graph(graph_spec)
+        journal_dir = self.data_dir / tenant / name
+        scheduler = (
+            SchedulerConfig(target_batch_size=target_batch_size)
+            if target_batch_size is not None
+            else None
+        )
+        session = StreamSession(
+            csr,
+            PartitionConfig(k=k, seed=seed),
+            journal_dir=journal_dir,
+            queue_capacity=queue_capacity,
+            policy=policy,
+            scheduler=scheduler,
+        )
+        session.start()
+        worker = self.workers[self._created % len(self.workers)]
+        self._created += 1
+        entry = SessionEntry(
+            tenant=tenant,
+            name=name,
+            journal_dir=journal_dir,
+            worker=worker,
+            session=session,
+        )
+        self._entries[key] = entry
+        self.touch(entry)
+        return entry
+
+    def attach(self, tenant: str, name: str) -> SessionEntry:
+        """Return the entry with a live session, recovering if evicted."""
+        entry = self.get(tenant, name)
+        if not entry.live:
+            entry.session = StreamSession.recover(entry.journal_dir)
+            # A fresh engine means a fresh ledger: the recovery replay's
+            # cycles are this entry's first post-attach charge.
+            entry.charged_cycles = 0.0
+        self.touch(entry)
+        return entry
+
+    def evict(self, tenant: str, name: str) -> SessionEntry:
+        """Checkpoint-and-drop a live session (no-op when evicted)."""
+        entry = self.get(tenant, name)
+        if entry.live:
+            self.settle_cycles(entry)
+            entry.session.suspend()
+            entry.session = None
+            entry.evictions += 1
+        self.touch(entry)
+        return entry
+
+    def sweep_idle(self) -> List[SessionEntry]:
+        """Evict sessions idle past the op-count threshold."""
+        if self.idle_evict_after_ops <= 0:
+            return []
+        horizon = self._op_counter - self.idle_evict_after_ops
+        evicted = []
+        for key in sorted(self._entries):
+            entry = self._entries[key]
+            if entry.live and entry.last_active_op <= horizon:
+                self.settle_cycles(entry)
+                entry.session.suspend()
+                entry.session = None
+                entry.evictions += 1
+                evicted.append(entry)
+        return evicted
+
+    def close(self) -> None:
+        """Suspend every live session (server shutdown)."""
+        for key in sorted(self._entries):
+            entry = self._entries[key]
+            if entry.live:
+                self.settle_cycles(entry)
+                entry.session.suspend()
+                entry.session = None
+                entry.evictions += 1
+
+    # -- device-cycle attribution ---------------------------------------------------
+
+    def settle_cycles(self, entry: SessionEntry) -> float:
+        """Charge the entry's un-attributed ledger cycles to its worker.
+
+        Returns the delta.  Called after every operation that may have
+        run engine work, and before eviction drops the ledger.
+        """
+        if not entry.live:
+            return 0.0
+        now = ledger_cycles(entry.session.partitioner.ctx.ledger)
+        delta = now - entry.charged_cycles
+        if delta <= 0.0:
+            return 0.0
+        entry.charged_cycles = now
+        entry.worker.charge(entry.tenant, delta)
+        return delta
+
+    def info(self, entry: SessionEntry) -> dict:
+        """Wire-friendly summary of one entry."""
+        out = {
+            "tenant": entry.tenant,
+            "session": entry.name,
+            "live": entry.live,
+            "worker": entry.worker.index,
+            "evictions": entry.evictions,
+            "last_active_op": entry.last_active_op,
+        }
+        if entry.live:
+            out.update(
+                {
+                    "queue_depth": entry.session.queue.depth,
+                    "applied_seq": entry.session.applied_seq,
+                    "cut": entry.session.cut_size(),
+                }
+            )
+        return out

@@ -1,0 +1,672 @@
+"""The multi-tenant partition server (asyncio front-end).
+
+``PartitionServer`` hosts many tenants, each owning journaled
+:class:`~repro.stream.session.StreamSession`\\ s multiplexed over a
+shared pool of simulated devices (:class:`~repro.serve.registry.
+DeviceWorker`).  Two listeners:
+
+* a TCP listener speaking the framed JSON protocol of
+  :mod:`repro.serve.protocol` (one request/response per frame,
+  pipelined per connection);
+* an HTTP listener with ``GET /metrics`` (Prometheus text format
+  0.0.4, every per-tenant series carrying a ``tenant`` label) and
+  ``GET /healthz``.
+
+Request path, in order — each stage rejects with a *typed* code before
+any later stage runs, so a rejected request never touches engine state:
+
+1. **parse** — malformed frames and unknown ops (``bad-request`` /
+   ``unknown-op``);
+2. **shed** — global backlog hysteresis (``shed-overload``), submits
+   only: drains always pass;
+3. **admit** — per-tenant quotas (``quota-sessions`` /
+   ``quota-queue`` / ``quota-cycles``);
+4. **execute** — under the session's device-worker lock; the ledger
+   cycle delta is charged to ``(worker, tenant)``.
+
+Engine work runs synchronously on the event loop: the simulated device
+executes one kernel stream at a time anyway, so a worker's lock — not a
+thread pool — is the faithful model of the shared device, and keeping
+the engine loop-confined means no cross-thread ledger races.
+
+The server never calls wall-clock time: idle eviction uses the
+registry's op counter, budget windows use worker cycle clocks, and the
+scheduler deadline stays disabled unless a session opts in — which is
+what makes hosted runs bit-identical to standalone ones.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from tempfile import TemporaryDirectory
+from typing import Dict, Optional
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    merge_into,
+    to_prometheus_labeled,
+)
+from repro.serve.protocol import (
+    E_BACKPRESSURE,
+    E_BAD_REQUEST,
+    E_INTERNAL,
+    E_SHED_OVERLOAD,
+    E_UNKNOWN_OP,
+    E_UNKNOWN_TENANT,
+    error_response,
+    ok_response,
+    read_frame_async,
+    write_frame_async,
+)
+from repro.serve.quotas import TenantAccount, TenantQuota
+from repro.serve.registry import (
+    SessionEntry,
+    SessionRegistry,
+    partition_sha256,
+)
+from repro.serve.shedding import LoadShedder, ShedPolicy
+from repro.stream.journal import decode_modifier
+from repro.utils.errors import (
+    BackpressureError,
+    ReproError,
+    ServeError,
+)
+
+#: Protocol/server version reported by the ``hello`` op.
+SERVE_PROTOCOL_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything a :class:`PartitionServer` needs to boot.
+
+    Attributes:
+        host: Bind address for both listeners.
+        port / http_port: TCP ports (0 = ephemeral; read the bound
+            ports off ``server.tcp_port`` / ``server.http_port``).
+        data_dir: Root for per-session journals
+            (``<data_dir>/<tenant>/<session>/``); None uses a
+            process-lifetime temporary directory.
+        workers: Simulated devices in the shared pool.
+        default_quota: Quota for tenants not named in ``quotas``.
+        quotas: Per-tenant quota overrides.
+        shed: Global load-shedding policy.
+        idle_evict_after_ops: Evict sessions untouched for this many
+            registry operations (0 disables idle eviction).
+        auto_register_tenants: Unknown tenants get an account with
+            ``default_quota`` on first use; when False they are
+            rejected with ``unknown-tenant``.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    http_port: int = 0
+    data_dir: Optional[str] = None
+    workers: int = 1
+    default_quota: TenantQuota = field(default_factory=TenantQuota)
+    quotas: Optional[Dict[str, TenantQuota]] = None
+    shed: ShedPolicy = field(default_factory=ShedPolicy)
+    idle_evict_after_ops: int = 0
+    auto_register_tenants: bool = True
+
+
+class PartitionServer:
+    """Multi-tenant streaming partition service over shared devices."""
+
+    def __init__(self, config: ServerConfig | None = None):
+        self.config = config if config is not None else ServerConfig()
+        if self.config.data_dir is not None:
+            self._tmpdir: Optional[TemporaryDirectory] = None
+            data_dir = Path(self.config.data_dir)
+        else:
+            self._tmpdir = TemporaryDirectory(prefix="repro-serve-")
+            data_dir = Path(self._tmpdir.name)
+        self.registry = SessionRegistry(
+            data_dir,
+            workers=self.config.workers,
+            idle_evict_after_ops=self.config.idle_evict_after_ops,
+        )
+        self.tenants: Dict[str, TenantAccount] = {}
+        for name in sorted(self.config.quotas or {}):
+            self.tenants[name] = TenantAccount(
+                name, self.config.quotas[name]
+            )
+        self.metrics = MetricsRegistry()
+        self.shedder = LoadShedder(self.config.shed, self.metrics)
+        self._connections = self.metrics.counter(
+            "serve_connections_total", "TCP protocol connections accepted"
+        )
+        self._requests = self.metrics.counter(
+            "serve_requests_total", "protocol requests handled"
+        )
+        self._rejected = self.metrics.counter(
+            "serve_rejected_total", "requests rejected with a typed error"
+        )
+        self._evictions = self.metrics.counter(
+            "serve_evictions_total", "session evictions (explicit + idle)"
+        )
+        self._scrapes = self.metrics.counter(
+            "serve_http_scrapes_total", "GET /metrics requests served"
+        )
+        self._sessions_gauge = self.metrics.gauge(
+            "serve_sessions_live", "live sessions across all tenants"
+        )
+        self._tcp_server: Optional[asyncio.base_events.Server] = None
+        self._http_server: Optional[asyncio.base_events.Server] = None
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    @property
+    def tcp_port(self) -> int:
+        if self._tcp_server is None:
+            raise ServeError("server is not started")
+        return self._tcp_server.sockets[0].getsockname()[1]
+
+    @property
+    def http_port(self) -> int:
+        if self._http_server is None:
+            raise ServeError("server is not started")
+        return self._http_server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        cfg = self.config
+        self._tcp_server = await asyncio.start_server(
+            self._handle_protocol, host=cfg.host, port=cfg.port
+        )
+        self._http_server = await asyncio.start_server(
+            self._handle_http, host=cfg.host, port=cfg.http_port
+        )
+
+    async def stop(self) -> None:
+        for server in (self._tcp_server, self._http_server):
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+        self._tcp_server = None
+        self._http_server = None
+        self.registry.close()
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+
+    # -- tenant accounts -----------------------------------------------------------
+
+    def tenant(self, name: str) -> TenantAccount:
+        account = self.tenants.get(name)
+        if account is None:
+            if not self.config.auto_register_tenants:
+                raise ServeError(
+                    f"unknown tenant {name!r}", code=E_UNKNOWN_TENANT
+                )
+            account = TenantAccount(name, self.config.default_quota)
+            self.tenants[name] = account
+        return account
+
+    def _publish_usage(self) -> None:
+        live_total = 0
+        for name in sorted(self.tenants):
+            account = self.tenants[name]
+            live = self.registry.live_session_count(name)
+            account.publish_usage(
+                live, self.registry.queued_modifiers(name)
+            )
+            live_total += live
+        self._sessions_gauge.set(live_total)
+
+    # -- protocol listener ---------------------------------------------------------
+
+    async def _handle_protocol(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self._connections.inc()
+        try:
+            while True:
+                try:
+                    request = await read_frame_async(reader)
+                except ServeError as err:
+                    await write_frame_async(
+                        writer, error_response(err.code, str(err))
+                    )
+                    break
+                if request is None:
+                    break
+                response = await self._dispatch(request)
+                await write_frame_async(writer, response)
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # peer vanished; nothing to answer
+        finally:
+            writer.close()
+
+    async def _dispatch(self, request: dict) -> dict:
+        self._requests.inc()
+        op = request.get("op")
+        handler = _OPS.get(op)
+        if handler is None:
+            self._rejected.inc()
+            return error_response(
+                E_UNKNOWN_OP, f"unknown op {op!r}"
+            )
+        try:
+            response = await handler(self, request)
+        except ServeError as err:
+            self._rejected.inc()
+            tenant = request.get("tenant")
+            if isinstance(tenant, str) and tenant in self.tenants:
+                self.tenants[tenant].record_reject()
+            response = error_response(err.code, str(err))
+        except BackpressureError as err:
+            self._rejected.inc()
+            response = error_response(E_BACKPRESSURE, str(err))
+        except ReproError as err:
+            self._rejected.inc()
+            response = error_response(
+                E_INTERNAL, f"{type(err).__name__}: {err}"
+            )
+        evicted = self.registry.sweep_idle()
+        if evicted:
+            self._evictions.inc(len(evicted))
+        self._publish_usage()
+        return response
+
+    # -- op helpers ----------------------------------------------------------------
+
+    @staticmethod
+    def _require_str(request: dict, key: str) -> str:
+        value = request.get(key)
+        if not isinstance(value, str) or not value:
+            raise ServeError(
+                f"request is missing string field {key!r}",
+                code=E_BAD_REQUEST,
+            )
+        return value
+
+    def _entry_for(self, request: dict) -> SessionEntry:
+        """Resolve (tenant, session), transparently re-attaching."""
+        tenant = self._require_str(request, "tenant")
+        name = self._require_str(request, "session")
+        self.tenant(tenant)  # registers or rejects
+        return self.registry.attach(tenant, name)
+
+    async def _run_on_worker(
+        self, entry: SessionEntry, account: TenantAccount, fn
+    ):
+        """Execute ``fn()`` under the device-worker lock, then settle
+        the ledger delta onto both the worker (attribution) and the
+        tenant account (metrics + window budget)."""
+        async with entry.worker.lock:
+            try:
+                return fn()
+            finally:
+                account.charge_cycles(
+                    self.registry.settle_cycles(entry)
+                )
+
+    async def _settle(
+        self, entry: SessionEntry, account: TenantAccount
+    ) -> None:
+        await self._run_on_worker(entry, account, lambda: None)
+
+    # -- ops -----------------------------------------------------------------------
+
+    async def _op_hello(self, request: dict) -> dict:
+        return ok_response(
+            server="repro-serve",
+            protocol=SERVE_PROTOCOL_VERSION,
+            workers=len(self.registry.workers),
+        )
+
+    async def _op_create(self, request: dict) -> dict:
+        tenant_name = self._require_str(request, "tenant")
+        session_name = self._require_str(request, "session")
+        account = self.tenant(tenant_name)
+        account.record_request()
+        code = account.admit_session(
+            self.registry.live_session_count(tenant_name)
+        )
+        if code is not None:
+            account.record_reject()
+            self._rejected.inc()
+            return error_response(
+                code,
+                f"tenant {tenant_name!r} is at its session quota "
+                f"({account.quota.max_sessions})",
+            )
+        graph_spec = request.get("graph")
+        k = request.get("k")
+        if not isinstance(k, int) or k < 2:
+            raise ServeError(
+                "create needs an integer k >= 2", code=E_BAD_REQUEST
+            )
+        target = request.get("target_batch_size")
+        if target is not None and (
+            not isinstance(target, int) or target < 1
+        ):
+            raise ServeError(
+                "target_batch_size must be a positive integer",
+                code=E_BAD_REQUEST,
+            )
+        entry = self.registry.create(
+            tenant_name,
+            session_name,
+            graph_spec,
+            k=k,
+            seed=int(request.get("seed", 0)),
+            target_batch_size=target,
+            queue_capacity=int(request.get("queue_capacity", 4096)),
+            policy=str(request.get("policy", "reject")),
+        )
+        await self._settle(entry, account)
+        return ok_response(
+            cut=entry.session.cut_size(),
+            worker=entry.worker.index,
+        )
+
+    async def _op_attach(self, request: dict) -> dict:
+        tenant_name = self._require_str(request, "tenant")
+        account = self.tenant(tenant_name)
+        account.record_request()
+        entry = self._entry_for(request)
+        await self._settle(entry, account)
+        return ok_response(**self.registry.info(entry))
+
+    async def _op_submit(self, request: dict) -> dict:
+        tenant_name = self._require_str(request, "tenant")
+        account = self.tenant(tenant_name)
+        account.record_request()
+        raw = request.get("modifiers")
+        if not isinstance(raw, list) or not raw:
+            raise ServeError(
+                "submit needs a non-empty modifiers list",
+                code=E_BAD_REQUEST,
+            )
+        try:
+            modifiers = [decode_modifier(record) for record in raw]
+        except (ReproError, TypeError, KeyError) as err:
+            raise ServeError(
+                f"undecodable modifier: {err}", code=E_BAD_REQUEST
+            ) from err
+        # Stage 2: global shedding — before the session is even
+        # attached, so an evicted session is not re-hydrated just to
+        # have its submit shed.
+        if self.shedder.should_shed_submit(
+            self.registry.queued_modifiers()
+        ):
+            account.record_shed()
+            account.record_reject()
+            self._rejected.inc()
+            return error_response(
+                E_SHED_OVERLOAD,
+                "server is shedding submits under backlog pressure "
+                "(back off and resubmit)",
+            )
+        entry = self._entry_for(request)
+        # Stage 3: tenant quotas.
+        code = account.admit_submit(
+            self.registry.queued_modifiers(tenant_name),
+            len(modifiers),
+            entry.worker.total_cycles,
+        )
+        if code is not None:
+            account.record_reject()
+            self._rejected.inc()
+            return error_response(
+                code,
+                f"tenant {tenant_name!r} quota {code} rejected a "
+                f"{len(modifiers)}-modifier submit",
+            )
+
+        def work():
+            return [entry.session.submit(m) for m in modifiers]
+
+        seqs = await self._run_on_worker(entry, account, work)
+        return ok_response(
+            accepted=len(seqs),
+            first_seq=seqs[0],
+            last_seq=seqs[-1],
+            queue_depth=entry.session.queue.depth,
+            applied_seq=entry.session.applied_seq,
+        )
+
+    async def _op_flush(self, request: dict) -> dict:
+        tenant_name = self._require_str(request, "tenant")
+        account = self.tenant(tenant_name)
+        account.record_request()
+        entry = self._entry_for(request)
+        drain = bool(request.get("drain", True))
+
+        def work():
+            if drain:
+                return entry.session.drain()
+            report = entry.session.flush()
+            return [report] if report is not None else []
+
+        reports = await self._run_on_worker(entry, account, work)
+        return ok_response(
+            flushed_windows=len(reports),
+            applied=sum(r.applied_count for r in reports),
+            cut=entry.session.cut_size(),
+            queue_depth=entry.session.queue.depth,
+            applied_seq=entry.session.applied_seq,
+        )
+
+    async def _op_checkpoint(self, request: dict) -> dict:
+        tenant_name = self._require_str(request, "tenant")
+        account = self.tenant(tenant_name)
+        account.record_request()
+        entry = self._entry_for(request)
+
+        def work():
+            entry.session.checkpoint()
+            return None
+
+        await self._run_on_worker(entry, account, work)
+        return ok_response(
+            checkpoints=entry.session.telemetry.checkpoints_written
+        )
+
+    async def _op_evict(self, request: dict) -> dict:
+        tenant_name = self._require_str(request, "tenant")
+        account = self.tenant(tenant_name)
+        account.record_request()
+        name = self._require_str(request, "session")
+        entry = self.registry.get(tenant_name, name)
+        was_live = entry.live
+        async with entry.worker.lock:
+            account.charge_cycles(self.registry.settle_cycles(entry))
+            self.registry.evict(tenant_name, name)
+        if was_live:
+            self._evictions.inc()
+        return ok_response(evicted=was_live)
+
+    async def _op_digest(self, request: dict) -> dict:
+        tenant_name = self._require_str(request, "tenant")
+        account = self.tenant(tenant_name)
+        account.record_request()
+        entry = self._entry_for(request)
+        digest = await self._run_on_worker(
+            entry,
+            account,
+            lambda: partition_sha256(entry.session.partition),
+        )
+        return ok_response(
+            sha256=digest,
+            cut=entry.session.cut_size(),
+            applied_seq=entry.session.applied_seq,
+        )
+
+    async def _op_metrics(self, request: dict) -> dict:
+        tenant_name = self._require_str(request, "tenant")
+        account = self.tenant(tenant_name)
+        account.record_request()
+        return ok_response(
+            metrics=self._tenant_registry(tenant_name).as_dict()
+        )
+
+    async def _op_stats(self, request: dict) -> dict:
+        return ok_response(
+            sessions=len(self.registry),
+            op_counter=self.registry.op_counter,
+            tenants=sorted(self.tenants),
+            shedding=self.shedder.shedding,
+            backlog=self.registry.queued_modifiers(),
+            workers=[w.as_dict() for w in self.registry.workers],
+            server_metrics=self.metrics.as_dict(),
+        )
+
+    # -- metrics aggregation --------------------------------------------------------
+
+    def _tenant_registry(self, tenant_name: str) -> MetricsRegistry:
+        """One merged registry per tenant: account counters plus the
+        sum of the tenant's live sessions' ``obs`` registries."""
+        merged = MetricsRegistry()
+        account = self.tenants.get(tenant_name)
+        if account is not None:
+            merge_into(merged, account.registry)
+        for entry in self.registry.entries_for(tenant_name):
+            if entry.live:
+                entry.session.telemetry.publish_to(entry.session.obs)
+                merge_into(merged, entry.session.obs)
+        return merged
+
+    def prometheus(self) -> str:
+        """The full scrape: labeled per-tenant series + server series."""
+        self._publish_usage()
+        labeled = to_prometheus_labeled(
+            {
+                name: self._tenant_registry(name)
+                for name in sorted(self.tenants)
+            },
+            label="tenant",
+        )
+        return labeled + self.metrics.to_prometheus()
+
+    # -- HTTP listener ---------------------------------------------------------------
+
+    async def _handle_http(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            # Drain headers until the blank line; we only route on path.
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            parts = request_line.decode("latin-1").split()
+            path = parts[1] if len(parts) >= 2 else ""
+            if path.split("?")[0] == "/metrics":
+                self._scrapes.inc()
+                body = self.prometheus().encode("utf-8")
+                content_type = (
+                    "text/plain; version=0.0.4; charset=utf-8"
+                )
+                status = "200 OK"
+            elif path.split("?")[0] == "/healthz":
+                body = b"ok\n"
+                content_type = "text/plain; charset=utf-8"
+                status = "200 OK"
+            else:
+                body = b"not found\n"
+                content_type = "text/plain; charset=utf-8"
+                status = "404 Not Found"
+            writer.write(
+                (
+                    f"HTTP/1.0 {status}\r\n"
+                    f"Content-Type: {content_type}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n"
+                    "\r\n"
+                ).encode("latin-1")
+                + body
+            )
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # scraper vanished mid-response
+        finally:
+            writer.close()
+
+
+#: Dispatch table: wire op name -> handler coroutine.
+_OPS = {
+    "hello": PartitionServer._op_hello,
+    "create": PartitionServer._op_create,
+    "attach": PartitionServer._op_attach,
+    "submit": PartitionServer._op_submit,
+    "flush": PartitionServer._op_flush,
+    "checkpoint": PartitionServer._op_checkpoint,
+    "evict": PartitionServer._op_evict,
+    "digest": PartitionServer._op_digest,
+    "metrics": PartitionServer._op_metrics,
+    "stats": PartitionServer._op_stats,
+}
+
+
+class ServerThread:
+    """Run a :class:`PartitionServer` on a background event loop.
+
+    The in-process harness the gate, tests, benchmarks, and examples
+    share: boot, read the bound ports, drive it from blocking client
+    code, stop.  Usable as a context manager.
+    """
+
+    def __init__(self, config: ServerConfig | None = None):
+        self.server = PartitionServer(config)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._boot_error: Optional[BaseException] = None
+        self.tcp_port = 0
+        self.http_port = 0
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=30.0)
+        if self._boot_error is not None:
+            raise ServeError(
+                f"server failed to boot: {self._boot_error}"
+            ) from self._boot_error
+        if not self._started.is_set():
+            raise ServeError("server did not boot within 30s")
+        return self
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self.server.start())
+            self.tcp_port = self.server.tcp_port
+            self.http_port = self.server.http_port
+        except OSError as err:  # bind failure
+            self._boot_error = err
+            self._started.set()
+            return
+        self._started.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.run_until_complete(self.server.stop())
+            self._loop.close()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, List, Optional, Tuple
+from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro.core.adaptive import AdaptiveIGKway, AdaptiveReport
 from repro.core.igkway import FullPartitionReport
@@ -113,6 +113,12 @@ class StreamSession:
         escalate_after: Consecutive failing windows before the session
             escalates to a full device-structure rebuild
             (:meth:`AdaptiveIGKway.full_rebuild`).
+        clock: Zero-argument callable returning the session's notion of
+            "now" for scheduler deadlines and quarantine backoff.  The
+            default reads the partitioner's cost ledger
+            (:func:`~repro.stream.scheduler.ledger_cycles`); tests and
+            the serving layer inject a deterministic fake so nothing
+            depends on wall time or on another session's ledger.
     """
 
     def __init__(
@@ -132,6 +138,7 @@ class StreamSession:
         quarantine_max_attempts: int = 4,
         quarantine_backoff_cycles: float = 1e6,
         escalate_after: int = 3,
+        clock: Optional[Callable[[], float]] = None,
     ):
         partitioner = AdaptiveIGKway(
             csr,
@@ -152,6 +159,7 @@ class StreamSession:
             quarantine_max_attempts=quarantine_max_attempts,
             quarantine_backoff_cycles=quarantine_backoff_cycles,
             escalate_after=escalate_after,
+            clock=clock,
         )
 
     def _init_parts(
@@ -166,6 +174,7 @@ class StreamSession:
         quarantine_max_attempts: int = 4,
         quarantine_backoff_cycles: float = 1e6,
         escalate_after: int = 3,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if checkpoint_every < 0:
             raise ValueError("checkpoint_every must be >= 0")
@@ -198,11 +207,13 @@ class StreamSession:
         )
         self.quarantine.bind_metrics(self.obs)
         self.escalate_after = escalate_after
+        self._clock_fn = clock
         self.applied_seq = -1
         self._consecutive_failures = 0
         self._flushes_since_checkpoint = 0
         self._window_opened_cycles: Optional[float] = None
         self._started = False
+        self._suspended = False
         self._replaying = False
         # Set during replay of a flush record that had exclusions, so
         # the clean re-apply doesn't reset the failure streak the
@@ -221,6 +232,26 @@ class StreamSession:
         if self.journal is not None:
             self.checkpoint()
         return report
+
+    def suspend(self) -> None:
+        """Checkpoint and park the session so it can leave memory.
+
+        The cheap half of eviction: everything the engine needs lands in
+        the journal (checkpoint + the logged-but-unflushed suffix), the
+        journal's file handle is released, and the object refuses
+        further streaming calls.  Unlike :meth:`close`, the pending
+        queue is *not* drained — the queued suffix is replayed by
+        :meth:`recover`, so a suspended-and-recovered session flushes
+        the exact same windows an uninterrupted one would have.
+        """
+        if self.journal is None:
+            raise StreamError(
+                "cannot suspend a session without a journal"
+            )
+        self._require_started()
+        self.checkpoint()
+        self.journal.close()
+        self._suspended = True
 
     def close(self) -> Optional[StreamBatchReport]:
         """Flush everything pending, checkpoint, release the journal."""
@@ -610,6 +641,7 @@ class StreamSession:
         cls,
         journal_dir: "str | Path",
         ctx: GpuContext | None = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> "StreamSession":
         """Rebuild a session from its journal after a crash.
 
@@ -657,6 +689,7 @@ class StreamSession:
             ),
             checkpoint_every=meta.get("checkpoint_every", 8),
             escalate_after=int(resilience_meta.get("escalate_after", 3)),
+            clock=clock,
         )
         session._started = True
         session.applied_seq = state.applied_seq
@@ -772,8 +805,15 @@ class StreamSession:
     # -- internals -----------------------------------------------------------------
 
     def _clock(self) -> float:
+        if self._clock_fn is not None:
+            return self._clock_fn()
         return ledger_cycles(self.partitioner.ctx.ledger)
 
     def _require_started(self) -> None:
+        if self._suspended:
+            raise StreamError(
+                "session is suspended; resume it with "
+                "StreamSession.recover(journal_dir)"
+            )
         if not self._started:
             raise StreamError("call start() before streaming modifiers")

@@ -9,6 +9,7 @@ from repro.utils.errors import (
     ModifierError,
     PartitionError,
     ReproError,
+    ServeError,
     StreamError,
     TransactionError,
 )
@@ -30,6 +31,7 @@ __all__ = [
     "ModifierError",
     "PartitionError",
     "StreamError",
+    "ServeError",
     "BackpressureError",
     "JournalError",
     "TransactionError",

@@ -85,3 +85,22 @@ class JournalError(StreamError):
     """The recovery journal is missing, corrupt, or inconsistent with
     its checkpoint (e.g. a flush record references unlogged modifiers).
     """
+
+
+class ServeError(ReproError):
+    """The partition server rejected a request (:mod:`repro.serve`).
+
+    ``code`` is the wire protocol's typed error code (one of
+    :data:`repro.serve.protocol.ERROR_CODES`) and ``retryable`` mirrors
+    the response's retry hint: quota and load-shed rejections clear on
+    their own, so clients should back off and resubmit; the rest are
+    caller bugs.
+    """
+
+    def __init__(
+        self, message: str, code: str = "internal",
+        retryable: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.retryable = retryable

@@ -389,7 +389,7 @@ class TestFramework:
 
     def test_rule_ids_unique_and_kebab(self):
         ids = [rule.id for rule in ALL_RULES]
-        assert len(ids) == len(set(ids)) == 8
+        assert len(ids) == len(set(ids)) == 9
         assert all(i == i.lower() and " " not in i for i in ids)
 
 
@@ -544,5 +544,119 @@ class TestUnsortedDictExport:
                 return meta
             """,
             rules=["unsorted-dict-export"],
+        )
+        assert findings == []
+
+
+class TestBlockingCallInAsync:
+    def test_time_sleep_in_async_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/serve/h.py",
+            """
+            import time
+
+            async def handler(request):
+                time.sleep(0.1)
+                return request
+            """,
+            rules=["blocking-call-in-async"],
+        )
+        assert [f.rule for f in findings] == ["blocking-call-in-async"]
+        assert "blocks" in findings[0].message
+        assert "'handler'" in findings[0].message
+
+    def test_bare_sleep_from_time_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/serve/h.py",
+            """
+            from time import sleep
+
+            async def handler(request):
+                sleep(1)
+            """,
+            rules=["blocking-call-in-async"],
+        )
+        assert [f.rule for f in findings] == ["blocking-call-in-async"]
+        assert "time.sleep" in findings[0].message
+
+    def test_socket_method_on_sock_receiver_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/serve/h.py",
+            """
+            import select
+            import socket
+
+            async def pump(sock, conn):
+                data = sock.recv(4096)
+                conn.sendall(data)
+                select.select([sock], [], [])
+                peer = socket.create_connection(("h", 1))
+                return peer
+            """,
+            rules=["blocking-call-in-async"],
+        )
+        assert [f.rule for f in findings] == ["blocking-call-in-async"] * 4
+
+    def test_sync_function_exempt(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/serve/client.py",
+            """
+            import time
+
+            def call(sock, payload):
+                time.sleep(0.1)
+                return sock.recv(4096)
+            """,
+            rules=["blocking-call-in-async"],
+        )
+        assert findings == []
+
+    def test_asyncio_sleep_and_generator_send_clean(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/serve/h.py",
+            """
+            import asyncio
+
+            async def handler(gen, writer):
+                await asyncio.sleep(0.1)
+                gen.send(None)
+                writer.write(b"x")
+            """,
+            rules=["blocking-call-in-async"],
+        )
+        assert findings == []
+
+    def test_sync_helper_nested_in_async_exempt(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/serve/h.py",
+            """
+            import time
+
+            async def handler(pool):
+                def work():
+                    time.sleep(0.1)
+                return await pool.run(work)
+            """,
+            rules=["blocking-call-in-async"],
+        )
+        assert findings == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/serve/h.py",
+            """
+            import time
+
+            async def handler(request):
+                time.sleep(0.0)  # repro-lint: allow[blocking-call-in-async] bounded spin
+            """,
+            rules=["blocking-call-in-async"],
         )
         assert findings == []

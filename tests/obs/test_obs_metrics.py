@@ -109,3 +109,102 @@ def test_default_registry_reset():
     fresh = reset_default_registry()
     assert fresh is default_registry()
     assert default_registry().as_dict() == {}
+
+
+class TestMergeInto:
+    def test_counters_and_gauges_merge(self):
+        from repro.obs import merge_into
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("reqs", "h").inc(3)
+        a.gauge("depth", "h").set(7)
+        b.counter("reqs", "h").inc(4)
+        b.counter("only_b", "h").inc(1)
+        merged = MetricsRegistry()
+        merge_into(merged, a)
+        merge_into(merged, b)
+        snapshot = merged.as_dict()
+        assert snapshot["reqs"] == 7
+        assert snapshot["depth"] == 7
+        assert snapshot["only_b"] == 1
+
+    def test_histograms_merge_bucketwise(self):
+        from repro.obs import merge_into
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        bounds = (1.0, 10.0)
+        a.histogram("lat", "h", buckets=bounds).observe(0.5)
+        b.histogram("lat", "h", buckets=bounds).observe(5.0)
+        merged = MetricsRegistry()
+        merge_into(merged, a)
+        merge_into(merged, b)
+        hist = merged.get("lat")
+        assert hist.count == 2
+        assert hist.sum == 5.5
+
+    def test_mismatched_buckets_rejected(self):
+        from repro.obs import merge_into
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("lat", "h", buckets=(1.0,)).observe(0.5)
+        b.histogram("lat", "h", buckets=(2.0,)).observe(0.5)
+        merged = MetricsRegistry()
+        merge_into(merged, a)
+        with pytest.raises(ValueError, match="bucket"):
+            merge_into(merged, b)
+
+
+class TestLabeledExport:
+    def _registries(self):
+        from collections import OrderedDict
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("reqs_total", "requests").inc(3)
+        b.counter("reqs_total", "requests").inc(5)
+        b.gauge("depth", "queue depth").set(2)
+        # Deliberately insertion-ordered b-first: export must sort.
+        return OrderedDict((("beta", b), ("alpha", a)))
+
+    def test_help_type_once_sample_per_label(self):
+        from repro.obs import to_prometheus_labeled
+
+        text = to_prometheus_labeled(self._registries(), label="tenant")
+        assert text.count("# HELP reqs_total") == 1
+        assert text.count("# TYPE reqs_total counter") == 1
+        assert 'reqs_total{tenant="alpha"} 3' in text
+        assert 'reqs_total{tenant="beta"} 5' in text
+        # Only beta has the gauge; alpha contributes no sample for it.
+        assert 'depth{tenant="beta"} 2' in text
+        assert 'depth{tenant="alpha"}' not in text
+        # Label values sorted within a metric block.
+        assert text.index('reqs_total{tenant="alpha"}') < text.index(
+            'reqs_total{tenant="beta"}'
+        )
+
+    def test_histogram_labels_ride_with_le(self):
+        from repro.obs import to_prometheus_labeled
+
+        a = MetricsRegistry()
+        a.histogram("lat", "h", buckets=(1.0,)).observe(0.5)
+        text = to_prometheus_labeled({"t0": a}, label="tenant")
+        assert 'lat_bucket{tenant="t0",le="1.0"} 1' in text
+        assert 'lat_bucket{tenant="t0",le="+Inf"} 1' in text
+        assert 'lat_count{tenant="t0"} 1' in text
+
+    def test_cross_registry_type_conflict_rejected(self):
+        from repro.obs import to_prometheus_labeled
+
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x", "h")
+        b.gauge("x", "h")
+        with pytest.raises(TypeError):
+            to_prometheus_labeled({"a": a, "b": b}, label="tenant")
+
+    def test_label_values_escaped(self):
+        from repro.obs import escape_label_value, to_prometheus_labeled
+
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+        a = MetricsRegistry()
+        a.counter("x", "h").inc()
+        text = to_prometheus_labeled({'we"ird': a}, label="tenant")
+        assert 'x{tenant="we\\"ird"} 1' in text

@@ -1,0 +1,128 @@
+"""Admission control: typed codes, window rolls, validation."""
+
+import pytest
+
+from repro.serve.protocol import (
+    E_QUOTA_CYCLES,
+    E_QUOTA_QUEUE,
+    E_QUOTA_SESSIONS,
+)
+from repro.serve.quotas import TenantAccount, TenantQuota
+from repro.serve.shedding import LoadShedder, ShedPolicy
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestQuotaValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_sessions": 0},
+            {"max_queued_modifiers": 0},
+            {"window_cycles": 0.0},
+            {"cycle_budget_per_window": -1.0},
+        ],
+    )
+    def test_bad_quota_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TenantQuota(**kwargs)
+
+
+class TestAdmission:
+    def test_session_quota_returns_typed_code(self):
+        account = TenantAccount("t", TenantQuota(max_sessions=2))
+        assert account.admit_session(1) is None
+        assert account.admit_session(2) == E_QUOTA_SESSIONS
+
+    def test_queue_quota_counts_incoming(self):
+        account = TenantAccount(
+            "t", TenantQuota(max_queued_modifiers=10)
+        )
+        assert account.admit_submit(8, 2, worker_cycles=0.0) is None
+        assert (
+            account.admit_submit(8, 3, worker_cycles=0.0)
+            == E_QUOTA_QUEUE
+        )
+
+    def test_cycle_budget_exhausts_and_rolls(self):
+        quota = TenantQuota(
+            cycle_budget_per_window=100.0, window_cycles=1000.0
+        )
+        account = TenantAccount("t", quota)
+        assert account.admit_submit(0, 1, worker_cycles=0.0) is None
+        account.charge_cycles(150.0)
+        assert (
+            account.admit_submit(0, 1, worker_cycles=500.0)
+            == E_QUOTA_CYCLES
+        )
+        # Crossing the window boundary resets the spent budget.
+        assert account.admit_submit(0, 1, worker_cycles=1500.0) is None
+        assert account.window_cycles_used == 0.0
+
+    def test_no_budget_means_no_cycle_rejections(self):
+        account = TenantAccount("t", TenantQuota())
+        account.charge_cycles(1e18)
+        assert account.admit_submit(0, 1, worker_cycles=1e18) is None
+
+    def test_negative_charge_rejected(self):
+        account = TenantAccount("t", TenantQuota())
+        with pytest.raises(ValueError):
+            account.charge_cycles(-1.0)
+
+    def test_metrics_registry_tracks_usage(self):
+        account = TenantAccount("t", TenantQuota())
+        account.record_request()
+        account.record_reject()
+        account.record_shed()
+        account.charge_cycles(12.5)
+        account.publish_usage(live_sessions=2, queued=7)
+        snapshot = account.registry.as_dict()
+        assert snapshot["serve_tenant_requests_total"] == 1
+        assert snapshot["serve_tenant_rejected_total"] == 1
+        assert snapshot["serve_tenant_shed_total"] == 1
+        assert snapshot["serve_tenant_device_cycles_total"] == 12.5
+        assert snapshot["serve_tenant_sessions_live"] == 2
+        assert snapshot["serve_tenant_queued_modifiers"] == 7
+
+
+class TestShedding:
+    def _shedder(self, high=10, low=4):
+        return LoadShedder(
+            ShedPolicy(high_watermark=high, low_watermark=low),
+            MetricsRegistry(),
+        )
+
+    def test_hysteresis_enters_high_exits_low(self):
+        shedder = self._shedder()
+        assert shedder.should_shed_submit(9) is False
+        assert shedder.should_shed_submit(10) is True
+        # Between low and high: still shedding (hysteresis).
+        assert shedder.should_shed_submit(7) is True
+        assert shedder.should_shed_submit(4) is False
+        assert shedder.should_shed_submit(9) is False
+
+    def test_default_low_watermark_is_half(self):
+        policy = ShedPolicy(high_watermark=100)
+        assert policy.resolved_low_watermark == 50
+
+    def test_low_above_high_rejected(self):
+        with pytest.raises(ValueError):
+            ShedPolicy(high_watermark=10, low_watermark=11)
+
+    def test_shed_rate_and_counter(self):
+        registry = MetricsRegistry()
+        shedder = LoadShedder(
+            ShedPolicy(
+                high_watermark=10, low_watermark=0, rate_window=4
+            ),
+            registry,
+        )
+        for backlog in (10, 10, 10, 10):
+            shedder.should_shed_submit(backlog)
+        snapshot = registry.as_dict()
+        assert snapshot["serve_shed_total"] == 4
+        assert snapshot["serve_shed_rate"] == 1.0
+        assert snapshot["serve_shedding"] == 1
+        shedder.should_shed_submit(0)
+        snapshot = registry.as_dict()
+        assert snapshot["serve_shedding"] == 0
+        assert snapshot["serve_shed_rate"] == 0.75

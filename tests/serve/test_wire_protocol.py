@@ -1,0 +1,123 @@
+"""Wire-protocol contracts: framing, typed errors, size caps."""
+
+import socket
+import struct
+
+import pytest
+
+from repro.serve.protocol import (
+    ERROR_CODES,
+    MAX_FRAME,
+    RETRYABLE_CODES,
+    E_BAD_REQUEST,
+    E_SHED_OVERLOAD,
+    encode_frame,
+    error_response,
+    ok_response,
+    raise_for_response,
+    read_frame,
+    write_frame,
+)
+from repro.utils.errors import ServeError
+
+
+def _socketpair():
+    a, b = socket.socketpair()
+    a.settimeout(5.0)
+    b.settimeout(5.0)
+    return a, b
+
+
+class TestFraming:
+    def test_round_trip(self):
+        a, b = _socketpair()
+        try:
+            payload = {"op": "hello", "n": 3, "nested": {"x": [1, 2]}}
+            write_frame(a, payload)
+            assert read_frame(b) == payload
+        finally:
+            a.close()
+            b.close()
+
+    def test_frame_is_length_prefixed_json(self):
+        frame = encode_frame({"b": 1, "a": 2})
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+        # sort_keys: the wire bytes are canonical.
+        assert frame[4:] == b'{"a":2,"b":1}'
+
+    def test_eof_at_boundary_is_none(self):
+        a, b = _socketpair()
+        a.close()
+        try:
+            assert read_frame(b) is None
+        finally:
+            b.close()
+
+    def test_mid_frame_eof_raises(self):
+        a, b = _socketpair()
+        try:
+            frame = encode_frame({"op": "hello"})
+            a.sendall(frame[: len(frame) - 2])
+            a.close()
+            with pytest.raises(ServeError, match="mid-frame"):
+                read_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_announced_frame_rejected(self):
+        a, b = _socketpair()
+        try:
+            a.sendall(struct.pack(">I", MAX_FRAME + 1))
+            with pytest.raises(ServeError) as exc:
+                read_frame(b)
+            assert exc.value.code == E_BAD_REQUEST
+        finally:
+            a.close()
+            b.close()
+
+    def test_non_object_payload_rejected(self):
+        a, b = _socketpair()
+        try:
+            body = b"[1,2,3]"
+            a.sendall(struct.pack(">I", len(body)) + body)
+            with pytest.raises(ServeError, match="JSON object"):
+                read_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_garbage_payload_rejected(self):
+        a, b = _socketpair()
+        try:
+            body = b"\xff\xfe{"
+            a.sendall(struct.pack(">I", len(body)) + body)
+            with pytest.raises(ServeError, match="not valid JSON"):
+                read_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestTypedErrors:
+    def test_error_response_requires_known_code(self):
+        with pytest.raises(ValueError, match="unknown serve error code"):
+            error_response("made-up-code", "nope")
+
+    def test_retryable_derived_from_code(self):
+        for code in ERROR_CODES:
+            response = error_response(code, "msg")
+            assert response["error"]["retryable"] == (
+                code in RETRYABLE_CODES
+            )
+
+    def test_raise_for_response_carries_code_and_retryable(self):
+        response = error_response(E_SHED_OVERLOAD, "busy")
+        with pytest.raises(ServeError) as exc:
+            raise_for_response(response)
+        assert exc.value.code == E_SHED_OVERLOAD
+        assert exc.value.retryable is True
+
+    def test_ok_response_passes_through(self):
+        response = ok_response(cut=7)
+        assert raise_for_response(response) is response

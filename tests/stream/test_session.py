@@ -320,3 +320,113 @@ class TestCrashRecovery:
         streamed = recovered.partitioner.graph.to_host_graph()
         assert streamed.adj == reference.adj
         recovered.close()
+
+
+class TestInjectableClock:
+    def test_injected_clock_drives_deadline_trigger(self, small_circuit):
+        # A fake clock decoupled from the ledger: the deadline window
+        # opens at t=0 and the second submit arrives "late" only
+        # because the injected clock says so.
+        now = {"t": 0.0}
+        session = StreamSession(
+            small_circuit,
+            PartitionConfig(k=2, seed=2),
+            scheduler=SchedulerConfig(
+                target_batch_size=1000, max_latency_cycles=10.0
+            ),
+            clock=lambda: now["t"],
+        )
+        session.start()
+        session.submit(EdgeInsert(0, 250))
+        assert session.telemetry.flushes_by_reason.get("deadline", 0) == 0
+        now["t"] = 100.0
+        session.submit(EdgeInsert(0, 251))
+        assert session.telemetry.flushes_by_reason.get("deadline", 0) >= 1
+
+    def test_frozen_clock_never_fires_deadline(self, small_circuit):
+        session = StreamSession(
+            small_circuit,
+            PartitionConfig(k=2, seed=2),
+            scheduler=SchedulerConfig(
+                target_batch_size=1000, max_latency_cycles=1.0
+            ),
+            clock=lambda: 0.0,
+        )
+        session.start()
+        for i in range(20):
+            session.submit(EdgeInsert(0, 200 + i))
+        assert session.telemetry.flushes_by_reason.get("deadline", 0) == 0
+
+    def test_default_clock_still_ledger_cycles(self, small_circuit):
+        session = StreamSession(small_circuit, PartitionConfig(k=2, seed=2))
+        session.start()
+        before = session._clock()
+        session.submit(EdgeInsert(0, 250))
+        assert session._clock() >= before
+
+    def test_recover_accepts_injected_clock(self, small_circuit, tmp_path):
+        session = _session(small_circuit, tmp_path)
+        session.start()
+        session.submit(EdgeInsert(0, 250))
+        session.close()
+        recovered = StreamSession.recover(
+            tmp_path / "j", clock=lambda: 123.0
+        )
+        assert recovered._clock() == 123.0
+        recovered.close()
+
+
+class TestSuspend:
+    def test_suspend_requires_journal(self, small_circuit):
+        session = _session(small_circuit)
+        session.start()
+        with pytest.raises(StreamError, match="without a journal"):
+            session.suspend()
+
+    def test_suspended_session_rejects_streaming_calls(
+        self, small_circuit, tmp_path
+    ):
+        session = _session(small_circuit, tmp_path)
+        session.start()
+        session.submit(EdgeInsert(0, 250))
+        session.suspend()
+        with pytest.raises(StreamError, match="suspended"):
+            session.submit(EdgeInsert(0, 251))
+        with pytest.raises(StreamError, match="suspended"):
+            session.flush()
+
+    def test_suspend_preserves_queued_suffix_bit_identically(
+        self, small_circuit, tmp_path
+    ):
+        stream = _churn_stream(small_circuit)
+        # Interrupted: suspend with a queued (unflushed) suffix, then
+        # recover and finish.
+        session = _session(small_circuit, tmp_path, target=16)
+        session.start()
+        for mod in stream[:40]:
+            session.submit(mod)
+        assert session.queue.depth > 0  # a genuine suffix is pending
+        session.suspend()
+        recovered = StreamSession.recover(tmp_path / "j")
+        for mod in stream[40:80]:
+            recovered.submit(mod)
+        recovered.drain()
+
+        # Uninterrupted reference.
+        reference = _session(
+            small_circuit, tmp_path / "ref", target=16
+        )
+        reference.start()
+        for mod in stream[:80]:
+            reference.submit(mod)
+        reference.drain()
+
+        assert np.array_equal(
+            recovered.partitioner.partition, reference.partitioner.partition
+        )
+        assert (
+            recovered.partitioner.cut_size()
+            == reference.partitioner.cut_size()
+        )
+        recovered.close()
+        reference.close()

@@ -32,6 +32,17 @@ def obs_artifact() -> str:
     return path.read_text().rstrip()
 
 
+def serve_artifact() -> str:
+    """The serve-gate report; optional (serving is opt-in)."""
+    path = RESULTS / "serve.txt"
+    if not path.exists():
+        return (
+            "(no serving run captured; "
+            "`python tools/serve_gate.py` writes results/serve.txt)"
+        )
+    return path.read_text().rstrip()
+
+
 def graph_inventory() -> str:
     from repro.graph import BENCHMARKS, graph_summary, make_benchmark_graph
 
@@ -63,6 +74,7 @@ def main() -> int:
         "<<SELFCHECK>>": artifact("selfcheck"),
         "<<VARIANCE>>": artifact("variance"),
         "<<OBSTRACE>>": obs_artifact(),
+        "<<SERVE>>": serve_artifact(),
         "<<GRAPHS>>": graph_inventory(),
     }
     for key, value in substitutions.items():
