@@ -35,6 +35,12 @@ from pathlib import Path
 import numpy as np
 
 from bench_common import bench_record, partition_digest, seeded_workload
+from repro.core.backend import (
+    active_backend_name,
+    available_backends,
+    registered_backends,
+    set_backend,
+)
 from repro.core.igkway import IGKway
 from repro.gpusim.context import GpuContext
 from repro.partition.config import PartitionConfig
@@ -51,47 +57,99 @@ def run_hotpath(
     seed: int = 7,
     k: int = 8,
     mode: str = "vector",
+    backend: str | None = None,
 ) -> dict:
     """One measured incremental sweep; returns a ``repro-bench-v1``
-    record (host phase seconds + deterministic device-side outputs)."""
-    csr, trace = seeded_workload(n_vertices, batches, seed=seed)
-    ig = IGKway(csr, PartitionConfig(k=k, mode=mode))
-    ig.full_partition()
+    record (host phase seconds + deterministic device-side outputs).
 
-    dev_mod = dev_part = 0.0
-    with collect_phase_times() as phases:
-        t0 = time.perf_counter()
-        for batch in trace:
-            report = ig.apply(batch)
-            dev_mod += report.modification_seconds
-            dev_part += report.partitioning_seconds
-        sweep_total = time.perf_counter() - t0
+    ``backend`` selects the compute backend for the sweep (restored
+    afterwards); deterministic outputs must be identical under every
+    backend — that is the bit-identity contract ``tools/perf_gate.py``
+    certifies.
+    """
+    prior_backend = active_backend_name()
+    if backend is not None:
+        set_backend(backend)
+    try:
+        csr, trace = seeded_workload(n_vertices, batches, seed=seed)
+        ig = IGKway(csr, PartitionConfig(k=k, mode=mode))
+        ig.full_partition()
 
-    host = dict(phases)
-    host["sweep_total"] = sweep_total
-    ledger = ig.ctx.ledger.total
-    return bench_record(
-        "hotpath",
-        workload={
-            "n_vertices": csr.num_vertices,
-            "n_edges": int(csr.num_edges),
-            "batches": batches,
-            "k": k,
-            "mode": mode,
-            "seed": seed,
-        },
-        host_seconds=host,
-        device_seconds={
-            "modification": dev_mod,
-            "partitioning": dev_part,
-        },
-        ledger={
-            "warp_instructions": ledger.warp_instructions,
-            "transactions": ledger.transactions,
-        },
-        final_cut=ig.cut_size(),
-        partition_sha256=partition_digest(ig.state.partition),
-    )
+        dev_mod = dev_part = dev_cut = 0.0
+        with collect_phase_times() as phases:
+            t0 = time.perf_counter()
+            for batch in trace:
+                report = ig.apply(batch)
+                dev_mod += report.modification_seconds
+                dev_part += report.partitioning_seconds
+                dev_cut += report.cut_maintenance_seconds
+            sweep_total = time.perf_counter() - t0
+
+        host = dict(phases)
+        host["sweep_total"] = sweep_total
+        ledger = ig.ctx.ledger.total
+        return bench_record(
+            "hotpath",
+            workload={
+                "n_vertices": csr.num_vertices,
+                "n_edges": int(csr.num_edges),
+                "batches": batches,
+                "k": k,
+                "mode": mode,
+                "seed": seed,
+                "backend": active_backend_name(),
+            },
+            host_seconds=host,
+            device_seconds={
+                "modification": dev_mod,
+                "partitioning": dev_part,
+                "cut_maintenance": dev_cut,
+            },
+            ledger={
+                "warp_instructions": ledger.warp_instructions,
+                "transactions": ledger.transactions,
+            },
+            final_cut=ig.cut_size(),
+            partition_sha256=partition_digest(ig.state.partition),
+        )
+    finally:
+        if backend is not None:
+            set_backend(prior_backend)
+
+
+def measure_backend_timings(
+    n_vertices: int = 1_200,
+    batches: int = 3,
+    seed: int = 7,
+    k: int = 4,
+) -> dict:
+    """Run the smoke sweep once per *available* compute backend.
+
+    Asserts the bit-identity contract along the way: every backend must
+    produce the same final cut, ledger counters, and partition digest —
+    only host wall-clock may differ.
+    """
+    out: dict = {}
+    reference: dict | None = None
+    for name in available_backends():
+        record = run_hotpath(
+            n_vertices, batches, seed=seed, k=k, backend=name
+        )
+        out[name] = {
+            "sweep_total": record["host_seconds"]["sweep_total"],
+            "final_cut": record["final_cut"],
+            "partition_sha256": record["partition_sha256"],
+            "ledger": record["ledger"],
+        }
+        if reference is None:
+            reference = record
+        else:
+            for key in ("final_cut", "partition_sha256", "ledger"):
+                assert record[key] == reference[key], (
+                    f"backend {name!r} diverged on {key}: "
+                    f"{record[key]!r} != {reference[key]!r}"
+                )
+    return out
 
 
 def check_mode_equivalence(
@@ -286,7 +344,14 @@ def test_hotpath_smoke():
     assert record["host_seconds"]["sweep_total"] > 0
     for phase in ("modifiers", "balance", "cut-size"):
         assert phase in record["host_seconds"]
+    assert "cut_maintenance" in record["device_seconds"]
     check_mode_equivalence(n_vertices=400, batches=2)
+
+
+def test_backend_timings_bit_identical():
+    """Every available backend reproduces the same sweep outputs."""
+    timings = measure_backend_timings(n_vertices=400, batches=2)
+    assert "numpy" in timings
 
 
 def test_sanitizer_overhead_contracts():
@@ -319,6 +384,12 @@ def main(argv: list[str] | None = None) -> int:
         "--mode", choices=["vector", "warp"], default="vector"
     )
     parser.add_argument(
+        "--backend",
+        choices=registered_backends(),
+        default=None,
+        help="compute backend for the sweep (default: active backend)",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=None,
@@ -338,10 +409,14 @@ def main(argv: list[str] | None = None) -> int:
         seed=args.seed,
         k=args.k,
         mode=args.mode,
+        backend=args.backend,
     )
     if not args.no_equivalence:
         record["equivalence"] = check_mode_equivalence()
     if args.smoke:
+        # Per-backend smoke timings (and the bit-identity assertion
+        # across every available backend).
+        record["backends"] = measure_backend_timings()
         # Shadow-mode cost check rides along at smoke scale: asserts the
         # ledger is untouched by instrumentation and reports the host
         # wall-clock factor of running under the sanitizer.

@@ -13,6 +13,9 @@ established in prose:
   charges in kernel code land inside a priced ``ledger.kernel`` scope.
 * :mod:`pool` — ``untracked-pool-write``: bucket-pool arrays are only
   mutated with the PR 3 undo log armed.
+* :mod:`poolscan` — ``pool-scan-outside-sanitizer``: O(pool) cut scans
+  live only in sanitizer/cross-check modules; hot paths read the
+  incremental cut accumulator (PR 7).
 * :mod:`exceptions` — ``blind-except``: no bare or silently-swallowed
   broad excepts.
 * :mod:`obs` — ``span-literal``: trace span names are literal strings
@@ -35,6 +38,7 @@ from repro.analysis.rules.ledger import UnchargedKernelRule
 from repro.analysis.rules.obs import SpanLiteralRule, UnsortedDictExportRule
 from repro.analysis.rules.ordering import SetIterOrderRule
 from repro.analysis.rules.pool import UntrackedPoolWriteRule
+from repro.analysis.rules.poolscan import PoolScanOutsideSanitizerRule
 from repro.analysis.rules.rng import UnseededRngRule
 
 #: All rules in the pack, in reporting order.
@@ -44,6 +48,7 @@ ALL_RULES: tuple[LintRule, ...] = (
     SetIterOrderRule(),
     UnchargedKernelRule(),
     UntrackedPoolWriteRule(),
+    PoolScanOutsideSanitizerRule(),
     BlindExceptRule(),
     SpanLiteralRule(),
     UnsortedDictExportRule(),
@@ -67,6 +72,7 @@ __all__ = [
     "BlindExceptRule",
     "BlockingCallInAsyncRule",
     "HotPathLoopRule",
+    "PoolScanOutsideSanitizerRule",
     "SetIterOrderRule",
     "SpanLiteralRule",
     "UnchargedKernelRule",

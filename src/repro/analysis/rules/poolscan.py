@@ -1,0 +1,76 @@
+"""``pool-scan-outside-sanitizer``: full pool scans stay in sanitizer code.
+
+PR 7 replaced the per-batch cut pool scan with the incremental
+:class:`~repro.partition.cutacc.CutAccumulator`; the scan functions
+(``cut_size_bucketlist``, ``arc_matrix_bucketlist``,
+``cut_matrix_bucketlist`` and the CSR ``cut_matrix``) survive as
+*ground truth* for the sanitizer cross-check and tests.  A new call
+site in product code silently reintroduces the O(pool) host cost the
+refactor removed — it still returns the right answer, so nothing but a
+perf gate (or this rule) would catch it.
+
+Exempt: the metrics module (where the scans are defined), the
+sanitizer cross-check module (whose whole job is to run them), and
+call sites carrying a ``# repro-lint: allow[pool-scan-outside-sanitizer]``
+pragma with a reason (e.g. the accumulator's one-time bootstrap).
+Tests are outside the lint walk entirely.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.lintcore import Finding, LintRule, ModuleInfo
+
+_SCAN_NAMES = {
+    "cut_size_bucketlist",
+    "cut_matrix",
+    "cut_matrix_bucketlist",
+    "arc_matrix_bucketlist",
+}
+_EXEMPT_SUFFIXES = (
+    "partition/metrics.py",
+    "partition/cutcheck.py",
+)
+
+
+class PoolScanOutsideSanitizerRule(LintRule):
+    """Flag pool-scan cut computations outside sanitizer modules."""
+
+    id = "pool-scan-outside-sanitizer"
+
+    def applies_to(self, info: ModuleInfo) -> bool:
+        posix = Path(info.path).as_posix()
+        return not posix.endswith(_EXEMPT_SUFFIXES)
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            if isinstance(callee, ast.Attribute):
+                name = callee.attr
+            elif isinstance(callee, ast.Name):
+                name = callee.id
+            else:
+                continue
+            if name not in _SCAN_NAMES:
+                continue
+            if name == "cut_matrix" and (
+                len(node.args) + len(node.keywords) < 2
+            ):
+                # The O(k^2) accumulator/IGKway reads are also called
+                # ``cut_matrix`` but take at most one argument; every
+                # scan signature starts with (graph, partition, ...).
+                continue
+            func = info.enclosing_function(node)
+            scope = f"function {func.name!r}" if func else "module scope"
+            yield self.finding(
+                info,
+                node,
+                f"O(pool) scan {name}() called in {scope}; hot-path code "
+                "reads the incremental CutAccumulator — pool scans belong "
+                "to the sanitizer cross-check (partition/cutcheck.py)",
+            )

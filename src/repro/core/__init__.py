@@ -9,6 +9,12 @@ from repro.core.igkway import (
     IGKway,
     IterationReport,
 )
+from repro.core.backend import (
+    available_backends,
+    get_backend,
+    registered_backends,
+    set_backend,
+)
 from repro.core.modification import (
     SlotDelete,
     SlotInsert,
@@ -16,6 +22,7 @@ from repro.core.modification import (
     VertexActivate,
     VertexDeactivate,
     apply_batch,
+    apply_ops,
     apply_ops_vector,
     apply_ops_warp,
     expand_modifiers,
@@ -38,8 +45,13 @@ __all__ = [
     "BaselineIterationReport",
     "FullPartitionReport",
     "apply_batch",
+    "apply_ops",
     "apply_ops_warp",
     "apply_ops_vector",
+    "get_backend",
+    "set_backend",
+    "available_backends",
+    "registered_backends",
     "expand_modifiers",
     "SlotInsert",
     "SlotDelete",

@@ -1,0 +1,153 @@
+"""Pluggable compute backends for the bulk (vectorized) kernels.
+
+The vectorized execution path expresses every hot kernel — the
+choose-partition masked argmax, the longest-feasible-prefix
+scatter/segment-cumsum, the bulk edge insert/delete slot resolution,
+``PartitionState.apply_moves`` weight scatter, and the incremental
+cut-delta folds — as *pure array functions*: arrays in, arrays out, no
+ledger charges, no graph mutation.  This module puts those functions
+behind a thin interface so a compiled implementation (numba today,
+cython/CUDA tomorrow) can be certified by the exact same bit-identity
+gates as the NumPy reference:
+
+* ``tools/perf_gate.py`` runs the gate workload under every available
+  backend and requires identical ledger counters, final cut and
+  partition sha256, and
+* the ``repro.obs`` trace-diff attributes any regression a backend
+  introduces to the exact kernel that diverged.
+
+Selection
+---------
+The active backend defaults to ``numpy`` and can be chosen with the
+``REPRO_BACKEND`` environment variable, :func:`set_backend`, or the
+``--backend`` flag on the bench/eval CLIs.  Backends whose imports are
+missing (e.g. numba not installed) stay *registered* but unavailable:
+they are listed by :func:`available_backends` only when importable, and
+selecting one raises :class:`BackendUnavailable` with the import error.
+
+Contract: every backend method must be **bit-identical** to the NumPy
+reference implementation in :class:`NumpyBackend` — same dtypes, same
+tie-breaks, same integer arithmetic.  Cost accounting is *not* a
+backend concern: callers charge the simulated-GPU ledger themselves,
+so switching backends can never move a deterministic counter.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict
+
+from repro.core.backend.numpy_backend import KernelBackend, NumpyBackend
+
+
+class BackendUnavailable(RuntimeError):
+    """Raised when selecting a registered backend whose deps are missing."""
+
+
+def _make_numba() -> KernelBackend:
+    from repro.core.backend.numba_backend import (  # noqa: PLC0415
+        NumbaBackend,
+        numba_import_error,
+    )
+
+    err = numba_import_error()
+    if err is not None:
+        raise BackendUnavailable(
+            f"backend 'numba' is registered but not importable: {err}"
+        )
+    return NumbaBackend()
+
+
+#: Registered backend factories.  A factory may raise
+#: :class:`BackendUnavailable`; registration itself never imports the
+#: backend's dependencies.
+_FACTORIES: Dict[str, Callable[[], KernelBackend]] = {
+    "numpy": NumpyBackend,
+    "numba": _make_numba,
+}
+
+#: Instantiated backends (a backend is stateless; one instance each).
+_INSTANCES: Dict[str, KernelBackend] = {}
+
+_ENV_VAR = "REPRO_BACKEND"
+
+_active: KernelBackend | None = None
+
+
+def register_backend(
+    name: str, factory: Callable[[], KernelBackend]
+) -> None:
+    """Register an out-of-tree backend factory under ``name``."""
+    if name in _FACTORIES:
+        raise ValueError(f"backend {name!r} is already registered")
+    _FACTORIES[name] = factory
+
+
+def registered_backends() -> list[str]:
+    """All registered backend names, available or not (sorted)."""
+    return sorted(_FACTORIES)
+
+
+def available_backends() -> list[str]:
+    """Registered backends whose dependencies import cleanly (sorted)."""
+    out = []
+    for name in sorted(_FACTORIES):
+        try:
+            _instantiate(name)
+        except BackendUnavailable:
+            continue
+        out.append(name)
+    return out
+
+
+def _instantiate(name: str) -> KernelBackend:
+    if name not in _FACTORIES:
+        raise KeyError(
+            f"unknown backend {name!r} "
+            f"(registered: {', '.join(registered_backends())})"
+        )
+    instance = _INSTANCES.get(name)
+    if instance is None:
+        instance = _FACTORIES[name]()
+        _INSTANCES[name] = instance
+    return instance
+
+
+def get_backend(name: str | None = None) -> KernelBackend:
+    """Return a backend by name, or the active one when ``name`` is None.
+
+    The active backend resolves once, lazily: ``REPRO_BACKEND`` if set
+    (unknown/unavailable values raise immediately so a typo cannot
+    silently fall back to NumPy), else ``numpy``.
+    """
+    global _active
+    if name is not None:
+        return _instantiate(name)
+    if _active is None:
+        _active = _instantiate(os.environ.get(_ENV_VAR, "numpy"))
+    return _active
+
+
+def set_backend(name: str) -> KernelBackend:
+    """Make ``name`` the process-wide active backend; returns it."""
+    global _active
+    _active = _instantiate(name)
+    return _active
+
+
+def active_backend_name() -> str:
+    """Name of the backend :func:`get_backend` currently resolves to."""
+    return get_backend().name
+
+
+__all__ = [
+    "BackendUnavailable",
+    "KernelBackend",
+    "NumpyBackend",
+    "active_backend_name",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "registered_backends",
+    "set_backend",
+]

@@ -1,0 +1,160 @@
+"""Optional numba backend: JIT-compiled hot kernels, NumPy semantics.
+
+Import-gated: numba is an *optional* dependency.  This module imports
+cleanly whether or not numba is installed; :func:`numba_import_error`
+reports the failure (if any) and the registry in
+:mod:`repro.core.backend` only lists ``numba`` as available when it is
+None.  Nothing here may import numba at module scope unconditionally.
+
+The overridden kernels are the per-row/per-arc loops that NumPy
+expresses as multi-pass whole-array operations — a compiled single pass
+wins on large rows.  Every override must match the NumPy reference
+bit-for-bit (same int64 arithmetic, same tie-breaks); the perf gate's
+backend-parity check runs the gate workload under this backend and
+fails on any ledger/cut/sha divergence.  Kernels without a compiled win
+are inherited from :class:`NumpyBackend` unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.backend.numpy_backend import NumpyBackend
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    _NUMBA_ERROR: Exception | None = None
+except Exception as err:  # ImportError, or a broken install
+    numba = None  # type: ignore[assignment]
+    _NUMBA_ERROR = err
+
+
+def numba_import_error() -> Exception | None:
+    """The numba import failure, or None when numba is usable."""
+    return _NUMBA_ERROR
+
+
+if numba is not None:  # pragma: no cover - requires numba
+
+    @numba.njit(cache=True)
+    def _choose_partition_rows(
+        counts: np.ndarray,
+        feasible: np.ndarray,
+        part_weights: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        rows, k = counts.shape
+        targets = np.empty(rows, dtype=np.int64)
+        chosen = np.empty(rows, dtype=np.int64)
+        for r in range(rows):
+            best_count = np.int64(-1)
+            best_part = np.int64(-1)
+            for p in range(k):
+                if not feasible[p]:
+                    continue
+                c = counts[r, p]
+                # Exact lexicographic tie-break: most neighbors, then
+                # lighter partition, then smaller index (strict
+                # comparisons + ascending p).
+                if c > best_count or (
+                    c == best_count
+                    and best_part >= 0
+                    and part_weights[p] < part_weights[best_part]
+                ):
+                    best_count = c
+                    best_part = p
+            targets[r] = best_part
+            chosen[r] = counts[r, best_part]
+        return targets, chosen
+
+    @numba.njit(cache=True)
+    def _feasible_prefix_scan(
+        targets: np.ndarray,
+        weights: np.ndarray,
+        part_weights: np.ndarray,
+        w_pmax: np.int64,
+        k: int,
+    ) -> int:
+        m = targets.shape[0]
+        acc = part_weights.copy()
+        for j in range(m):
+            acc[targets[j]] += weights[j]
+            for p in range(k):
+                if acc[p] > w_pmax:
+                    return j
+        return m
+
+    @numba.njit(cache=True)
+    def _fold_deltas(
+        flat_matrix: np.ndarray,
+        sub_keys: np.ndarray,
+        sub_weights: np.ndarray,
+        add_keys: np.ndarray,
+        add_weights: np.ndarray,
+    ) -> None:
+        for i in range(sub_keys.size):
+            flat_matrix[sub_keys[i]] -= sub_weights[i]
+        for i in range(add_keys.size):
+            flat_matrix[add_keys[i]] += add_weights[i]
+
+
+class NumbaBackend(NumpyBackend):
+    """JIT overrides for the row-loop kernels; NumPy for the rest."""
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        if numba is None:
+            raise RuntimeError(
+                f"numba is not importable: {_NUMBA_ERROR}"
+            )
+
+    # pragma: no cover on the overrides - requires numba installed
+
+    def choose_partition(
+        self,
+        counts: np.ndarray,
+        feasible: np.ndarray,
+        part_weights: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:  # pragma: no cover
+        counts = np.atleast_2d(np.asarray(counts, dtype=np.int64))
+        feasible = np.asarray(feasible, dtype=np.bool_)
+        if not np.any(feasible):
+            # Same progress fallback as the reference: globally lightest.
+            target = int(np.argmin(part_weights))
+            rows = counts.shape[0]
+            targets = np.full(rows, target, dtype=np.int64)
+            return targets, counts[:, target].astype(np.int64)
+        return _choose_partition_rows(
+            counts, feasible, np.asarray(part_weights, dtype=np.int64)
+        )
+
+    def feasible_prefix(
+        self,
+        targets: np.ndarray,
+        weights: np.ndarray,
+        part_weights: np.ndarray,
+        w_pmax: int,
+        k: int,
+    ) -> int:  # pragma: no cover
+        return int(
+            _feasible_prefix_scan(
+                np.asarray(targets, dtype=np.int64),
+                np.asarray(weights, dtype=np.int64),
+                np.asarray(part_weights, dtype=np.int64),
+                np.int64(w_pmax),
+                k,
+            )
+        )
+
+    def fold_cut_deltas(
+        self,
+        flat_matrix: np.ndarray,
+        sub_keys: np.ndarray,
+        sub_weights: np.ndarray,
+        add_keys: np.ndarray,
+        add_weights: np.ndarray,
+    ) -> None:  # pragma: no cover
+        _fold_deltas(
+            flat_matrix, sub_keys, sub_weights, add_keys, add_weights
+        )

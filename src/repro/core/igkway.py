@@ -21,6 +21,8 @@ be compared against the paper.
 
 from __future__ import annotations
 
+import math
+import os
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -31,7 +33,7 @@ from repro.core.balancing import (
     balance_partition,
     charge_boundary_bookkeeping,
 )
-from repro.core.modification import apply_batch
+from repro.core.modification import apply_ops, expand_modifiers
 from repro.core.refinement import RefineStats, refine_pseudo
 from repro.core.transaction import transaction
 from repro.gpusim.context import GpuContext
@@ -40,8 +42,9 @@ from repro.graph.bucketlist import BucketListGraph
 from repro.graph.csr import CSRGraph
 from repro.graph.modifiers import Modifier
 from repro.partition.config import PartitionConfig
+from repro.partition.cutacc import CutAccumulator
+from repro.partition.cutcheck import verify_cut
 from repro.partition.gkway import GKwayPartitioner
-from repro.partition.metrics import cut_size_bucketlist
 from repro.partition.state import UNASSIGNED, PartitionState
 from repro.utils.errors import PartitionError
 from repro.obs import span
@@ -59,6 +62,9 @@ class IterationReport:
         balance_stats / refine_stats: Kernel diagnostics.
         applied_modifiers: Modifiers in the batch this report covers
             (after any coalescing upstream of the partitioner).
+        cut_maintenance_seconds: Modeled GPU time of the incremental
+            cut-update kernel (proportional to arcs touched by the
+            batch, never to pool size).
     """
 
     modification_seconds: float
@@ -68,6 +74,7 @@ class IterationReport:
     balance_stats: BalanceStats
     refine_stats: RefineStats
     applied_modifiers: int = 0
+    cut_maintenance_seconds: float = 0.0
 
 
 @dataclass
@@ -90,6 +97,11 @@ class IGKway:
             omitted.
         device: Device spec for the fresh context.
         capacity_factor: Vertex-ID headroom for future insertions.
+        verify_cut_scan: When True, cross-check the incremental cut
+            accumulator against a ground-truth pool scan after every
+            batch (sanitizer mode; pays the full scan cost the
+            accumulator exists to avoid).  Defaults to the
+            ``REPRO_VERIFY_CUT`` environment variable.
     """
 
     def __init__(
@@ -99,6 +111,7 @@ class IGKway:
         ctx: GpuContext | None = None,
         device: DeviceSpec = A6000,
         capacity_factor: float = 1.5,
+        verify_cut_scan: bool | None = None,
     ):
         self.initial_csr = csr
         self.config = config
@@ -111,6 +124,12 @@ class IGKway:
         #: and raises TransactionError on a digest mismatch (tests and
         #: the chaos harness; costs a full state hash per batch).
         self.verify_rollback_digest = False
+        if verify_cut_scan is None:
+            verify_cut_scan = os.environ.get(
+                "REPRO_VERIFY_CUT", ""
+            ) not in ("", "0")
+        #: Sanitizer mode: assert incremental cut == pool scan per batch.
+        self.verify_cut_scan = bool(verify_cut_scan)
 
     # -- stage 1: full partitioning -------------------------------------------
 
@@ -146,6 +165,12 @@ class IGKway:
         self.state = PartitionState(
             partition, self.graph.vwgt, self.config.k, self.config.epsilon
         )
+        # Bootstrap the incremental cut accumulator at upload time, like
+        # the slot->owner index above: the one-time pool scan happens
+        # here, so the first incremental iteration's cut read is already
+        # an O(k^2) lookup.
+        self.state.cut_acc = CutAccumulator(self.graph, self.config.k)
+        self.state.cut_acc.ensure(self.state.partition)
         return FullPartitionReport(
             seconds=seconds,
             cut=result.cut,
@@ -186,9 +211,20 @@ class IGKway:
         with span("apply.batch"):
             before_mod = ledger.snapshot()
             with ledger.section("modification"), span("modifiers"):
-                ops = apply_batch(
-                    self.ctx, graph, batch, mode=self.config.mode
+                ops = expand_modifiers(graph, batch)
+                # Pre-compute the batch's arc deltas against the
+                # pre-batch adjacency (a deleted arc's weight is about
+                # to be blanked), fold them only after the kernels
+                # commit — a failed batch folds nothing.
+                acc = state.cut_acc
+                cut_deltas = (
+                    acc.edge_deltas(state.partition, ops)
+                    if acc is not None and acc.active
+                    else None
                 )
+                apply_ops(self.ctx, graph, ops, mode=self.config.mode)
+                if cut_deltas is not None:
+                    acc.fold(*cut_deltas)
             mod_seconds = ledger.model.seconds(
                 ledger.total.diff(before_mod)
             )
@@ -214,8 +250,16 @@ class IGKway:
                 ledger.total.diff(before_part)
             )
 
-            with span("cut-size"):
+            before_cut = ledger.snapshot()
+            with ledger.section("cut_maintenance"), span("cut-size"):
                 cut = self.cut_size()
+                self._charge_cut_maintenance()
+            cut_seconds = ledger.model.seconds(
+                ledger.total.diff(before_cut)
+            )
+            if self.verify_cut_scan:
+                with span("verify-cut"):
+                    verify_cut(graph, state)
         self.iterations_applied += 1
         return IterationReport(
             modification_seconds=mod_seconds,
@@ -225,7 +269,30 @@ class IGKway:
             balance_stats=balance_stats,
             refine_stats=refine_stats,
             applied_modifiers=len(batch),
+            cut_maintenance_seconds=cut_seconds,
         )
+
+    def _charge_cut_maintenance(self) -> None:
+        """Charge the modeled device cost of the batch's cut updates.
+
+        One atomic scatter-add per touched arc direction, 32 arcs per
+        warp — work proportional to what the batch moved or modified,
+        never to the pool.  Drains the accumulator's touched-arc
+        counter, so each arc is charged exactly once even when reads
+        and batches interleave.
+        """
+        acc = self.state.cut_acc if self.state is not None else None
+        arcs = acc.take_touched() if acc is not None else 0
+        if arcs == 0:
+            return
+        ledger = self.ctx.ledger
+        with ledger.kernel("cut-update"):
+            self.ctx.charge_wavefront(
+                math.ceil(arcs / 32),
+                instructions_per_warp=4,
+                transactions_per_warp=2,
+            )
+            ledger.charge_atomics(arcs)
 
     def run_trace(
         self, trace: Sequence[Sequence[Modifier]]
@@ -247,9 +314,19 @@ class IGKway:
         return state.partition
 
     def cut_size(self) -> int:
-        """Exact weighted cut of the current (modified) graph."""
-        graph, state = self._require_partitioned()
-        return cut_size_bucketlist(graph, state.partition)
+        """Exact weighted cut of the current (modified) graph.
+
+        O(k^2) from the incrementally maintained cut matrix; the first
+        call after ``full_partition`` (or a checkpoint recovery) pays a
+        one-time bootstrap scan.
+        """
+        _graph, state = self._require_partitioned()
+        return state.cut_acc.cut_size(state.partition)
+
+    def cut_matrix(self) -> np.ndarray:
+        """``k x k`` inter-partition cut-weight matrix (O(k^2) read)."""
+        _graph, state = self._require_partitioned()
+        return state.cut_acc.cut_matrix(state.partition)
 
     def validate(self) -> None:
         """Check graph and partition invariants (tests / debugging)."""
@@ -265,5 +342,13 @@ class IGKway:
         if self.graph is None or self.state is None:
             raise PartitionError(
                 "call full_partition() before applying modifiers"
+            )
+        acc = self.state.cut_acc
+        if acc is None or acc.graph is not self.graph:
+            # Attach (or re-attach after recovery) the incremental cut
+            # accumulator; construction is free, the matrix bootstraps
+            # lazily on the first cut read.
+            self.state.cut_acc = CutAccumulator(
+                self.graph, self.config.k
             )
         return self.graph, self.state

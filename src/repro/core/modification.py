@@ -27,6 +27,7 @@ from typing import List, Sequence, Union
 
 import numpy as np
 
+from repro.core.backend import get_backend
 from repro.gpusim.context import FULL_MASK, GpuContext
 from repro.gpusim.warp import Warp, ffs
 from repro.graph.bucketlist import (
@@ -440,20 +441,12 @@ def _insert_run_vector(
             raise _annotate(err, base_index) from None
     us = np.array([op.u for op in run], dtype=np.int64)
     uu, group = np.unique(us, return_inverse=True)
-    # Occurrence index of each op within its vertex group (stable).
-    order = np.argsort(group, kind="stable")
-    occ = np.empty(us.size, dtype=np.int64)
-    group_sorted = group[order]
-    first_of_group = np.searchsorted(group_sorted, np.arange(uu.size))
-    occ[order] = np.arange(us.size) - first_of_group[group_sorted]
-
     slot_idx, owner = graph.slot_index_arrays(uu)
-    empties = graph.bucket_list[slot_idx] == EMPTY
-    empty_positions = slot_idx[empties]
-    empty_owner = owner[empties]
-    per_owner = np.bincount(empty_owner, minlength=uu.size)
-    need = np.bincount(group, minlength=uu.size)
-    if np.any(per_owner < need):
+    is_empty = graph.bucket_list[slot_idx] == EMPTY
+    chosen = get_backend().insert_slot_positions(
+        group, uu.size, slot_idx, owner, is_empty
+    )
+    if chosen is None:
         # Overflow: some vertex needs more slots than it has empty.
         instructions = transactions = 0
         for offset, op in enumerate(run):
@@ -464,10 +457,6 @@ def _insert_run_vector(
             instructions += cost[0]
             transactions += cost[1]
         return instructions, transactions
-    # ``empty_owner`` is non-decreasing (owner segments are contiguous),
-    # so each group's empties start at a searchsorted boundary.
-    group_start = np.searchsorted(empty_owner, np.arange(uu.size))
-    chosen = empty_positions[group_start[group] + occ]
     graph._undo_slots(chosen)
     graph.bucket_list[chosen] = np.array(
         [op.v for op in run], dtype=np.int64
@@ -515,16 +504,11 @@ def _delete_run_vector(
     # One slot segment *per op* (vertices repeated per delete), so each
     # op matches its value only against its own vertex's slots.
     slot_idx, owner = graph.slot_index_arrays(us)
-    match = graph.bucket_list[slot_idx] == vs[owner]
-    midx = np.flatnonzero(match)
-    first_owners, first_pos = np.unique(owner[midx], return_index=True)
-    found = np.zeros(us.size, dtype=bool)
-    found[first_owners] = True
+    chosen, found = get_backend().delete_slot_positions(
+        slot_idx, owner, graph.bucket_list[slot_idx], vs
+    )
     if not found.all():
         return _delete_run_fallback(graph, run, found, base_index)
-    # found.all() implies first_owners == arange(len(run)): the first
-    # matching slot of op i is midx[first_pos[i]].
-    chosen = slot_idx[midx[first_pos]]
     graph._undo_slots(chosen)
     graph.bucket_list[chosen] = EMPTY
     graph.slot_wgt[chosen] = 0
@@ -646,6 +630,27 @@ def _reserve_new_ids(
             graph.new_vertex_id()
 
 
+def apply_ops(
+    ctx: GpuContext,
+    graph: BucketListGraph,
+    ops: Sequence[SlotOp],
+    mode: str = "vector",
+) -> None:
+    """Apply an already-expanded slot-op batch in the selected mode.
+
+    Split out of :func:`apply_batch` so callers that need a look at the
+    expanded ops *before* the kernels mutate the graph (the incremental
+    cut accumulator reads deleted-arc weights from the pre-batch
+    adjacency) can expand, inspect, then apply.
+    """
+    if mode == "warp":
+        apply_ops_warp(ctx, graph, ops)
+    elif mode == "vector":
+        apply_ops_vector(ctx, graph, ops)
+    else:
+        raise ValueError(f"unknown mode {mode!r}")
+
+
 def apply_batch(
     ctx: GpuContext,
     graph: BucketListGraph,
@@ -658,10 +663,5 @@ def apply_batch(
     needs to know which vertices each modifier touched.
     """
     ops = expand_modifiers(graph, batch)
-    if mode == "warp":
-        apply_ops_warp(ctx, graph, ops)
-    elif mode == "vector":
-        apply_ops_vector(ctx, graph, ops)
-    else:
-        raise ValueError(f"unknown mode {mode!r}")
+    apply_ops(ctx, graph, ops, mode=mode)
     return ops

@@ -33,7 +33,8 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.gpusim.context import FULL_MASK, GpuContext
-from repro.gpusim.primitives import segmented_inclusive_scan, sort_by_key
+from repro.core.backend import get_backend
+from repro.gpusim.primitives import charge_segmented_scan, sort_by_key
 from repro.gpusim.warp import Warp
 from repro.graph.bucketlist import (
     EMPTY,
@@ -150,32 +151,14 @@ def _choose_partition(
     no feasible partition fall back to the globally lightest partition —
     a progress guarantee the paper leaves implicit.
 
+    Dispatches to the active compute backend
+    (:meth:`~repro.core.backend.numpy_backend.KernelBackend.choose_partition`
+    holds the reference implementation); every backend must reproduce
+    it bit-for-bit.
+
     Returns aligned ``(targets, counts_at_target)`` arrays.
     """
-    counts = np.atleast_2d(np.asarray(counts, dtype=np.int64))
-    rows = counts.shape[0]
-    if not np.any(feasible):
-        target = int(np.argmin(part_weights))
-        targets = np.full(rows, target, dtype=np.int64)
-        return targets, counts[:, target].astype(np.int64)
-    # Masked argmax, stage 1: the best neighbor count among feasible
-    # partitions (counts are >= 0, so -1 marks infeasible columns).
-    masked = np.where(feasible, counts, np.int64(-1))
-    best_count = masked.max(axis=1)
-    # Stage 2: among the tied-best columns, the minimum partition
-    # weight; np.argmax then picks the first (smallest-index) column
-    # attaining both.
-    tied = masked == best_count[:, None]
-    heavy = np.iinfo(np.int64).max
-    tied_weights = np.where(tied, part_weights[None, :], heavy)
-    best_weight = tied_weights.min(axis=1)
-    targets = np.argmax(
-        tied & (tied_weights == best_weight[:, None]), axis=1
-    ).astype(np.int64)
-    chosen_counts = np.take_along_axis(
-        counts, targets[:, None], axis=1
-    )[:, 0]
-    return targets, chosen_counts.astype(np.int64)
+    return get_backend().choose_partition(counts, feasible, part_weights)
 
 
 def _find_moves_vector(
@@ -359,18 +342,14 @@ def longest_feasible_prefix(
     m = targets.shape[0]
     if m == 0:
         return 0
-    # One scatter builds all k segments of ``delta_p_wgt``: move j adds
-    # its weight at position (target_j, j) of the (k, m) layout and
-    # leaves every other segment's column zero.
-    delta = np.zeros(k * m, dtype=np.int64)
-    segment_ids = np.repeat(np.arange(k), m)
-    delta[targets * m + np.arange(m)] = weights
-    scanned = segmented_inclusive_scan(ctx, delta, segment_ids)
-    accumulated = scanned.reshape(k, m)
-    ok = np.all(
-        part_weights[:, None] + accumulated <= w_pmax, axis=0
+    # The ledger charge stays here — identical to what the in-place
+    # segmented_inclusive_scan over the (k, m) ``delta_p_wgt`` layout
+    # would cost — while the scan's *result* comes from the active
+    # compute backend, so a backend swap can never move a counter.
+    charge_segmented_scan(ctx, k * m)
+    return get_backend().feasible_prefix(
+        targets, weights, part_weights, w_pmax, k
     )
-    return int(np.count_nonzero(np.cumprod(ok)))
 
 
 def _commit_moves(

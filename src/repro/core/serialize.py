@@ -15,6 +15,12 @@ of the last applied modifier) and the adaptive-trigger state alongside
 the partitioner, so ``StreamSession.recover`` can replay exactly the
 un-checkpointed suffix of the modifier log.  Version-1 checkpoints are
 still loadable (their stream metadata is empty).
+
+Derived state is *not* serialized: the incremental cut accumulator
+(:class:`~repro.partition.cutacc.CutAccumulator`) is reconstructible
+from the graph + partition, so checkpoints omit it and a loaded
+partitioner simply re-bootstraps it on the first cut read — keeping the
+format stable and the digest independent of accumulator presence.
 """
 
 from __future__ import annotations

@@ -15,6 +15,13 @@ a hardware transactional-memory write set), so the success path charges
 *exactly* what a non-transactional run charges — the perf gate's
 deterministic ledger counters do not move.  A rollback charges a
 ``"rollback"`` ledger section proportional to the slots restored.
+
+The partition snapshot also carries the incremental cut accumulator
+(via ``CutAccumulator.clone``/``restore_from``): a rolled-back batch
+restores the maintained arc matrix bit-identically, but the
+accumulator stays *derived* state — it is excluded from
+:func:`state_digest`, so digest-verified rollbacks compare only
+authoritative device arrays.
 """
 
 from __future__ import annotations

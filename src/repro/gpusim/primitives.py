@@ -39,6 +39,18 @@ def _charge_scan(
         )
 
 
+def charge_segmented_scan(ctx: GpuContext, n: int) -> None:
+    """Charge the modeled cost of a segmented scan of ``n`` values —
+    and nothing else.
+
+    For callers that compute the scan's *result* through a pluggable
+    compute backend (:mod:`repro.core.backend`) but must charge exactly
+    what :func:`segmented_inclusive_scan` would, so a backend swap can
+    never move a deterministic ledger counter.
+    """
+    _charge_scan(ctx, n, passes=3, name="segmented-scan")
+
+
 def inclusive_scan(ctx: GpuContext, values: np.ndarray) -> np.ndarray:
     """Inclusive prefix sum of ``values``."""
     values = np.asarray(values)

@@ -10,10 +10,15 @@ from repro.partition.coarsen import (
     contract,
 )
 from repro.partition.config import PartitionConfig
+from repro.partition.cutacc import CutAccumulator
+from repro.partition.cutcheck import verify_cut
 from repro.partition.gkway import FullPartitionResult, GKwayPartitioner
 from repro.partition.initial import initial_partition
 from repro.partition.metrics import (
+    arc_matrix_bucketlist,
     boundary_vertices_csr,
+    cut_matrix,
+    cut_matrix_bucketlist,
     cut_size_bucketlist,
     cut_size_csr,
     external_internal_degrees,
@@ -52,6 +57,11 @@ __all__ = [
     "recursive_bisection",
     "cut_size_csr",
     "cut_size_bucketlist",
+    "cut_matrix",
+    "cut_matrix_bucketlist",
+    "arc_matrix_bucketlist",
+    "CutAccumulator",
+    "verify_cut",
     "boundary_vertices_csr",
     "external_internal_degrees",
     "partition_weights",

@@ -11,6 +11,12 @@ Definitions follow Section II of the paper:
 
 These functions are host-side "ground truth" used for reporting and
 testing; they never charge the GPU ledger.
+
+Since the incremental cut accumulator (:mod:`repro.partition.cutacc`)
+landed, the pool scans here are *sanitizer/cross-check* machinery, not
+per-batch hot-path code: the ``pool-scan-outside-sanitizer`` lint rule
+flags any new call site outside this module, :mod:`~repro.partition.cutcheck`
+and the accumulator's one-time bootstrap.
 """
 
 from __future__ import annotations
@@ -59,6 +65,60 @@ def cut_size_bucketlist(
     weights = graph.slot_wgt[:used_slots][filled]
     crossing = partition[src] != partition[dst]
     return int(weights[crossing].sum()) // 2
+
+
+def arc_matrix_bucketlist(
+    graph: BucketListGraph, partition: np.ndarray, k: int
+) -> np.ndarray:
+    """Directed-arc weight matrix over *extended* labels, by pool scan.
+
+    Extended labels map the full label alphabet onto ``0 .. k+1``: real
+    partitions keep their IDs, the pseudo-partition stays ``k``, and
+    UNASSIGNED (-1) becomes ``k + 1``.  Entry ``(i, j)`` is the total
+    weight of directed arcs from extended label ``i`` to ``j``; the
+    matrix is symmetric (each undirected edge contributes both arcs) and
+    its off-diagonal sum is twice the cut *between distinct labels* —
+    with every label real, ``(total - trace) // 2`` equals
+    :func:`cut_size_bucketlist` exactly.
+
+    This is the scan the :class:`~repro.partition.cutacc.CutAccumulator`
+    maintains incrementally; it bootstraps from this function and the
+    sanitizer cross-check (:mod:`repro.partition.cutcheck`) asserts
+    exact agreement against it.
+    """
+    ext_n = k + 2
+    flat = np.zeros(ext_n * ext_n, dtype=np.int64)
+    used_slots = graph.num_buckets_used * SLOTS_PER_BUCKET
+    if used_slots == 0:
+        return flat.reshape(ext_n, ext_n)
+    dst = graph.bucket_list[:used_slots]
+    filled = dst != EMPTY
+    src = graph.slot_owner_array()[:used_slots][filled]
+    dst = dst[filled]
+    weights = graph.slot_wgt[:used_slots][filled]
+    src_ext = np.where(partition[src] < 0, np.int64(k + 1), partition[src])
+    dst_ext = np.where(partition[dst] < 0, np.int64(k + 1), partition[dst])
+    # int64 scatter-add, not np.bincount(weights=...): bincount promotes
+    # to float64, which would break bit-exact comparisons.
+    np.add.at(flat, src_ext * ext_n + dst_ext, weights)
+    return flat.reshape(ext_n, ext_n)
+
+
+def cut_matrix_bucketlist(
+    graph: BucketListGraph, partition: np.ndarray, k: int
+) -> np.ndarray:
+    """``k x k`` cut matrix of a bucket-list graph (pool scan).
+
+    Same semantics as :func:`cut_matrix` on CSR: symmetric off-diagonal
+    inter-partition weight, diagonal = internal edge weight.  Arcs
+    touching the pseudo-partition or deleted vertices (extended labels
+    ``k``/``k+1``) fall outside the real block and are dropped, matching
+    the refined steady state where no such arcs exist.
+    """
+    ext = arc_matrix_bucketlist(graph, partition, k)
+    matrix = ext[:k, :k].copy()
+    np.fill_diagonal(matrix, np.diagonal(matrix) // 2)
+    return matrix
 
 
 def partition_weights(

@@ -11,6 +11,8 @@ the ``0 .. k-1`` partition IDs:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.partition.metrics import (
@@ -19,6 +21,20 @@ from repro.partition.metrics import (
     partition_weights,
 )
 from repro.utils.errors import PartitionError
+
+if TYPE_CHECKING:
+    from repro.partition.cutacc import CutAccumulator
+
+
+def _backend():
+    # Imported lazily: ``repro.core.backend`` initializes the
+    # ``repro.core`` package, which imports this module — a module-level
+    # import here would deadlock the cycle when ``repro.partition`` is
+    # imported first.  ``sys.modules`` makes the per-call cost one dict
+    # hit.
+    from repro.core.backend import get_backend
+
+    return get_backend()
 
 #: Partition label of deleted / not-yet-assigned vertices.
 UNASSIGNED = np.int64(-1)
@@ -57,6 +73,12 @@ class PartitionState:
         self.pseudo_weight = int(
             self._vwgt[self.partition == self.pseudo_label].sum()
         )
+        #: Incremental cut accumulator (attached by the owning
+        #: partitioner; see :mod:`repro.partition.cutacc`).  Derived
+        #: state: excluded from ``state_digest`` and checkpoints, but
+        #: snapshot/restored through :meth:`copy`/:meth:`restore` so a
+        #: transactional rollback restores it bit-identically.
+        self.cut_acc: CutAccumulator | None = None
 
     # -- labels ------------------------------------------------------------------
 
@@ -105,6 +127,12 @@ class PartitionState:
         source = int(self.partition[u])
         if source == target:
             return
+        if target != UNASSIGNED and not (0 <= target <= self.pseudo_label):
+            raise PartitionError(f"invalid target label {target}")
+        if self.cut_acc is not None:
+            # Before the label write: the hook re-keys u's arcs from the
+            # pre-move labels still in ``partition``.
+            self.cut_acc.on_move(self.partition, u, source, int(target))
         weight = int(self._vwgt[u])
         if 0 <= source < self.k:
             self.part_weights[source] -= weight
@@ -114,8 +142,6 @@ class PartitionState:
             self.part_weights[target] += weight
         elif target == self.pseudo_label:
             self.pseudo_weight += weight
-        elif target != UNASSIGNED:
-            raise PartitionError(f"invalid target label {target}")
         self.partition[u] = target
 
     def move_many(self, vertices: np.ndarray, target: int) -> None:
@@ -152,22 +178,15 @@ class PartitionState:
         src = src[changing]
         targets = targets[changing]
         weights = self._vwgt[vertices]
-        src_real = (src >= 0) & (src < self.k)
-        if np.any(src_real):
-            np.subtract.at(
-                self.part_weights, src[src_real], weights[src_real]
-            )
-        self.pseudo_weight -= int(
-            weights[src == self.pseudo_label].sum()
+        if self.cut_acc is not None:
+            # Before the label writes: the hook re-keys the movers' arcs
+            # from the pre-move labels still in ``partition``.
+            self.cut_acc.on_moves(self.partition, vertices, targets)
+        part_delta, pseudo_delta = _backend().apply_move_deltas(
+            src, targets, weights, self.k, self.pseudo_label
         )
-        dst_real = (targets >= 0) & (targets < self.k)
-        if np.any(dst_real):
-            np.add.at(
-                self.part_weights, targets[dst_real], weights[dst_real]
-            )
-        self.pseudo_weight += int(
-            weights[targets == self.pseudo_label].sum()
-        )
+        self.part_weights += part_delta
+        self.pseudo_weight += pseudo_delta
         self.partition[vertices] = targets
 
     # -- consistency ------------------------------------------------------------------
@@ -221,6 +240,9 @@ class PartitionState:
         out._vwgt = self._vwgt.copy()
         out.part_weights = self.part_weights.copy()
         out.pseudo_weight = self.pseudo_weight
+        out.cut_acc = (
+            self.cut_acc.clone() if self.cut_acc is not None else None
+        )
         return out
 
     def restore(self, snapshot: "PartitionState") -> None:
@@ -239,3 +261,7 @@ class PartitionState:
         self._vwgt[:] = snapshot._vwgt
         self.part_weights[:] = snapshot.part_weights
         self.pseudo_weight = snapshot.pseudo_weight
+        if self.cut_acc is not None:
+            # Restores the maintained cut matrix bit-identically (or
+            # invalidates it when the snapshot predates its bootstrap).
+            self.cut_acc.restore_from(getattr(snapshot, "cut_acc", None))

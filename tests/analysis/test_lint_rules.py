@@ -389,7 +389,7 @@ class TestFramework:
 
     def test_rule_ids_unique_and_kebab(self):
         ids = [rule.id for rule in ALL_RULES]
-        assert len(ids) == len(set(ids)) == 9
+        assert len(ids) == len(set(ids)) == 10
         assert all(i == i.lower() and " " not in i for i in ids)
 
 
@@ -658,5 +658,92 @@ class TestBlockingCallInAsync:
                 time.sleep(0.0)  # repro-lint: allow[blocking-call-in-async] bounded spin
             """,
             rules=["blocking-call-in-async"],
+        )
+        assert findings == []
+
+
+class TestPoolScanOutsideSanitizer:
+    def test_scan_in_product_code_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/stream/x.py",
+            """
+            from repro.partition.metrics import cut_size_bucketlist
+
+            def telemetry(graph, state):
+                return cut_size_bucketlist(graph, state.partition)
+            """,
+            rules=["pool-scan-outside-sanitizer"],
+        )
+        assert [f.rule for f in findings] == ["pool-scan-outside-sanitizer"]
+        assert "cut_size_bucketlist" in findings[0].message
+
+    def test_arc_matrix_attribute_call_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/core/x.py",
+            """
+            from repro.partition import metrics
+
+            def rebuild(graph, partition, k):
+                return metrics.arc_matrix_bucketlist(graph, partition, k)
+            """,
+            rules=["pool-scan-outside-sanitizer"],
+        )
+        assert [f.rule for f in findings] == ["pool-scan-outside-sanitizer"]
+
+    def test_metrics_and_cutcheck_modules_exempt(self, tmp_path):
+        for relpath in (
+            "src/repro/partition/metrics.py",
+            "src/repro/partition/cutcheck.py",
+        ):
+            findings = _lint_snippet(
+                tmp_path,
+                relpath,
+                """
+                def verify(graph, partition, k):
+                    return arc_matrix_bucketlist(graph, partition, k)
+                """,
+                rules=["pool-scan-outside-sanitizer"],
+            )
+            assert findings == []
+
+    def test_accumulator_cut_matrix_read_not_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/serve/x.py",
+            """
+            def telemetry(state):
+                # O(k^2) incremental read, not a pool scan.
+                return state.cut_acc.cut_matrix(state.partition)
+            """,
+            rules=["pool-scan-outside-sanitizer"],
+        )
+        assert findings == []
+
+    def test_csr_cut_matrix_scan_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/eval/x.py",
+            """
+            from repro.partition.metrics import cut_matrix
+
+            def report(csr, partition, k):
+                return cut_matrix(csr, partition, k)
+            """,
+            rules=["pool-scan-outside-sanitizer"],
+        )
+        assert [f.rule for f in findings] == ["pool-scan-outside-sanitizer"]
+
+    def test_allow_pragma_with_reason(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/partition/x.py",
+            """
+            def bootstrap(graph, partition, k):
+                # repro-lint: allow[pool-scan-outside-sanitizer] one-time bootstrap
+                return arc_matrix_bucketlist(graph, partition, k)
+            """,
+            rules=["pool-scan-outside-sanitizer"],
         )
         assert findings == []

@@ -11,6 +11,15 @@ and compares it against the ``gate`` section of the checked-in
 * **host wall-clock** — the sweep must not regress more than
   ``--tolerance`` (default 20%) over the baseline, with an absolute
   floor so sub-100ms jitter on a loaded machine cannot flake the gate.
+* **cut-size host fraction** — the per-batch cut read must stay an
+  incremental O(k^2) lookup: its host time may not exceed
+  ``CUT_HOST_FRACTION`` of the sweep (plus a jitter floor).  Before the
+  incremental accumulator this phase was ~67% of the sweep; anything
+  drifting back toward a pool scan fails here.
+* **backend parity** — the gate workload re-runs under every *other*
+  available compute backend (``repro.core.backend``); ledger counters,
+  final cut and partition digest must be identical to the default
+  backend's run.
 
 Usage::
 
@@ -33,11 +42,17 @@ for entry in (REPO_ROOT / "src", REPO_ROOT / "benchmarks"):
         sys.path.insert(0, str(entry))
 
 from bench_hotpath import run_hotpath  # noqa: E402
+from repro.core.backend import available_backends  # noqa: E402
 
 BASELINE_PATH = REPO_ROOT / "BENCH_hotpath.json"
 # Below this absolute slack (seconds) a wall-clock difference is noise,
 # not a regression: the smoke sweep itself only takes tens of ms.
 ABSOLUTE_FLOOR = 0.05
+# The per-batch cut read must stay incremental: at most this fraction
+# of the sweep's host time (it was ~0.67 when it re-scanned the pool),
+# with an absolute floor below which timer jitter dominates.
+CUT_HOST_FRACTION = 0.10
+CUT_HOST_FLOOR = 0.01
 
 
 def run_gate_workload(baseline_gate: dict) -> dict:
@@ -78,6 +93,46 @@ def compare(baseline_gate: dict, fresh: dict, tolerance: float) -> list[str]:
             f"host sweep regressed: {fresh_host:.3f}s > "
             f"{base_host:.3f}s * {1 + tolerance:.2f} + {ABSOLUTE_FLOOR}s"
         )
+
+    cut_host = fresh["host_seconds"].get("cut-size", 0.0)
+    cut_limit = CUT_HOST_FRACTION * fresh_host + CUT_HOST_FLOOR
+    if cut_host > cut_limit:
+        failures.append(
+            f"cut-size host time {cut_host:.3f}s exceeds "
+            f"{CUT_HOST_FRACTION:.0%} of the {fresh_host:.3f}s sweep "
+            f"(+{CUT_HOST_FLOOR}s floor) — the per-batch cut read is "
+            "no longer incremental"
+        )
+    return failures
+
+
+def check_backend_parity(fresh: dict) -> list[str]:
+    """Re-run the gate workload under every other available backend.
+
+    The deterministic outputs must match the default-backend run
+    exactly; host time is not compared (that is the whole point of a
+    faster backend).
+    """
+    failures: list[str] = []
+    default_name = fresh["workload"].get("backend", "numpy")
+    for name in available_backends():
+        if name == default_name:
+            continue
+        w = fresh["workload"]
+        other = run_hotpath(
+            w["n_vertices"],
+            w["batches"],
+            seed=w["seed"],
+            k=w["k"],
+            mode=w["mode"],
+            backend=name,
+        )
+        for key in ("ledger", "final_cut", "partition_sha256"):
+            if other[key] != fresh[key]:
+                failures.append(
+                    f"backend {name!r} diverged from {default_name!r} "
+                    f"on {key}: {other[key]!r} != {fresh[key]!r}"
+                )
     return failures
 
 
@@ -112,6 +167,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     failures = compare(gate, fresh, args.tolerance)
+    failures += check_backend_parity(fresh)
     base_host = gate["host_seconds"]["sweep_total"]
     fresh_host = fresh["host_seconds"]["sweep_total"]
     print(
