@@ -4,10 +4,10 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: check test perf-gate chaos-smoke analysis-gate obs-gate serve-gate lint chaos bench
+.PHONY: check test perf-gate chaos-smoke analysis-gate obs-gate serve-gate serve-chaos lint chaos bench
 
-## The pre-merge bar: full test suite + all five deterministic gates.
-check: test perf-gate chaos-smoke analysis-gate obs-gate serve-gate
+## The pre-merge bar: full test suite + all six deterministic gates.
+check: test perf-gate chaos-smoke analysis-gate obs-gate serve-gate serve-chaos
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -26,6 +26,9 @@ obs-gate:
 
 serve-gate:
 	$(PYTHON) tools/serve_gate.py
+
+serve-chaos:
+	$(PYTHON) tools/serve_chaos_gate.py
 
 ## Lint only (no sanitizer sweep); fast inner-loop check.
 lint:

@@ -24,6 +24,9 @@ established in prose:
 * :mod:`asynclint` — ``blocking-call-in-async``: no blocking
   sleep/socket/select calls inside ``async def`` (the PR 6 serve loop
   hosts every tenant; one blocking call stalls them all).
+* :mod:`retry` — ``unjittered-retry-loop``: retry loops pace their
+  attempts with backoff and jitter instead of hammering in lockstep
+  (the PR 8 serve-client contract).
 """
 
 from __future__ import annotations
@@ -39,6 +42,7 @@ from repro.analysis.rules.obs import SpanLiteralRule, UnsortedDictExportRule
 from repro.analysis.rules.ordering import SetIterOrderRule
 from repro.analysis.rules.pool import UntrackedPoolWriteRule
 from repro.analysis.rules.poolscan import PoolScanOutsideSanitizerRule
+from repro.analysis.rules.retry import UnjitteredRetryLoopRule
 from repro.analysis.rules.rng import UnseededRngRule
 
 #: All rules in the pack, in reporting order.
@@ -53,6 +57,7 @@ ALL_RULES: tuple[LintRule, ...] = (
     SpanLiteralRule(),
     UnsortedDictExportRule(),
     BlockingCallInAsyncRule(),
+    UnjitteredRetryLoopRule(),
 )
 
 
@@ -76,6 +81,7 @@ __all__ = [
     "SetIterOrderRule",
     "SpanLiteralRule",
     "UnchargedKernelRule",
+    "UnjitteredRetryLoopRule",
     "UnseededRngRule",
     "UnsortedDictExportRule",
     "UntrackedPoolWriteRule",

@@ -1,0 +1,169 @@
+"""``unjittered-retry-loop``: retries must pace themselves with jitter.
+
+A retry loop that swallows an error and immediately loops again — or
+sleeps a *constant* delay — synchronizes its clients: every caller that
+failed together retries together, producing the classic thundering-herd
+wave that keeps a just-recovered server saturated.  The PR 8 serve
+client's contract is bounded attempts with exponential backoff and
+*seeded* jitter; this rule keeps that contract from regressing, in the
+client and in any future retry site.
+
+A loop is considered a retry loop when both hold:
+
+* its control variable is attempt-ish — a ``for`` target (or a name in
+  a ``while`` condition) containing ``attempt``, ``retry`` or
+  ``tries``, or a ``for ... in range(n)`` whose bound's name is
+  attempt-ish;
+* its body contains a ``try``/``except`` that survives the failure
+  (some handler neither re-raises unconditionally nor returns), i.e.
+  the loop can actually iterate again after an error.
+
+Such a loop must pace its next attempt: somewhere in the body (or in a
+helper it calls) there must be a call whose name mentions ``backoff``,
+``jitter``, ``sleep``, ``wait``, ``delay`` or ``pause``.  A pacing call
+named for backoff/jitter is trusted; a plain sleep-ish call is accepted
+only when its delay argument is *computed* (any non-constant
+expression) — ``sleep(0.1)`` with a literal is exactly the synchronized
+herd this rule exists to prevent.
+
+Deliberate unpaced retries (e.g. draining a simulated-time server where
+sleeping cannot help) are grandfathered per line with ``# repro-lint:
+allow[unjittered-retry-loop] reason``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.lintcore import Finding, LintRule, ModuleInfo
+
+#: Substrings marking a loop variable as an attempt counter.
+_ATTEMPTISH = ("attempt", "retry", "retries", "tries")
+
+#: Call-name substrings that definitely pace with backoff/jitter.
+_PACED_NAMES = ("backoff", "jitter")
+
+#: Call-name substrings that sleep; jitter must be proven by a
+#: non-constant delay argument.
+_SLEEPY_NAMES = ("sleep", "wait", "delay", "pause")
+
+
+def _is_attemptish(name: str) -> bool:
+    lowered = name.lower()
+    return any(marker in lowered for marker in _ATTEMPTISH)
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    """The trailing identifier of the called thing, if any."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _loop_variable(node: "ast.For | ast.While") -> Optional[str]:
+    """The attempt-ish name controlling the loop, if there is one."""
+    if isinstance(node, ast.For):
+        if isinstance(node.target, ast.Name) and _is_attemptish(
+            node.target.id
+        ):
+            return node.target.id
+        # for _ in range(max_attempts): the bound names the intent.
+        if (
+            isinstance(node.iter, ast.Call)
+            and isinstance(node.iter.func, ast.Name)
+            and node.iter.func.id == "range"
+        ):
+            for arg in node.iter.args:
+                for name in ast.walk(arg):
+                    if isinstance(name, ast.Name) and _is_attemptish(
+                        name.id
+                    ):
+                        return name.id
+        return None
+    for name in ast.walk(node.test):
+        if isinstance(name, ast.Name) and _is_attemptish(name.id):
+            return name.id
+    return None
+
+
+def _handler_survives(handler: ast.ExceptHandler) -> bool:
+    """True when the handler can let the loop run another attempt.
+
+    A handler whose every terminal statement is ``raise`` or ``return``
+    never reaches the next iteration; anything else (fall-through,
+    ``continue``, conditional re-raise) can.
+    """
+    for stmt in ast.walk(handler):
+        if isinstance(stmt, (ast.Continue, ast.Break)):
+            return True
+    last = handler.body[-1] if handler.body else None
+    return not isinstance(last, (ast.Raise, ast.Return))
+
+
+def _retrying_try(node: "ast.For | ast.While") -> Optional[ast.Try]:
+    """The loop body's try/except that swallows failures, if any."""
+    for stmt in ast.walk(node):
+        if isinstance(stmt, ast.Try) and any(
+            _handler_survives(h) for h in stmt.handlers
+        ):
+            return stmt
+    return None
+
+
+class UnjitteredRetryLoopRule(LintRule):
+    """Flag retry loops that never back off, or back off in lockstep."""
+
+    id = "unjittered-retry-loop"
+
+    def applies_to(self, info: ModuleInfo) -> bool:
+        return "except" in info.source
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(info.tree):
+            if not isinstance(node, (ast.For, ast.While)):
+                continue
+            variable = _loop_variable(node)
+            if variable is None:
+                continue
+            if _retrying_try(node) is None:
+                continue
+            verdict = self._pacing_verdict(node)
+            if verdict is None:
+                continue
+            yield self.finding(
+                info,
+                node,
+                f"retry loop over {variable!r} {verdict}; pace "
+                "attempts with bounded exponential backoff and "
+                "seeded jitter (see ServeClient._backoff)",
+            )
+
+    @staticmethod
+    def _pacing_verdict(
+        node: "ast.For | ast.While",
+    ) -> Optional[str]:
+        """The problem with the loop's pacing, or None when paced."""
+        sleeps: list[ast.Call] = []
+        for call in ast.walk(node):
+            if not isinstance(call, ast.Call):
+                continue
+            name = _call_name(call)
+            if name is None:
+                continue
+            lowered = name.lower()
+            if any(m in lowered for m in _PACED_NAMES):
+                return None
+            if any(m in lowered for m in _SLEEPY_NAMES):
+                sleeps.append(call)
+        if not sleeps:
+            return "never sleeps between attempts"
+        for call in sleeps:
+            if any(
+                not isinstance(arg, ast.Constant) for arg in call.args
+            ):
+                return None
+        return "sleeps a constant delay between attempts"

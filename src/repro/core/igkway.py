@@ -294,6 +294,19 @@ class IGKway:
             )
             ledger.charge_atomics(arcs)
 
+    def settle_cut_maintenance(self) -> None:
+        """Charge any not-yet-drained cut-update work (checkpoint barrier).
+
+        Checkpoints omit the cut accumulator (it re-bootstraps on
+        load), which silently drops its touched-arc charge liability.
+        Draining it immediately before serialization makes the
+        checkpoint a charge boundary: the cycles land on the live run's
+        pre-checkpoint side, and a recovered replay — whose restored
+        accumulator starts with zero touched arcs — re-derives exactly
+        the post-checkpoint remainder.
+        """
+        self._charge_cut_maintenance()
+
     def run_trace(
         self, trace: Sequence[Sequence[Modifier]]
     ) -> list[IterationReport]:

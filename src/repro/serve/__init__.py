@@ -4,13 +4,19 @@ The serving layer hosts many tenants' journaled
 :class:`~repro.stream.session.StreamSession`\\ s behind one asyncio
 server (framed JSON over TCP, Prometheus over HTTP), multiplexed over a
 shared pool of simulated devices with per-tenant admission control,
-global load shedding, and per-tenant metric labels.  See
-``ARCHITECTURE.md`` §12 for the design and ``tools/serve_gate.py`` for
-the bit-identity + attribution invariants the layer must keep.
+global load shedding, and per-tenant metric labels.  The layer is
+crash-recoverable: a per-tenant serve WAL re-materializes every session
+after a process kill, and a worker supervisor fails sessions over to
+surviving devices when one dies.  See ``ARCHITECTURE.md`` §12 for the
+serving design and §14 for durability & failover;
+``tools/serve_gate.py`` and ``tools/serve_chaos_gate.py`` hold the
+bit-identity, attribution, and crash-convergence invariants the layer
+must keep.
 """
 
 from repro.serve.client import ServeClient
 from repro.serve.protocol import (
+    AMBIGUOUS_CODES,
     ERROR_CODES,
     MAX_FRAME,
     RETRYABLE_CODES,
@@ -33,16 +39,21 @@ from repro.serve.server import (
     ServerThread,
 )
 from repro.serve.shedding import LoadShedder, ShedPolicy
+from repro.serve.supervision import WorkerSupervisor
+from repro.serve.wal import ManifestState, ServeWAL
 
 __all__ = [
+    "AMBIGUOUS_CODES",
     "ERROR_CODES",
     "GRAPH_GENERATORS",
     "MAX_FRAME",
     "RETRYABLE_CODES",
     "DeviceWorker",
     "LoadShedder",
+    "ManifestState",
     "PartitionServer",
     "ServeClient",
+    "ServeWAL",
     "ServerConfig",
     "ServerThread",
     "SessionEntry",
@@ -50,6 +61,7 @@ __all__ = [
     "ShedPolicy",
     "TenantAccount",
     "TenantQuota",
+    "WorkerSupervisor",
     "build_graph",
     "error_response",
     "ok_response",

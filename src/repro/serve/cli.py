@@ -81,10 +81,29 @@ def build_parser() -> argparse.ArgumentParser:
             "operations (0 = never)"
         ),
     )
+    parser.add_argument(
+        "--recover", action="store_true",
+        help=(
+            "re-materialize every session recorded in --data-dir's "
+            "serve WAL before accepting requests (disaster recovery)"
+        ),
+    )
+    parser.add_argument(
+        "--enable-chaos", action="store_true",
+        help=(
+            "accept the kill-worker chaos op (testing only; never "
+            "expose on a production server)"
+        ),
+    )
     return parser
 
 
 def config_from_args(args: argparse.Namespace) -> ServerConfig:
+    if args.recover and args.data_dir is None:
+        raise SystemExit(
+            "repro-serve: --recover needs --data-dir (a temporary "
+            "directory has no WAL to recover from)"
+        )
     return ServerConfig(
         host=args.host,
         port=args.port,
@@ -102,6 +121,8 @@ def config_from_args(args: argparse.Namespace) -> ServerConfig:
             low_watermark=args.shed_low,
         ),
         idle_evict_after_ops=args.idle_evict_after_ops,
+        recover=args.recover,
+        enable_chaos=args.enable_chaos,
     )
 
 

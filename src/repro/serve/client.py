@@ -8,36 +8,65 @@ attached.  It exists so examples, gates, and benchmarks can drive a
 including from the same process, against a
 :class:`~repro.serve.server.ServerThread`.
 
-Retry contract: any response whose code is in
-:data:`~repro.serve.protocol.RETRYABLE_CODES` (quota windows, load
-shedding, ingest backpressure) clears on its own once the server drains
-backlog.  :meth:`ServeClient.submit_with_retry` encodes the productive
-back-off for the simulated-time world: on a retryable reject it asks
-the server to *flush* the session (draining is what actually lowers
-the backlog — sleeping wouldn't, since the server never looks at wall
-time) and resubmits the same modifiers.
+Failure handling, in three tiers:
+
+* **Typed rejections** (:data:`~repro.serve.protocol.RETRYABLE_CODES`)
+  — quota windows, load shedding, ingest backpressure — clear on their
+  own.  :meth:`ServeClient.submit_with_retry` backs off (bounded
+  exponential delay with *seeded* jitter, so two identical runs retry
+  identically), asks the server to flush the session (draining is what
+  actually lowers backlog in the simulated-time world), and resubmits
+  the same slice.
+* **Timeouts** — every request runs under a per-call deadline; when it
+  elapses the socket is poisoned (a late response would desynchronize
+  the framing), so the client closes it and raises the typed
+  :class:`~repro.utils.errors.ServeTimeout`.
+* **Ambiguous failures** (:data:`~repro.serve.protocol.
+  AMBIGUOUS_CODES`: timeouts, connections lost mid-request, worker
+  faults) — the request may have executed before the response was
+  lost.  The retry loop reconnects, re-attaches, and compares the
+  session's ``next_seq`` against the last acknowledged sequence to
+  learn exactly how much of the in-flight slice landed, then resubmits
+  only the remainder — exactly-once submission over an at-least-once
+  transport.
 """
 
 from __future__ import annotations
 
+import random
 import socket
-from typing import List, Optional, Sequence
+import time
+from typing import Callable, List, Optional, Sequence
 
 from repro.graph.modifiers import Modifier
 from repro.serve.protocol import (
+    AMBIGUOUS_CODES,
+    E_INTERNAL,
     RETRYABLE_CODES,
+    encode_frame,
     raise_for_response,
     read_frame,
-    write_frame,
 )
 from repro.stream.journal import encode_modifier
-from repro.utils.errors import ServeError
+from repro.utils.errors import ServeError, ServeTimeout
 
 
 class ServeClient:
     """Synchronous framed-JSON client bound to one tenant.
 
     Usable as a context manager; the connection closes on exit.
+
+    Args:
+        host / port / tenant: Where and who.
+        timeout: Default per-request deadline in seconds (None
+            disables it); individual calls may override via their
+            ``timeout=`` keyword.
+        retry_seed: Seeds the backoff jitter, making retry schedules
+            reproducible run-to-run.
+        backoff_base / backoff_max: Exponential backoff envelope for
+            :meth:`submit_with_retry` (seconds).
+        sleep: Injectable sleep for tests (defaults to
+            :func:`time.sleep`).
     """
 
     def __init__(
@@ -45,11 +74,30 @@ class ServeClient:
         host: str,
         port: int,
         tenant: str,
-        timeout: float = 30.0,
+        timeout: Optional[float] = 30.0,
+        retry_seed: int = 0,
+        backoff_base: float = 0.002,
+        backoff_max: float = 0.05,
+        sleep: Callable[[float], None] = time.sleep,
     ):
+        if backoff_base <= 0 or backoff_max <= 0:
+            raise ValueError("backoff envelope must be positive")
+        self.host = host
+        self.port = port
         self.tenant = tenant
+        self.timeout = timeout
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self._rng = random.Random(retry_seed)
+        self._sleep = sleep
+        self._sock: Optional[socket.socket] = None
+        self.reconnect()
+
+    def reconnect(self) -> None:
+        """(Re)open the TCP connection, dropping any poisoned socket."""
+        self.close()
         self._sock = socket.create_connection(
-            (host, port), timeout=timeout
+            (self.host, self.port), timeout=self.timeout
         )
 
     def close(self) -> None:
@@ -65,17 +113,64 @@ class ServeClient:
 
     # -- request plumbing ----------------------------------------------------------
 
-    def call(self, op: str, **fields) -> dict:
-        """One request/response; raises typed :class:`ServeError` on
-        a failure response."""
+    def call(
+        self,
+        op: str,
+        timeout: Optional[float] = None,
+        **fields,
+    ) -> dict:
+        """One request/response; raises typed :class:`ServeError` on a
+        failure response, :class:`ServeTimeout` when the per-call
+        deadline (``timeout`` here, else the constructor default)
+        elapses.  Timeouts and mid-request disconnects poison the
+        socket — the next call must :meth:`reconnect` first (the retry
+        loop does this automatically).
+        """
         if self._sock is None:
             raise ServeError("client is closed")
         request = {"op": op, "tenant": self.tenant}
         request.update(fields)
-        write_frame(self._sock, request)
-        response = read_frame(self._sock)
+        # Encode before touching the socket: an unencodable request
+        # (e.g. over MAX_FRAME) is a caller bug, not a transport fault,
+        # and must not poison the connection or read as retryable.
+        frame = encode_frame(request)
+        deadline = self.timeout if timeout is None else timeout
+        self._sock.settimeout(deadline)
+        try:
+            self._sock.sendall(frame)
+            response = read_frame(self._sock)
+        except socket.timeout:
+            self.close()
+            raise ServeTimeout(
+                f"no response to {op!r} within {deadline}s "
+                "(request fate unknown)"
+            ) from None
+        except (ConnectionResetError, BrokenPipeError) as err:
+            self.close()
+            raise ServeError(
+                f"connection lost during {op!r}: {err}",
+                code=E_INTERNAL,
+                retryable=True,
+            ) from err
+        except ServeError as err:
+            # Frame-level failure (torn frame, mid-frame EOF): the
+            # request was delivered but its answer is unreadable —
+            # ambiguous and retryable, on a fresh connection (the
+            # stream position of this one is unknowable).
+            self.close()
+            raise ServeError(
+                f"response to {op!r} lost mid-frame: {err}",
+                code=E_INTERNAL,
+                retryable=True,
+            ) from err
         if response is None:
-            raise ServeError("server closed the connection")
+            self.close()
+            raise ServeError(
+                f"server closed the connection after {op!r} "
+                "(response lost)",
+                code=E_INTERNAL,
+                retryable=True,
+            )
         return raise_for_response(response)
 
     # -- convenience wrappers ------------------------------------------------------
@@ -103,11 +198,15 @@ class ServeClient:
         return self.call("attach", session=session)
 
     def submit(
-        self, session: str, modifiers: Sequence[Modifier]
+        self,
+        session: str,
+        modifiers: Sequence[Modifier],
+        timeout: Optional[float] = None,
     ) -> dict:
         return self.call(
             "submit",
             session=session,
+            timeout=timeout,
             modifiers=[encode_modifier(m) for m in modifiers],
         )
 
@@ -129,7 +228,20 @@ class ServeClient:
     def stats(self) -> dict:
         return self.call("stats")
 
+    def kill_worker(self, index: int, reason: str = "chaos") -> dict:
+        """Chaos op (server must run with ``enable_chaos``)."""
+        return self.call("kill-worker", worker=index, reason=reason)
+
     # -- retry loop ----------------------------------------------------------------
+
+    def _backoff(self, attempt: int) -> None:
+        """Sleep the bounded-exponential, seeded-jitter delay for
+        ``attempt`` (0-based).  Jitter draws from the client's seeded
+        RNG, so a rerun with the same seed backs off identically."""
+        ceiling = min(
+            self.backoff_max, self.backoff_base * (2**attempt)
+        )
+        self._sleep(ceiling * (0.5 + 0.5 * self._rng.random()))
 
     def submit_with_retry(
         self,
@@ -137,14 +249,26 @@ class ServeClient:
         modifiers: Sequence[Modifier],
         max_attempts: int = 16,
         chunk: Optional[int] = None,
+        timeout: Optional[float] = None,
     ) -> List[dict]:
-        """Submit, flushing-and-retrying through retryable rejects.
+        """Submit exactly-once through retryable failures.
 
-        Submits ``modifiers`` (in ``chunk``-sized slices when given);
-        on a retryable code the session is flushed — the act that
-        drains backlog in simulated time — and the *same slice* is
-        resubmitted, so a shed or quota reject never drops or reorders
-        work.  Non-retryable errors propagate immediately.
+        Submits ``modifiers`` (in ``chunk``-sized slices when given)
+        with ``max_attempts`` bounded attempts per slice and jittered
+        exponential backoff between attempts.  Three recovery paths:
+
+        * pre-engine rejections (shed / quota / backpressure): flush
+          the session — the act that drains backlog in simulated
+          time — and resubmit the same slice;
+        * ambiguous failures (timeout, lost connection, worker fault):
+          reconnect, re-attach, and resync on the session's
+          ``next_seq`` so only the unlanded suffix is resubmitted —
+          never a duplicate, never a gap;
+        * non-retryable errors propagate immediately.
+
+        A resynced slice that turns out to have fully landed yields a
+        synthesized response with ``"resynced": True`` so accepted
+        counts still sum to ``len(modifiers)``.
         """
         responses: List[dict] = []
         pending = list(modifiers)
@@ -153,18 +277,68 @@ class ServeClient:
         size = len(pending) if chunk is None else chunk
         if size < 1:
             raise ValueError("chunk must be >= 1")
+        # Sequence baseline for ambiguity resolution: everything below
+        # next_seq at this instant is previous traffic, not ours.
+        next_seq = self.attach(session).get("next_seq")
         while pending:
             batch, rest = pending[:size], pending[size:]
             for attempt in range(max_attempts):
                 try:
-                    responses.append(self.submit(session, batch))
+                    response = self.submit(
+                        session, batch, timeout=timeout
+                    )
+                    responses.append(response)
+                    next_seq = response["last_seq"] + 1
                     break
                 except ServeError as err:
-                    if (
-                        err.code not in RETRYABLE_CODES
-                        or attempt == max_attempts - 1
-                    ):
+                    retryable = (
+                        err.retryable or err.code in RETRYABLE_CODES
+                    )
+                    if not retryable or attempt == max_attempts - 1:
                         raise
-                    self.flush(session, drain=True)
+                    self._backoff(attempt)
+                    if self._sock is None:
+                        self.reconnect()
+                    if err.code in AMBIGUOUS_CODES:
+                        batch, next_seq, landed = self._resync(
+                            session, batch, next_seq
+                        )
+                        if landed is not None:
+                            responses.append(landed)
+                        if not batch:
+                            break
+                    elif not isinstance(err, ServeTimeout):
+                        # Typed pre-engine reject: drain, then retry.
+                        self.flush(session, drain=True)
             pending = rest
         return responses
+
+    def _resync(
+        self,
+        session: str,
+        batch: List[Modifier],
+        expected_next: Optional[int],
+    ):
+        """Resolve an ambiguous failure: how much of ``batch`` landed?
+
+        Re-attaches (which also rides out a failover — the restored
+        session answers) and compares the server's ``next_seq`` to the
+        last acknowledged one.  Returns the unlanded suffix, the new
+        baseline, and a synthesized response covering the landed prefix
+        (None when nothing landed).
+        """
+        info = self.attach(session)
+        observed = info.get("next_seq")
+        if expected_next is None or observed is None:
+            return batch, observed, None
+        landed = min(max(observed - expected_next, 0), len(batch))
+        if landed == 0:
+            return batch, observed, None
+        synthesized = {
+            "ok": True,
+            "accepted": landed,
+            "first_seq": expected_next,
+            "last_seq": expected_next + landed - 1,
+            "resynced": True,
+        }
+        return batch[landed:], observed, synthesized

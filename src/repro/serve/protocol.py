@@ -73,6 +73,12 @@ E_QUOTA_CYCLES = "quota-cycles"
 E_SHED_OVERLOAD = "shed-overload"
 #: The session's bounded ingest queue rejected the modifier.
 E_BACKPRESSURE = "backpressure"
+#: The assigned device worker died; the supervisor is failing over.
+E_WORKER_FAILED = "worker-failed"
+#: Client-side only: the per-request deadline elapsed.  The server
+#: never sends this code — :class:`~repro.utils.errors.ServeTimeout`
+#: carries it so retry loops can dispatch on one closed set.
+E_TIMEOUT = "timeout"
 #: Unexpected server-side failure (the message carries the cause).
 E_INTERNAL = "internal"
 
@@ -89,14 +95,37 @@ ERROR_CODES = frozenset(
         E_QUOTA_CYCLES,
         E_SHED_OVERLOAD,
         E_BACKPRESSURE,
+        E_WORKER_FAILED,
+        E_TIMEOUT,
         E_INTERNAL,
     }
 )
 
 #: Codes that clear on their own; clients back off and resubmit.
+#: ``worker-failed`` clears once the supervisor finishes failover;
+#: ``timeout`` is ambiguous (the request may have executed), so retry
+#: loops must re-synchronize on the session's ``next_seq`` first.
 RETRYABLE_CODES = frozenset(
-    {E_QUOTA_QUEUE, E_QUOTA_CYCLES, E_SHED_OVERLOAD, E_BACKPRESSURE}
+    {
+        E_QUOTA_QUEUE,
+        E_QUOTA_CYCLES,
+        E_SHED_OVERLOAD,
+        E_BACKPRESSURE,
+        E_WORKER_FAILED,
+        E_TIMEOUT,
+    }
 )
+
+#: Codes whose *fate is ambiguous*: part of the request may have
+#: executed even though no success response arrived — a timeout may
+#: race the response, a connection may drop after the durable write,
+#: and a worker can die mid-batch with a journaled prefix that
+#: failover replays.  Retry loops re-synchronize on the session's
+#: ``next_seq`` (reported by ``attach``) before resubmitting, so a
+#: resubmit never double-applies.  Everything else in
+#: :data:`RETRYABLE_CODES` is a typed pre-engine rejection, so a plain
+#: resubmit is safe.
+AMBIGUOUS_CODES = frozenset({E_TIMEOUT, E_INTERNAL, E_WORKER_FAILED})
 
 
 def ok_response(**fields) -> dict:

@@ -106,6 +106,26 @@ class TenantAccount:
             "serve_tenant_queued_modifiers",
             "pending modifiers across this tenant's ingest queues",
         )
+        self._recoveries = self.registry.counter(
+            "serve_tenant_recoveries_total",
+            "tenant sessions rebuilt from their journal after state "
+            "loss (server restart or worker failover)",
+        )
+        self._recovery_cycles = self.registry.counter(
+            "serve_tenant_recovery_replay_cycles_total",
+            "simulated device cycles spent replaying this tenant's "
+            "journals during recovery",
+        )
+        self._quarantined_gauge = self.registry.gauge(
+            "serve_tenant_quarantined_modifiers",
+            "poison modifiers currently quarantined across this "
+            "tenant's sessions",
+        )
+        self._dead_letter_gauge = self.registry.gauge(
+            "serve_tenant_dead_letters",
+            "permanently rejected modifiers recorded in this tenant's "
+            "journals",
+        )
 
     # -- bookkeeping ---------------------------------------------------------------
 
@@ -121,6 +141,23 @@ class TenantAccount:
     def publish_usage(self, live_sessions: int, queued: int) -> None:
         self._sessions_gauge.set(live_sessions)
         self._queued_gauge.set(queued)
+
+    def record_recovery(self, replay_cycles: float) -> None:
+        """Count one journal-rebuild of a tenant session and the
+        simulated cycles its replay consumed."""
+        self._recoveries.inc()
+        if replay_cycles > 0:
+            self._recovery_cycles.inc(replay_cycles)
+
+    def publish_resilience(
+        self, quarantined: int, dead_letters: int
+    ) -> None:
+        """Refresh the tenant's quarantine/dead-letter exposure.
+
+        Fed from the registry's per-entry telemetry caches so the
+        figures stay current even while every session is evicted."""
+        self._quarantined_gauge.set(quarantined)
+        self._dead_letter_gauge.set(dead_letters)
 
     def charge_cycles(self, delta: float) -> None:
         """Attribute ``delta`` simulated device cycles to this tenant."""

@@ -50,6 +50,7 @@ from repro.graph.generators import (
     random_graph,
 )
 from repro.partition.config import PartitionConfig
+from repro.stream.journal import StreamJournal
 from repro.stream.scheduler import SchedulerConfig, ledger_cycles
 from repro.stream.session import StreamSession
 from repro.utils.errors import ServeError
@@ -57,7 +58,9 @@ from repro.serve.protocol import (
     E_BAD_REQUEST,
     E_SESSION_EXISTS,
     E_UNKNOWN_SESSION,
+    E_WORKER_FAILED,
 )
+from repro.serve.wal import ServeWAL
 
 #: Graph generators a ``create`` request may name.  Closed set: the
 #: wire protocol must not become an arbitrary-code front door.
@@ -124,6 +127,18 @@ class DeviceWorker:
         self.lock = asyncio.Lock()
         self.total_cycles = 0.0
         self.cycles_by_tenant: Dict[str, float] = {}
+        #: Fail-stop liveness: a dead worker never runs again; its
+        #: in-memory session state is lost and must be rebuilt from
+        #: journals on a survivor.  The cycle counters survive — the
+        #: work *was* done and attributed before the failure.
+        self.alive = True
+        self.fault: Optional[str] = None
+
+    def fail(self, reason: str) -> None:
+        """Mark the worker dead (idempotent; keeps the first reason)."""
+        if self.alive:
+            self.alive = False
+            self.fault = reason
 
     def charge(self, tenant: str, delta: float) -> None:
         if delta < 0:
@@ -136,6 +151,8 @@ class DeviceWorker:
     def as_dict(self) -> dict:
         return {
             "index": self.index,
+            "alive": self.alive,
+            "fault": self.fault,
             "total_cycles": self.total_cycles,
             "cycles_by_tenant": {
                 tenant: self.cycles_by_tenant[tenant]
@@ -160,6 +177,18 @@ class SessionEntry:
     #: Ledger cycle reading already charged to the worker, so each op
     #: charges only its delta.
     charged_cycles: float = 0.0
+    #: Cumulative cycles charged across every engine incarnation (the
+    #: per-incarnation ledger resets on attach/recover).  This is the
+    #: figure the serve WAL settles durably at each checkpoint.
+    lifetime_cycles: float = 0.0
+    #: Times this entry was rebuilt from its journal after state loss
+    #: (server restart or worker death) — *not* counting plain
+    #: evict/attach round trips.
+    recoveries: int = 0
+    #: Telemetry caches refreshed at every settle, so per-tenant
+    #: resilience metrics stay observable while the session is evicted.
+    quarantined: int = 0
+    dead_lettered: int = 0
 
     @property
     def live(self) -> bool:
@@ -186,6 +215,7 @@ class SessionRegistry:
         self.data_dir = Path(data_dir)
         self.workers = [DeviceWorker(i) for i in range(workers)]
         self.idle_evict_after_ops = idle_evict_after_ops
+        self.wal = ServeWAL(self.data_dir)
         self._entries: Dict[Tuple[str, str], SessionEntry] = {}
         self._op_counter = 0
         self._created = 0
@@ -264,23 +294,22 @@ class SessionRegistry:
                 f"tenant {tenant!r} already has a session {name!r}",
                 code=E_SESSION_EXISTS,
             )
-        csr = build_graph(graph_spec)
+        params = {
+            "graph": graph_spec,
+            "k": k,
+            "seed": seed,
+            "target_batch_size": target_batch_size,
+            "queue_capacity": queue_capacity,
+            "policy": policy,
+        }
+        csr = build_graph(graph_spec)  # validate before journaling
         journal_dir = self.data_dir / tenant / name
-        scheduler = (
-            SchedulerConfig(target_batch_size=target_batch_size)
-            if target_batch_size is not None
-            else None
-        )
-        session = StreamSession(
-            csr,
-            PartitionConfig(k=k, seed=seed),
-            journal_dir=journal_dir,
-            queue_capacity=queue_capacity,
-            policy=policy,
-            scheduler=scheduler,
-        )
-        session.start()
-        worker = self.workers[self._created % len(self.workers)]
+        # WAL before state: the manifest line must be durable before
+        # the session exists, so a crash at any later point still
+        # recovers the session.
+        self.wal.append_create(tenant, name, params)
+        session = self._construct_session(params, journal_dir, csr=csr)
+        worker = self._assign_worker()
         self._created += 1
         entry = SessionEntry(
             tenant=tenant,
@@ -289,20 +318,93 @@ class SessionRegistry:
             worker=worker,
             session=session,
         )
+        self._bind(entry)
+        # start() writes the initial checkpoint, which (via the bound
+        # hook) settles the initial partitioning cost durably.
+        session.start()
         self._entries[key] = entry
         self.touch(entry)
         return entry
+
+    def _construct_session(
+        self, params: dict, journal_dir: Path, csr=None
+    ) -> StreamSession:
+        """Build (but do not start) a session from manifest params."""
+        if csr is None:
+            csr = build_graph(params.get("graph", {}))
+        target_batch_size = params.get("target_batch_size")
+        scheduler = (
+            SchedulerConfig(target_batch_size=target_batch_size)
+            if target_batch_size is not None
+            else None
+        )
+        return StreamSession(
+            csr,
+            PartitionConfig(
+                k=int(params.get("k", 2)),
+                seed=int(params.get("seed", 0)),
+            ),
+            journal_dir=journal_dir,
+            queue_capacity=int(params.get("queue_capacity", 4096)),
+            policy=params.get("policy", "reject"),
+            scheduler=scheduler,
+        )
+
+    def _assign_worker(self) -> DeviceWorker:
+        """Round-robin over *alive* workers, anchored at the creation
+        counter — with a fully healthy pool this reproduces the
+        original assignment bit-identically during recovery."""
+        count = len(self.workers)
+        start = self._created % count
+        for offset in range(count):
+            worker = self.workers[(start + offset) % count]
+            if worker.alive:
+                return worker
+        raise ServeError(
+            "no alive device workers", code=E_WORKER_FAILED
+        )
+
+    def _bind(self, entry: SessionEntry) -> None:
+        """Hook the entry's live session so every durable checkpoint
+        also settles its lifetime cycles into the serve WAL.
+
+        The hook fires *inside* ``StreamSession.checkpoint`` — the only
+        point where the cycle figure and the checkpoint cursor are
+        guaranteed to correspond (a ``checkpoint_every`` checkpoint can
+        fire mid-drain, with more flushes landing after it in the same
+        serve op).
+        """
+
+        def settle_durably() -> None:
+            self.wal.append_settle(
+                entry.tenant, entry.name, self._lifetime_now(entry)
+            )
+
+        entry.session.on_checkpoint = settle_durably
+
+    def _lifetime_now(self, entry: SessionEntry) -> float:
+        """Lifetime cycles including the not-yet-settled ledger delta."""
+        total = entry.lifetime_cycles
+        if entry.live:
+            now = ledger_cycles(entry.session.partitioner.ctx.ledger)
+            total += max(0.0, now - entry.charged_cycles)
+        return total
 
     def attach(self, tenant: str, name: str) -> SessionEntry:
         """Return the entry with a live session, recovering if evicted."""
         entry = self.get(tenant, name)
         if not entry.live:
-            entry.session = StreamSession.recover(entry.journal_dir)
-            # A fresh engine means a fresh ledger: the recovery replay's
-            # cycles are this entry's first post-attach charge.
-            entry.charged_cycles = 0.0
+            self._revive(entry)
         self.touch(entry)
         return entry
+
+    def _revive(self, entry: SessionEntry) -> None:
+        """Rebuild the entry's engine state from its journal."""
+        entry.session = StreamSession.recover(entry.journal_dir)
+        # A fresh engine means a fresh ledger: the recovery replay's
+        # cycles are this entry's first post-attach charge.
+        entry.charged_cycles = 0.0
+        self._bind(entry)
 
     def evict(self, tenant: str, name: str) -> SessionEntry:
         """Checkpoint-and-drop a live session (no-op when evicted)."""
@@ -340,6 +442,97 @@ class SessionRegistry:
                 entry.session.suspend()
                 entry.session = None
                 entry.evictions += 1
+        self.wal.compact()
+        self.wal.close()
+
+    # -- crash recovery & failover --------------------------------------------------
+
+    def recover_entries(self) -> List[SessionEntry]:
+        """Re-materialize every manifest session after a process crash.
+
+        Sessions come back in manifest (creation) order so the
+        round-robin worker assignment matches the crashed process.
+        Durably settled cycles are restored into worker/tenant
+        attribution first; the deterministic journal replay then
+        charges exactly the cycles the settlement does not cover, so
+        recovered totals equal the uncrashed run's.
+
+        A manifest entry whose journal never reached its first
+        checkpoint (crash between WAL append and ``start()``) is
+        re-created from its recorded parameters — the state its
+        never-acked ``create`` would have produced.
+        """
+        state = self.wal.load()
+        recovered: List[SessionEntry] = []
+        for tenant, name, params in state.creates:
+            key = (tenant, name)
+            if key in self._entries:
+                continue
+            journal_dir = self.data_dir / tenant / name
+            worker = self._assign_worker()
+            self._created += 1
+            entry = SessionEntry(
+                tenant=tenant,
+                name=name,
+                journal_dir=journal_dir,
+                worker=worker,
+            )
+            settled = state.settled_cycles.get(key, 0.0)
+            if settled > 0.0:
+                entry.lifetime_cycles = settled
+                worker.charge(tenant, settled)
+            if StreamJournal(journal_dir).exists():
+                self._revive(entry)
+                entry.recoveries += 1
+            else:
+                entry.session = self._construct_session(
+                    params, journal_dir
+                )
+                self._bind(entry)
+                entry.session.start()
+            self.settle_cycles(entry)
+            self._entries[key] = entry
+            self.touch(entry)
+            recovered.append(entry)
+        return recovered
+
+    def entries_on_worker(
+        self, worker: DeviceWorker
+    ) -> List[SessionEntry]:
+        return [
+            self._entries[key]
+            for key in sorted(self._entries)
+            if self._entries[key].worker is worker
+        ]
+
+    def drop_lost(self, entry: SessionEntry) -> None:
+        """Discard an entry's in-memory state after its worker died.
+
+        Fail-stop: no suspend, no checkpoint — the device that would
+        run them is gone.  Only the journal's file handle is released;
+        everything durable (last checkpoint + WAL suffix) stays, and
+        :meth:`restore` rebuilds the exact pre-failure state from it.
+        """
+        if entry.live:
+            if entry.session.journal is not None:
+                entry.session.journal.close()
+            entry.session = None
+
+    def restore(
+        self, entry: SessionEntry, worker: DeviceWorker
+    ) -> SessionEntry:
+        """Rebuild a lost entry onto ``worker`` from its journal."""
+        if not worker.alive:
+            raise ServeError(
+                f"cannot restore onto dead worker {worker.index}",
+                code=E_WORKER_FAILED,
+            )
+        entry.worker = worker
+        self._revive(entry)
+        entry.recoveries += 1
+        self.settle_cycles(entry)
+        self.touch(entry)
+        return entry
 
     # -- device-cycle attribution ---------------------------------------------------
 
@@ -351,11 +544,14 @@ class SessionRegistry:
         """
         if not entry.live:
             return 0.0
+        entry.quarantined = entry.session.telemetry.quarantined
+        entry.dead_lettered = entry.session.telemetry.dead_lettered
         now = ledger_cycles(entry.session.partitioner.ctx.ledger)
         delta = now - entry.charged_cycles
         if delta <= 0.0:
             return 0.0
         entry.charged_cycles = now
+        entry.lifetime_cycles += delta
         entry.worker.charge(entry.tenant, delta)
         return delta
 
@@ -366,7 +562,9 @@ class SessionRegistry:
             "session": entry.name,
             "live": entry.live,
             "worker": entry.worker.index,
+            "worker_alive": entry.worker.alive,
             "evictions": entry.evictions,
+            "recoveries": entry.recoveries,
             "last_active_op": entry.last_active_op,
         }
         if entry.live:
@@ -374,6 +572,10 @@ class SessionRegistry:
                 {
                     "queue_depth": entry.session.queue.depth,
                     "applied_seq": entry.session.applied_seq,
+                    # Exactly-once resume: a client whose submit's fate
+                    # is ambiguous (timeout) reads next_seq to learn
+                    # how much of its batch landed before resubmitting.
+                    "next_seq": entry.session.queue.next_seq,
                     "cut": entry.session.cut_size(),
                 }
             )

@@ -38,6 +38,7 @@ what makes hosted runs bit-identical to standalone ones.
 from __future__ import annotations
 
 import asyncio
+import json
 import threading
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -56,6 +57,7 @@ from repro.serve.protocol import (
     E_SHED_OVERLOAD,
     E_UNKNOWN_OP,
     E_UNKNOWN_TENANT,
+    encode_frame,
     error_response,
     ok_response,
     read_frame_async,
@@ -68,12 +70,15 @@ from repro.serve.registry import (
     partition_sha256,
 )
 from repro.serve.shedding import LoadShedder, ShedPolicy
+from repro.serve.supervision import WorkerSupervisor
 from repro.stream.journal import decode_modifier
 from repro.utils.errors import (
     BackpressureError,
     ReproError,
     ServeError,
+    WorkerFault,
 )
+from repro.utils.faultinject import ServeFaultPlan
 
 #: Protocol/server version reported by the ``hello`` op.
 SERVE_PROTOCOL_VERSION = 1
@@ -99,6 +104,16 @@ class ServerConfig:
         auto_register_tenants: Unknown tenants get an account with
             ``default_quota`` on first use; when False they are
             rejected with ``unknown-tenant``.
+        recover: Re-materialize every session recorded in
+            ``data_dir``'s serve WAL before the listeners open (the
+            disaster-recovery path; requires a persistent
+            ``data_dir``).
+        enable_chaos: Accept the ``kill-worker`` chaos op and honor an
+            injected ``fault_plan``.  Off by default — a production
+            server must not expose a remote kill switch.
+        fault_plan: Armed :class:`~repro.utils.faultinject.
+            ServeFaultPlan` whose faults fire at the execute/response
+            stages (ignored unless ``enable_chaos``).
     """
 
     host: str = "127.0.0.1"
@@ -111,6 +126,9 @@ class ServerConfig:
     shed: ShedPolicy = field(default_factory=ShedPolicy)
     idle_evict_after_ops: int = 0
     auto_register_tenants: bool = True
+    recover: bool = False
+    enable_chaos: bool = False
+    fault_plan: Optional[ServeFaultPlan] = None
 
 
 class PartitionServer:
@@ -154,6 +172,20 @@ class PartitionServer:
         self._sessions_gauge = self.metrics.gauge(
             "serve_sessions_live", "live sessions across all tenants"
         )
+        self.supervisor = WorkerSupervisor(
+            self.registry,
+            self.metrics,
+            shedder=self.shedder,
+            on_recovery=self._on_recovery,
+        )
+        self.fault_plan = (
+            self.config.fault_plan if self.config.enable_chaos else None
+        )
+        #: Set by :meth:`_crash`: the process "died" — shutdown must
+        #: skip every graceful-close step so journals and the serve WAL
+        #: are left exactly as a real crash would.
+        self.crashed = False
+        self._op_in_flight: Optional[str] = None
         self._tcp_server: Optional[asyncio.base_events.Server] = None
         self._http_server: Optional[asyncio.base_events.Server] = None
 
@@ -173,12 +205,52 @@ class PartitionServer:
 
     async def start(self) -> None:
         cfg = self.config
+        if cfg.recover:
+            self.recover_sessions()
         self._tcp_server = await asyncio.start_server(
             self._handle_protocol, host=cfg.host, port=cfg.port
         )
         self._http_server = await asyncio.start_server(
             self._handle_http, host=cfg.host, port=cfg.http_port
         )
+
+    def recover_sessions(self) -> list:
+        """Re-materialize every WAL-recorded session (crash recovery).
+
+        Runs before the listeners open, so the first request a client
+        sends after restart already sees its sessions.  Each session
+        rebuilt from a journal counts as a per-tenant recovery, with the
+        replay's ledger cycles attributed as recovery cost.
+        """
+        recovered = self.registry.recover_entries()
+        for entry in recovered:
+            account = self.tenant(entry.tenant)
+            if entry.recoveries > 0:
+                # charged_cycles on the fresh post-recover ledger is
+                # exactly the journal replay's cost.
+                account.record_recovery(entry.charged_cycles)
+            account.charge_cycles(entry.charged_cycles)
+        self._publish_usage()
+        return recovered
+
+    def _on_recovery(
+        self, entry: SessionEntry, replay_cycles: float
+    ) -> None:
+        """Supervisor callback: attribute a failover to its tenant."""
+        account = self.tenant(entry.tenant)
+        account.record_recovery(replay_cycles)
+        account.charge_cycles(replay_cycles)
+
+    def _crash(self) -> None:
+        """Simulate a process kill: listeners vanish, nothing is
+        flushed, suspended, compacted, or closed gracefully."""
+        self.crashed = True
+        for server in (self._tcp_server, self._http_server):
+            if server is not None:
+                server.close()
+        self._tcp_server = None
+        self._http_server = None
+        asyncio.get_running_loop().stop()
 
     async def stop(self) -> None:
         for server in (self._tcp_server, self._http_server):
@@ -209,9 +281,14 @@ class PartitionServer:
         live_total = 0
         for name in sorted(self.tenants):
             account = self.tenants[name]
+            entries = self.registry.entries_for(name)
             live = self.registry.live_session_count(name)
             account.publish_usage(
                 live, self.registry.queued_modifiers(name)
+            )
+            account.publish_resilience(
+                sum(e.quarantined for e in entries),
+                sum(e.dead_lettered for e in entries),
             )
             live_total += live
         self._sessions_gauge.set(live_total)
@@ -236,11 +313,50 @@ class PartitionServer:
                 if request is None:
                     break
                 response = await self._dispatch(request)
-                await write_frame_async(writer, response)
+                if await self._send_response(writer, request, response):
+                    break
         except (ConnectionResetError, BrokenPipeError):
             pass  # peer vanished; nothing to answer
         finally:
             writer.close()
+
+    async def _send_response(
+        self,
+        writer: asyncio.StreamWriter,
+        request: dict,
+        response: dict,
+    ) -> bool:
+        """Write one response frame, honoring any armed response-stage
+        fault.  Returns True when the connection must close.
+
+        Every fault here fires *after* the op executed and journaled —
+        the state is durable, only the ack is lost — which is exactly
+        the ambiguity window retrying clients must survive.
+        """
+        plan = self.fault_plan
+        fault = (
+            plan.take("response", request.get("op"))
+            if plan is not None
+            else None
+        )
+        if fault is None:
+            await write_frame_async(writer, response)
+            return False
+        if fault.kind == "delay_response":
+            await asyncio.sleep(fault.delay)
+            await write_frame_async(writer, response)
+            return False
+        if fault.kind == "drop_connection":
+            return True
+        if fault.kind == "torn_response":
+            frame = encode_frame(response)
+            writer.write(frame[: plan.torn_length(fault, len(frame))])
+            await writer.drain()
+            return True
+        # crash_after_wal: the whole process dies between the durable
+        # write and the ack.
+        self._crash()
+        return True
 
     async def _dispatch(self, request: dict) -> dict:
         self._requests.inc()
@@ -251,6 +367,7 @@ class PartitionServer:
             return error_response(
                 E_UNKNOWN_OP, f"unknown op {op!r}"
             )
+        self._op_in_flight = op if isinstance(op, str) else None
         try:
             response = await handler(self, request)
         except ServeError as err:
@@ -267,6 +384,19 @@ class PartitionServer:
             response = error_response(
                 E_INTERNAL, f"{type(err).__name__}: {err}"
             )
+        finally:
+            self._op_in_flight = None
+        # Supervision before the response leaves: a worker that died
+        # during this op has its sessions restored on survivors *now*,
+        # so the client's retry of the failed (retryable) request finds
+        # the session already failed over.
+        try:
+            self.supervisor.sweep()
+        except ServeError:
+            # Every worker is dead: nothing to drain onto.  The pool
+            # stays degraded (healthz 503) and execution ops keep
+            # failing typed until a restart recovers from journals.
+            pass
         evicted = self.registry.sweep_idle()
         if evicted:
             self._evictions.inc(len(evicted))
@@ -297,10 +427,44 @@ class PartitionServer:
     ):
         """Execute ``fn()`` under the device-worker lock, then settle
         the ledger delta onto both the worker (attribution) and the
-        tenant account (metrics + window budget)."""
+        tenant account (metrics + window budget).
+
+        Worker faults surface here: an injected ``worker_abort`` kills
+        the worker *before* the op touches session state, and any
+        non-library exception from the engine is treated as a device
+        loss (fail-stop) — both raise the retryable
+        :class:`~repro.utils.errors.WorkerFault`, and the dispatch
+        loop's supervisor sweep restores the lost sessions before the
+        error response is sent.
+        """
         async with entry.worker.lock:
+            if not entry.worker.alive:
+                raise WorkerFault(
+                    f"device worker {entry.worker.index} is dead "
+                    f"({entry.worker.fault})"
+                )
+            plan = self.fault_plan
+            fault = (
+                plan.take("execute", self._op_in_flight)
+                if plan is not None
+                else None
+            )
+            if fault is not None:
+                entry.worker.fail(f"injected {fault.kind}")
+                raise WorkerFault(
+                    f"device worker {entry.worker.index} aborted "
+                    "(injected fault)"
+                )
             try:
                 return fn()
+            except ReproError:
+                raise
+            except Exception as err:
+                entry.worker.fail(f"{type(err).__name__}: {err}")
+                raise WorkerFault(
+                    f"device worker {entry.worker.index} faulted: "
+                    f"{type(err).__name__}: {err}"
+                ) from err
             finally:
                 account.charge_cycles(
                     self.registry.settle_cycles(entry)
@@ -515,7 +679,47 @@ class PartitionServer:
             shedding=self.shedder.shedding,
             backlog=self.registry.queued_modifiers(),
             workers=[w.as_dict() for w in self.registry.workers],
+            supervisor=self.supervisor.status(),
             server_metrics=self.metrics.as_dict(),
+        )
+
+    async def _op_kill_worker(self, request: dict) -> dict:
+        """Chaos op: declare a device worker dead and fail over.
+
+        Gated behind ``enable_chaos`` — a production server must not
+        expose a remote kill switch.  Refuses to kill the last alive
+        worker: with no survivor to drain onto, failover is impossible
+        and only a process restart could recover.
+        """
+        if not self.config.enable_chaos:
+            raise ServeError(
+                "kill-worker requires enable_chaos",
+                code=E_UNKNOWN_OP,
+            )
+        index = request.get("worker")
+        if not isinstance(index, int) or not (
+            0 <= index < len(self.registry.workers)
+        ):
+            raise ServeError(
+                "kill-worker needs a valid integer worker index",
+                code=E_BAD_REQUEST,
+            )
+        alive = self.supervisor.alive_workers
+        if len(alive) <= 1 and self.registry.workers[index].alive:
+            raise ServeError(
+                "refusing to kill the last alive worker",
+                code=E_BAD_REQUEST,
+            )
+        restored = self.supervisor.fail_worker(
+            index, str(request.get("reason", "chaos kill-worker"))
+        )
+        return ok_response(
+            killed=index,
+            restored=[
+                {"tenant": e.tenant, "session": e.name}
+                for e in restored
+            ],
+            degraded=self.supervisor.degraded,
         )
 
     # -- metrics aggregation --------------------------------------------------------
@@ -569,9 +773,19 @@ class PartitionServer:
                 )
                 status = "200 OK"
             elif path.split("?")[0] == "/healthz":
-                body = b"ok\n"
-                content_type = "text/plain; charset=utf-8"
-                status = "200 OK"
+                if self.supervisor.degraded:
+                    body = (
+                        json.dumps(
+                            self.supervisor.status(), sort_keys=True
+                        ).encode("utf-8")
+                        + b"\n"
+                    )
+                    content_type = "application/json; charset=utf-8"
+                    status = "503 Service Unavailable"
+                else:
+                    body = b"ok\n"
+                    content_type = "text/plain; charset=utf-8"
+                    status = "200 OK"
             else:
                 body = b"not found\n"
                 content_type = "text/plain; charset=utf-8"
@@ -605,6 +819,7 @@ _OPS = {
     "digest": PartitionServer._op_digest,
     "metrics": PartitionServer._op_metrics,
     "stats": PartitionServer._op_stats,
+    "kill-worker": PartitionServer._op_kill_worker,
 }
 
 
@@ -654,8 +869,41 @@ class ServerThread:
         try:
             self._loop.run_forever()
         finally:
-            self._loop.run_until_complete(self.server.stop())
+            if self.server.crashed:
+                # Simulated kill: no graceful close — abandon every
+                # in-flight task so journals stay exactly as the
+                # "dying" process left them.  The abandoned tasks'
+                # done-callbacks would otherwise spam CancelledError
+                # tracebacks through the loop's exception handler.
+                self._loop.set_exception_handler(
+                    lambda loop, context: None
+                )
+                pending = [
+                    t
+                    for t in asyncio.all_tasks(self._loop)
+                    if not t.done()
+                ]
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    self._loop.run_until_complete(
+                        asyncio.gather(
+                            *pending, return_exceptions=True
+                        )
+                    )
+            else:
+                self._loop.run_until_complete(self.server.stop())
             self._loop.close()
+
+    @property
+    def crashed(self) -> bool:
+        return self.server.crashed
+
+    def join_crashed(self, timeout: float = 30.0) -> None:
+        """Wait for an injected ``crash_after_wal`` to take the server
+        down (the loop stops itself; no stop signal is sent)."""
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
 
     def stop(self) -> None:
         if self._loop is not None and self._loop.is_running():

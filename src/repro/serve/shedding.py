@@ -20,6 +20,12 @@ Shed responses are retryable by contract
 off and resubmits converges to the same partition it would have gotten
 without the shed, because rejection happens before any engine state is
 touched — `tools/serve_gate.py` proves this bit-identically.
+
+Brownout: when device workers die, the surviving pool's capacity
+shrinks; :meth:`LoadShedder.set_capacity_fraction` scales the
+effective watermarks by the alive fraction so shedding tightens
+proportionally (graceful degradation) instead of letting the smaller
+pool drown under the same backlog the full pool could carry.
 """
 
 from __future__ import annotations
@@ -72,6 +78,7 @@ class LoadShedder:
     ):
         self.policy = policy
         self._shedding = False
+        self._capacity_fraction = 1.0
         self._decisions: deque = deque(maxlen=policy.rate_window)
         self._shed_counter = registry.counter(
             "serve_shed_total",
@@ -89,18 +96,57 @@ class LoadShedder:
             "serve_backlog_modifiers",
             "queued modifiers across all live sessions",
         )
+        self._capacity_gauge = registry.gauge(
+            "serve_capacity_fraction",
+            "alive fraction of the device pool scaling the watermarks",
+        )
+        self._capacity_gauge.set(1.0)
 
     @property
     def shedding(self) -> bool:
         return self._shedding
 
+    @property
+    def capacity_fraction(self) -> float:
+        return self._capacity_fraction
+
+    def set_capacity_fraction(self, fraction: float) -> None:
+        """Scale the effective watermarks to the alive device fraction.
+
+        Called by the worker supervisor on every failure/failover, so a
+        brownout tightens admission *before* the shrunken pool is
+        already saturated.  ``fraction`` is clamped to (0, 1]; the
+        effective watermarks never drop below 1.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("capacity fraction must be in (0, 1]")
+        self._capacity_fraction = fraction
+        self._capacity_gauge.set(fraction)
+
+    @property
+    def effective_high_watermark(self) -> int:
+        return max(
+            1,
+            int(self.policy.high_watermark * self._capacity_fraction),
+        )
+
+    @property
+    def effective_low_watermark(self) -> int:
+        return min(
+            int(
+                self.policy.resolved_low_watermark
+                * self._capacity_fraction
+            ),
+            self.effective_high_watermark,
+        )
+
     def observe_backlog(self, backlog: int) -> None:
         """Update the hysteresis state from the current global backlog."""
         self._backlog_gauge.set(backlog)
         if self._shedding:
-            if backlog <= self.policy.resolved_low_watermark:
+            if backlog <= self.effective_low_watermark:
                 self._shedding = False
-        elif backlog >= self.policy.high_watermark:
+        elif backlog >= self.effective_high_watermark:
             self._shedding = True
         self._shedding_gauge.set(int(self._shedding))
 

@@ -1,0 +1,210 @@
+"""Durable serve-layer manifest: the registry's write-ahead log.
+
+The per-session modifier WAL already exists — every hosted
+:class:`~repro.stream.session.StreamSession` journals submits before
+ack and checkpoints under ``data_dir/<tenant>/<session>/``.  What a
+server crash loses is the layer *above* the sessions: which sessions
+exist at all (their construction parameters), and how many device
+cycles each had already been charged.  :class:`ServeWAL` journals
+exactly that into ``data_dir/serve-manifest.log`` as JSON lines:
+
+.. code-block:: text
+
+    {"r":"c","t":"acme","n":"s0","p":{"graph":{...},"k":4,...}}
+    {"r":"s","t":"acme","n":"s0","c":1234.5}
+
+* ``"c"`` (*create*) is appended — write, flush, fsync — **before**
+  the session object is constructed.  Recovery re-creates sessions in
+  manifest order, which reproduces the registry's round-robin worker
+  assignment (``created_count % pool_size``) bit-identically when the
+  pool size is unchanged.
+* ``"s"`` (*settle*) records the session's cumulative lifetime device
+  cycles at the moment its engine checkpoint was written.  Recovery
+  restores that figure into worker/tenant attribution, and the
+  deterministic replay of post-checkpoint flush windows re-charges the
+  remainder — so recovered cycle totals equal the uncrashed run's.
+
+Durability idiom matches :mod:`repro.stream.journal`: appends are
+fsynced, a crash-torn final line is truncated before the next append
+(:func:`repro.stream.journal.trim_torn_tail`), and compaction rewrites
+the file via temp file → fsync → ``os.replace`` → directory fsync.
+
+Crash consistency of ``create``: the manifest line lands before the
+session's first checkpoint.  A crash in between leaves a create record
+whose journal directory has no checkpoint; recovery re-creates the
+session from its (deterministic, seeded) parameters — the state the
+acked create would have produced.  Since the client never saw the ack,
+"session exists, freshly created" is a legal post-crash outcome.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, TextIO, Tuple
+
+from repro.stream.journal import trim_torn_tail
+from repro.utils.errors import JournalError
+
+MANIFEST_NAME = "serve-manifest.log"
+
+
+@dataclass
+class ManifestState:
+    """Everything :meth:`ServeWAL.load` recovers."""
+
+    #: ``(tenant, name, params)`` in creation order (first record wins
+    #: for a duplicated key — later ones would be compaction artifacts).
+    creates: List[Tuple[str, str, dict]] = field(default_factory=list)
+    #: Latest settled lifetime cycles per ``(tenant, name)``.
+    settled_cycles: Dict[Tuple[str, str], float] = field(
+        default_factory=dict
+    )
+
+
+class ServeWAL:
+    """Append-only session manifest for one server data directory."""
+
+    def __init__(self, directory: "str | Path"):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._log: Optional[TextIO] = None
+
+    @property
+    def path(self) -> Path:
+        return self.directory / MANIFEST_NAME
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    # -- appending -----------------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        """Durable append: the record survives a crash after return."""
+        if self._log is None:
+            trim_torn_tail(self.path)
+            self._log = self.path.open("a", encoding="utf-8")
+        self._log.write(
+            json.dumps(record, separators=(",", ":")) + "\n"
+        )
+        self._log.flush()
+        os.fsync(self._log.fileno())
+
+    def append_create(
+        self, tenant: str, name: str, params: dict
+    ) -> None:
+        """Journal a session's existence before constructing it.
+
+        ``params`` must be the complete, JSON-able construction
+        signature (graph spec, k, seed, scheduler/queue settings) —
+        recovery rebuilds the session from nothing but this record and
+        the session's own journal directory.
+        """
+        self._append({"r": "c", "t": tenant, "n": name, "p": params})
+
+    def append_settle(
+        self, tenant: str, name: str, cycles: float
+    ) -> None:
+        """Journal a session's cumulative lifetime device cycles.
+
+        Written whenever the session's engine checkpoint is (evict,
+        idle sweep, explicit checkpoint, shutdown) so the durable
+        figure and the checkpoint cursor always correspond: replaying
+        the post-checkpoint suffix re-derives exactly the cycles this
+        record does not cover.
+        """
+        self._append(
+            {"r": "s", "t": tenant, "n": name, "c": float(cycles)}
+        )
+
+    # -- recovery ------------------------------------------------------------------
+
+    def load(self) -> ManifestState:
+        """Parse the manifest, discarding a crash-torn tail."""
+        state = ManifestState()
+        if not self.path.exists():
+            return state
+        seen: set = set()
+        trim_torn_tail(self.path)
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                kind = record.get("r")
+                if kind == "c":
+                    key = (record["t"], record["n"])
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    params = record.get("p", {})
+                    if not isinstance(params, dict):
+                        raise JournalError(
+                            f"manifest create record for {key} has "
+                            f"non-object params"
+                        )
+                    state.creates.append((key[0], key[1], params))
+                elif kind == "s":
+                    key = (record["t"], record["n"])
+                    state.settled_cycles[key] = float(record["c"])
+                else:
+                    raise JournalError(
+                        f"unknown manifest record kind {kind!r}"
+                    )
+        return state
+
+    # -- compaction ----------------------------------------------------------------
+
+    def compact(self) -> None:
+        """Rewrite the manifest to one create + one settle per session.
+
+        Temp file → fsync → ``os.replace`` → directory fsync, so a
+        crash at any point leaves a complete manifest on disk.
+        """
+        state = self.load()
+        if self._log is not None:
+            self._log.close()
+            self._log = None
+        lines: List[str] = []
+        for tenant, name, params in state.creates:
+            lines.append(
+                json.dumps(
+                    {"r": "c", "t": tenant, "n": name, "p": params},
+                    separators=(",", ":"),
+                )
+            )
+            cycles = state.settled_cycles.get((tenant, name))
+            if cycles is not None:
+                lines.append(
+                    json.dumps(
+                        {"r": "s", "t": tenant, "n": name, "c": cycles},
+                        separators=(",", ":"),
+                    )
+                )
+        tmp = self.directory / (MANIFEST_NAME + ".tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + ("\n" if lines else ""))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        self._fsync_directory()
+
+    def _fsync_directory(self) -> None:
+        try:
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    def close(self) -> None:
+        if self._log is not None:
+            self._log.close()
+            self._log = None

@@ -17,8 +17,12 @@ Crash model: the process can die at any point.  Recovery then
    queue.
 
 A torn final line (the write the crash interrupted) is tolerated and
-discarded; everything before it is trusted.  Checkpointing compacts the
-log, dropping records at or below the new cursor so the journal stays
+discarded; everything before it is trusted.  Opening the log for
+appending first truncates that torn tail (:func:`trim_torn_tail`) so a
+post-crash append can never merge a valid record onto the interrupted
+one — without the trim, every record after the tear would be silently
+discarded on the *next* recovery.  Checkpointing compacts the log,
+dropping records at or below the new cursor so the journal stays
 proportional to the un-checkpointed window, not the stream's lifetime.
 
 Checkpoint durability: the npz is written to a temp file, fsynced,
@@ -97,6 +101,41 @@ def decode_modifier(record: dict) -> Modifier:
     raise JournalError(f"unknown journaled modifier kind {kind!r}")
 
 
+def trim_torn_tail(path: "str | Path") -> int:
+    """Truncate ``path`` to its last complete JSON-object line.
+
+    The tail is *torn* when the final line is missing its newline or is
+    not a parseable JSON object — exactly what a crash mid-append
+    leaves behind.  Returns the number of bytes removed (0 when the
+    file is clean or absent).  Must run before any post-crash append:
+    an append-mode write would otherwise glue the new record onto the
+    torn line, corrupting a record that was durably logged.
+    """
+    path = Path(path)
+    if not path.exists():
+        return 0
+    with path.open("rb") as handle:
+        data = handle.read()
+    keep = 0
+    for line in data.splitlines(keepends=True):
+        if not line.endswith(b"\n"):
+            break
+        stripped = line.strip()
+        if stripped:
+            try:
+                record = json.loads(stripped.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                break
+            if not isinstance(record, dict):
+                break
+        keep += len(line)
+    removed = len(data) - keep
+    if removed:
+        with path.open("rb+") as handle:
+            handle.truncate(keep)
+    return removed
+
+
 @dataclass
 class JournalState:
     """Everything :meth:`StreamJournal.load` recovers from disk."""
@@ -160,6 +199,9 @@ class StreamJournal:
 
     def _handle(self) -> TextIO:
         if self._log is None:
+            # First open-for-append after (re)construction: drop any
+            # crash-torn tail so new records land on a clean boundary.
+            trim_torn_tail(self.log_path)
             self._log = self.log_path.open("a", encoding="utf-8")
         return self._log
 

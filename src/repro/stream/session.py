@@ -208,6 +208,12 @@ class StreamSession:
         self.quarantine.bind_metrics(self.obs)
         self.escalate_after = escalate_after
         self._clock_fn = clock
+        #: Fired after every durable checkpoint write.  The serve layer
+        #: hooks this to journal cycle settlements that must stay
+        #: consistent with the checkpoint cursor (a checkpoint can fire
+        #: mid-flush via ``checkpoint_every``, which an after-the-op
+        #: observer cannot see).
+        self.on_checkpoint: Optional[Callable[[], None]] = None
         self.applied_seq = -1
         self._consecutive_failures = 0
         self._flushes_since_checkpoint = 0
@@ -600,6 +606,11 @@ class StreamSession:
         if self.journal is None:
             raise StreamError("session has no journal configured")
         self._require_started()
+        # Charge boundary: drain the cut accumulator's pending work so
+        # the ledger reading at this cursor is exactly reproducible by
+        # checkpoint-load + replay (the accumulator itself is not
+        # serialized).
+        self.partitioner.inner.settle_cut_maintenance()
         scheduler = self.scheduler.config
         meta = {
             "applied_seq": self.applied_seq,
@@ -635,6 +646,8 @@ class StreamSession:
         self.journal.write_checkpoint(self.partitioner.inner, meta)
         self.telemetry.checkpoints_written += 1
         self._flushes_since_checkpoint = 0
+        if self.on_checkpoint is not None:
+            self.on_checkpoint()
 
     @classmethod
     def recover(
@@ -697,8 +710,15 @@ class StreamSession:
             meta.get("telemetry", {})
         )
         # Every logged modifier past the cursor was ingested exactly
-        # once by the crashed process after its last checkpoint.
+        # once by the crashed process after its last checkpoint — both
+        # its telemetry count and its ledger cost (one host op each)
+        # are re-applied so a recovered ledger reads identically to the
+        # uninterrupted one.
         session.telemetry.ingested += len(state.modifiers)
+        if state.modifiers:
+            ledger = session.partitioner.ctx.ledger
+            with ledger.section("stream_ingest"):
+                ledger.charge_host_ops(len(state.modifiers))
         session.telemetry.recoveries += 1
         # Backoff deadlines were persisted relative to the checkpoint
         # clock; re-anchor them to this (fresh) ledger's clock.
@@ -709,6 +729,14 @@ class StreamSession:
         session._consecutive_failures = int(
             resilience_meta.get("consecutive_failures", 0)
         )
+
+        # Bootstrap the cut accumulator before replaying: its hooks are
+        # no-ops until the first cut read, so a lazy bootstrap would let
+        # the first replayed window's arc deltas slip past the cost
+        # model — replayed windows must charge exactly what the
+        # originals did.  (The bootstrap scan itself is uncharged, in
+        # the live path and here alike.)
+        session.partitioner.cut_size()
 
         # Replay the recorded flush windows without re-journaling them.
         # A flush record's excluded seqs were quarantined (or

@@ -10,13 +10,18 @@ from repro.utils.errors import (
     PartitionError,
     ReproError,
     ServeError,
+    ServeTimeout,
     StreamError,
     TransactionError,
+    WorkerFault,
 )
 from repro.utils.faultinject import (
     FAULT_CLASSES,
+    SERVE_FAULT_KINDS,
     FaultInjector,
     InjectedAbort,
+    ServeFault,
+    ServeFaultPlan,
 )
 from repro.utils.seeding import derive_seed, make_rng
 from repro.utils.timing import collect_phase_times, timed
@@ -32,12 +37,17 @@ __all__ = [
     "PartitionError",
     "StreamError",
     "ServeError",
+    "ServeTimeout",
+    "WorkerFault",
     "BackpressureError",
     "JournalError",
     "TransactionError",
     "FAULT_CLASSES",
+    "SERVE_FAULT_KINDS",
     "FaultInjector",
     "InjectedAbort",
+    "ServeFault",
+    "ServeFaultPlan",
     "derive_seed",
     "make_rng",
 ]

@@ -104,3 +104,30 @@ class ServeError(ReproError):
         super().__init__(message)
         self.code = code
         self.retryable = retryable
+
+
+class ServeTimeout(ServeError):
+    """A client-side per-request deadline elapsed before the response.
+
+    Never sent by the server: the :class:`~repro.serve.client.
+    ServeClient` raises it when a request's socket deadline passes.  The
+    request's fate is *ambiguous* — the server may or may not have
+    executed it — so retry loops must re-synchronize (``attach`` reports
+    the session's ``next_seq``) before resubmitting.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, code="timeout", retryable=True)
+
+
+class WorkerFault(ServeError):
+    """A device worker died while (or before) executing a request.
+
+    Fail-stop model: the worker's in-memory session state is treated as
+    lost; the supervisor restores its sessions on surviving workers from
+    their journals.  The rejected request is retryable — after failover
+    the same session answers from a surviving worker.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message, code="worker-failed", retryable=True)

@@ -25,8 +25,9 @@ poison at injection time, not just statistically likely.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Iterator, Optional
 
 import numpy as np
 
@@ -47,6 +48,17 @@ FAULT_CLASSES = (
     "pool_exhaustion",
     "kernel_abort",
     "journal_truncation",
+)
+
+
+#: Transport/worker fault kinds the serve layer injects
+#: (:class:`ServeFaultPlan`), for gates that must prove coverage.
+SERVE_FAULT_KINDS = (
+    "torn_response",
+    "drop_connection",
+    "delay_response",
+    "worker_abort",
+    "crash_after_wal",
 )
 
 
@@ -187,3 +199,123 @@ class FaultInjector:
         with path.open("rb+") as handle:
             handle.truncate(keep)
         return keep
+
+
+# -- serve-layer fault plan ------------------------------------------------------
+
+
+@dataclass
+class ServeFault:
+    """One armed transport/worker fault.
+
+    ``kind`` is one of :data:`SERVE_FAULT_KINDS`.  ``op`` restricts the
+    fault to requests with that ``"op"`` field (None matches any).
+    ``after_matches`` skips that many matching requests before firing,
+    so a fault can target e.g. "the third submit".  ``delay`` is the
+    response delay in seconds for ``delay_response``; ``keep_bytes``
+    caps how much of the encoded response frame a ``torn_response``
+    still sends (None → seeded choice strictly inside the frame).
+    """
+
+    kind: str
+    op: Optional[str] = None
+    after_matches: int = 0
+    delay: float = 0.05
+    keep_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in SERVE_FAULT_KINDS:
+            raise ValueError(f"unknown serve fault kind {self.kind!r}")
+
+
+class ServeFaultPlan:
+    """A seeded, one-shot schedule of serve-layer faults.
+
+    The server consults the plan at two stages:
+
+    * ``"execute"`` — before running a request on a device worker
+      (``worker_abort`` fires here, simulating the device dying
+      mid-request);
+    * ``"response"`` — after the WAL write and state change, before the
+      response frame goes out (``torn_response`` / ``drop_connection``
+      / ``delay_response`` / ``crash_after_wal`` fire here — the
+      request *executed*, only its acknowledgement is disturbed).
+
+    Each armed fault fires at most once; fired faults move to
+    :attr:`fired` so gates can assert the sweep actually exercised
+    every planned fault.  All randomness (torn-frame cut points) comes
+    from one seeded RNG, keeping chaos runs reproducible.
+    """
+
+    #: Fault kinds consumed at each stage.
+    _STAGES = {
+        "execute": ("worker_abort",),
+        "response": (
+            "torn_response",
+            "drop_connection",
+            "delay_response",
+            "crash_after_wal",
+        ),
+    }
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.armed: list[ServeFault] = []
+        self.fired: list[ServeFault] = []
+        self._seen: dict[tuple[str, Optional[str]], int] = {}
+
+    def arm(
+        self,
+        kind: str,
+        op: Optional[str] = None,
+        after_matches: int = 0,
+        **kwargs,
+    ) -> ServeFault:
+        """Schedule one fault; returns it for later identity checks."""
+        fault = ServeFault(
+            kind=kind, op=op, after_matches=after_matches, **kwargs
+        )
+        self.armed.append(fault)
+        return fault
+
+    def take(self, stage: str, op: str) -> Optional[ServeFault]:
+        """The fault to fire now for a ``stage``/``op`` pair, if any.
+
+        Counts every matching request per (kind, op) filter so
+        ``after_matches`` is honored, pops the fault from the armed
+        list, and records it in :attr:`fired`.  At most one fault fires
+        per call — a second armed fault on the same request waits for
+        the next match.
+        """
+        if stage not in self._STAGES:
+            raise ValueError(f"unknown serve fault stage {stage!r}")
+        kinds = self._STAGES[stage]
+        for fault in self.armed:
+            if fault.kind not in kinds:
+                continue
+            if fault.op is not None and fault.op != op:
+                continue
+            key = (fault.kind, fault.op)
+            seen = self._seen.get(key, 0)
+            self._seen[key] = seen + 1
+            if seen < fault.after_matches:
+                continue
+            self.armed.remove(fault)
+            self.fired.append(fault)
+            return fault
+        return None
+
+    def torn_length(self, fault: ServeFault, frame_len: int) -> int:
+        """How many bytes of a ``frame_len``-byte response to send.
+
+        Honors ``fault.keep_bytes`` when set (clamped strictly inside
+        the frame); otherwise a seeded cut point in ``[0, frame_len)``
+        — always short of a complete frame, so the client observes a
+        mid-frame disconnect, never a clean reply.
+        """
+        if frame_len <= 0:
+            return 0
+        if fault.keep_bytes is not None:
+            return max(0, min(fault.keep_bytes, frame_len - 1))
+        return int(self.rng.integers(frame_len))

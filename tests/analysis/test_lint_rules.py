@@ -389,7 +389,7 @@ class TestFramework:
 
     def test_rule_ids_unique_and_kebab(self):
         ids = [rule.id for rule in ALL_RULES]
-        assert len(ids) == len(set(ids)) == 10
+        assert len(ids) == len(set(ids)) == 11
         assert all(i == i.lower() and " " not in i for i in ids)
 
 
@@ -745,5 +745,137 @@ class TestPoolScanOutsideSanitizer:
                 return arc_matrix_bucketlist(graph, partition, k)
             """,
             rules=["pool-scan-outside-sanitizer"],
+        )
+        assert findings == []
+
+
+class TestUnjitteredRetryLoop:
+    def test_no_sleep_retry_loop_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/anywhere/net.py",
+            """
+            def fetch(call, max_attempts):
+                for attempt in range(max_attempts):
+                    try:
+                        return call()
+                    except OSError:
+                        continue
+            """,
+        )
+        assert [f.rule for f in findings] == ["unjittered-retry-loop"]
+        assert "never sleeps" in findings[0].message
+
+    def test_constant_sleep_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/anywhere/net.py",
+            """
+            import time
+
+            def fetch(call, retries):
+                while retries:
+                    try:
+                        return call()
+                    except OSError:
+                        retries -= 1
+                        time.sleep(0.1)
+            """,
+        )
+        assert [f.rule for f in findings] == ["unjittered-retry-loop"]
+        assert "constant delay" in findings[0].message
+
+    def test_backoff_call_passes(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/anywhere/net.py",
+            """
+            def fetch(client, call, max_attempts):
+                for attempt in range(max_attempts):
+                    try:
+                        return call()
+                    except OSError:
+                        client._backoff(attempt)
+            """,
+        )
+        assert findings == []
+
+    def test_computed_sleep_passes(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/anywhere/net.py",
+            """
+            import time
+
+            def fetch(call, max_attempts, rng):
+                for attempt in range(max_attempts):
+                    try:
+                        return call()
+                    except OSError:
+                        time.sleep(0.01 * 2**attempt * rng.random())
+            """,
+        )
+        assert findings == []
+
+    def test_attempt_loop_without_except_exempt(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/anywhere/gen.py",
+            """
+            def expand(max_attempts):
+                try:
+                    out = []
+                    for attempt in range(max_attempts):
+                        out.append(attempt)
+                except MemoryError:
+                    raise
+                return out
+            """,
+        )
+        assert findings == []
+
+    def test_non_attempt_drain_loop_exempt(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/anywhere/drain.py",
+            """
+            def drain(pending, call):
+                while pending:
+                    try:
+                        call(pending.pop())
+                    except KeyError:
+                        continue
+            """,
+        )
+        assert findings == []
+
+    def test_reraising_handler_exempt(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/anywhere/net.py",
+            """
+            def fetch(call, max_attempts):
+                for attempt in range(max_attempts):
+                    try:
+                        return call()
+                    except OSError:
+                        raise
+            """,
+        )
+        assert findings == []
+
+    def test_allow_pragma_with_reason(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/anywhere/net.py",
+            """
+            def fetch(call, max_attempts):
+                # repro-lint: allow[unjittered-retry-loop] simulated time
+                for attempt in range(max_attempts):
+                    try:
+                        return call()
+                    except OSError:
+                        continue
+            """,
         )
         assert findings == []

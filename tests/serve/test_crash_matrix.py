@@ -1,0 +1,151 @@
+"""Crash matrix: kill the server around every durable write.
+
+Property: for each serve op, a crash at {pre-WAL, post-WAL/pre-ack,
+post-ack} recovers to *either* the pre-op state or the post-op state —
+never a third value.  The durable prefix on disk at the kill point is
+captured with a directory snapshot (exactly what a dead process leaves
+behind), then recovered by a fresh registry.
+
+The matrix crosses the kill points with {submit, flush, evict}: each
+op's first durable append is instrumented so snapshots land immediately
+before and after the write-ahead record, plus after the op acks.
+"""
+
+import shutil
+
+import pytest
+
+from repro.graph.modifiers import EdgeInsert
+from repro.serve.registry import SessionRegistry, partition_sha256
+
+SPEC = {
+    "generator": "circuit",
+    "args": {"num_vertices": 120, "edge_ratio": 1.3, "seed": 7},
+}
+
+
+def _mods(n, nv=120, start=0):
+    return [
+        EdgeInsert(u=(start + i) % nv, v=(start + i * 3 + 1) % nv)
+        for i in range(n)
+    ]
+
+
+def _fingerprint(entry):
+    return (
+        partition_sha256(entry.session.partition),
+        entry.session.queue.next_seq,
+        entry.session.applied_seq,
+    )
+
+
+def _recover_fingerprint(snapshot_dir):
+    registry = SessionRegistry(snapshot_dir, workers=1)
+    registry.recover_entries()
+    return _fingerprint(registry.get("t", "s"))
+
+
+def _instrument_first(obj, method_name, before, after):
+    """Snapshot around the first call of ``obj.method_name``."""
+    original = getattr(obj, method_name)
+    fired = []
+
+    def wrapper(*args, **kwargs):
+        if fired:
+            return original(*args, **kwargs)
+        fired.append(True)
+        before()
+        result = original(*args, **kwargs)
+        after()
+        return result
+
+    setattr(obj, method_name, wrapper)
+    return fired
+
+
+#: op name -> (journal method carrying its first durable write, action).
+CASES = {
+    "submit": (
+        "log_modifier",
+        lambda entry: entry.session.submit(
+            EdgeInsert(u=3, v=77)
+        ),
+    ),
+    "flush": (
+        "log_flush",
+        lambda entry: entry.session.drain(),
+    ),
+    "evict": (
+        "write_checkpoint",
+        None,  # registry-level op, filled in per test
+    ),
+}
+
+
+class TestCrashMatrix:
+    @pytest.mark.parametrize("op", sorted(CASES))
+    def test_recovery_is_pre_or_post_op(self, tmp_path, op):
+        live = tmp_path / "live"
+        registry = SessionRegistry(live, workers=1)
+        entry = registry.create("t", "s", SPEC, k=3, seed=4)
+        # Durable history first: a checkpoint plus a journaled,
+        # partially-drained suffix, so recovery is never trivial.
+        for mod in _mods(12):
+            entry.session.submit(mod)
+        entry.session.drain()
+        entry.session.checkpoint()
+        for mod in _mods(5, start=12):
+            entry.session.submit(mod)
+        registry.settle_cycles(entry)
+
+        snapshots = {
+            "pre": tmp_path / "pre",
+            "pre_wal": tmp_path / "pre_wal",
+            "post_wal": tmp_path / "post_wal",
+            "post": tmp_path / "post",
+        }
+        shutil.copytree(live, snapshots["pre"])
+
+        method, action = CASES[op]
+        fired = _instrument_first(
+            entry.session.journal,
+            method,
+            lambda: shutil.copytree(live, snapshots["pre_wal"]),
+            lambda: shutil.copytree(live, snapshots["post_wal"]),
+        )
+        if op == "evict":
+            registry.evict("t", "s")
+        else:
+            action(entry)
+        assert fired, f"{op} never reached its durable write"
+        shutil.copytree(live, snapshots["post"])
+
+        pre_fp = _recover_fingerprint(snapshots["pre"])
+        post_fp = _recover_fingerprint(snapshots["post"])
+        legal = {pre_fp, post_fp}
+
+        # Killed before the WAL write: the op never happened.
+        assert _recover_fingerprint(snapshots["pre_wal"]) == pre_fp
+        # Killed between the WAL write and the ack: either outcome is
+        # legal — but nothing in between, and nothing else.
+        assert _recover_fingerprint(snapshots["post_wal"]) in legal
+        # Killed after the ack: the op sticks.
+        assert (
+            _recover_fingerprint(snapshots["post"]) == post_fp
+        )
+
+    def test_post_ack_submit_survives(self, tmp_path):
+        # The acked write is durable: recovery must include it.
+        live = tmp_path / "live"
+        registry = SessionRegistry(live, workers=1)
+        entry = registry.create("t", "s", SPEC, k=2, seed=1)
+        pre_seq = entry.session.queue.next_seq
+        entry.session.submit(EdgeInsert(u=1, v=50))
+        snapshot = tmp_path / "snap"
+        shutil.copytree(live, snapshot)
+
+        fresh = SessionRegistry(snapshot, workers=1)
+        fresh.recover_entries()
+        assert (
+            fresh.get("t", "s").session.queue.next_seq == pre_seq + 1
+        )

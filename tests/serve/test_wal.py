@@ -1,0 +1,127 @@
+"""Serve WAL (session manifest): durability, torn tails, compaction."""
+
+import json
+
+import pytest
+
+from repro.serve.wal import MANIFEST_NAME, ManifestState, ServeWAL
+from repro.utils.errors import JournalError
+
+PARAMS = {"graph": {"generator": "circuit", "args": {}}, "k": 3}
+
+
+def _lines(wal):
+    return [
+        json.loads(line)
+        for line in wal.path.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+class TestAppendAndLoad:
+    def test_empty_manifest(self, tmp_path):
+        state = ServeWAL(tmp_path).load()
+        assert state == ManifestState()
+
+    def test_create_settle_roundtrip(self, tmp_path):
+        wal = ServeWAL(tmp_path)
+        wal.append_create("t", "s0", PARAMS)
+        wal.append_settle("t", "s0", 12.5)
+        wal.append_settle("t", "s0", 99.0)
+        wal.close()
+
+        state = ServeWAL(tmp_path).load()
+        assert state.creates == [("t", "s0", PARAMS)]
+        # Latest settle wins: it corresponds to the newest checkpoint.
+        assert state.settled_cycles == {("t", "s0"): 99.0}
+
+    def test_creation_order_preserved(self, tmp_path):
+        wal = ServeWAL(tmp_path)
+        for name in ("b", "a", "c"):
+            wal.append_create("t", name, PARAMS)
+        wal.close()
+        names = [n for _, n, _ in ServeWAL(tmp_path).load().creates]
+        # Manifest order IS creation order — recovery's round-robin
+        # worker assignment depends on it, not on any sort.
+        assert names == ["b", "a", "c"]
+
+    def test_duplicate_create_first_wins(self, tmp_path):
+        wal = ServeWAL(tmp_path)
+        wal.append_create("t", "s0", PARAMS)
+        wal.append_create("t", "s0", {"k": 99})
+        wal.close()
+        state = ServeWAL(tmp_path).load()
+        assert state.creates == [("t", "s0", PARAMS)]
+
+    def test_unknown_record_kind_raises(self, tmp_path):
+        wal = ServeWAL(tmp_path)
+        wal.append_create("t", "s0", PARAMS)
+        wal.close()
+        with wal.path.open("a") as handle:
+            handle.write('{"r":"x","t":"t"}\n')
+        with pytest.raises(JournalError, match="unknown manifest"):
+            ServeWAL(tmp_path).load()
+
+    def test_non_object_params_raises(self, tmp_path):
+        wal = ServeWAL(tmp_path)
+        wal.path.write_text('{"r":"c","t":"t","n":"s","p":[1]}\n')
+        with pytest.raises(JournalError, match="non-object params"):
+            wal.load()
+
+
+class TestTornTail:
+    def test_torn_final_line_discarded_on_load(self, tmp_path):
+        wal = ServeWAL(tmp_path)
+        wal.append_create("t", "s0", PARAMS)
+        wal.append_settle("t", "s0", 5.0)
+        wal.close()
+        with wal.path.open("a") as handle:
+            handle.write('{"r":"s","t":"t","n":"s0","c":9')  # no \n
+
+        state = ServeWAL(tmp_path).load()
+        assert state.settled_cycles == {("t", "s0"): 5.0}
+
+    def test_append_after_torn_tail_does_not_merge(self, tmp_path):
+        wal = ServeWAL(tmp_path)
+        wal.append_create("t", "s0", PARAMS)
+        wal.close()
+        with wal.path.open("a") as handle:
+            handle.write('{"r":"c","t":"t","n":"s1"')  # crash mid-append
+
+        # A new process appends more records; the torn line must be
+        # truncated first or the new record glues onto it.
+        fresh = ServeWAL(tmp_path)
+        fresh.append_settle("t", "s0", 7.0)
+        fresh.close()
+        records = _lines(fresh)
+        assert [r["r"] for r in records] == ["c", "s"]
+        assert fresh.load().settled_cycles == {("t", "s0"): 7.0}
+
+
+class TestCompaction:
+    def test_compact_collapses_settles(self, tmp_path):
+        wal = ServeWAL(tmp_path)
+        wal.append_create("t", "s0", PARAMS)
+        for cycles in (1.0, 2.0, 3.0):
+            wal.append_settle("t", "s0", cycles)
+        wal.append_create("u", "s0", PARAMS)
+        wal.compact()
+
+        records = _lines(wal)
+        # One create per session (order kept) + one settle where known.
+        assert [(r["r"], r["t"]) for r in records] == [
+            ("c", "t"),
+            ("s", "t"),
+            ("c", "u"),
+        ]
+        state = ServeWAL(tmp_path).load()
+        assert state.settled_cycles == {("t", "s0"): 3.0}
+        assert [t for t, _, _ in state.creates] == ["t", "u"]
+
+    def test_compact_leaves_no_temp_file(self, tmp_path):
+        wal = ServeWAL(tmp_path)
+        wal.append_create("t", "s0", PARAMS)
+        wal.compact()
+        assert sorted(p.name for p in tmp_path.iterdir()) == [
+            MANIFEST_NAME
+        ]

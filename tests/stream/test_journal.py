@@ -13,7 +13,11 @@ from repro.graph import (
     VertexInsert,
 )
 from repro.stream import StreamJournal
-from repro.stream.journal import decode_modifier, encode_modifier
+from repro.stream.journal import (
+    decode_modifier,
+    encode_modifier,
+    trim_torn_tail,
+)
 from repro.utils import JournalError
 
 
@@ -226,3 +230,59 @@ class TestCheckpointCorruption:
         assert sorted(state.modifiers) == [0, 1, 2, 3]
         assert state.flushes == [(0, 3, "size", ())]
         journal.close()
+
+
+class TestTrimTornTail:
+    def _log_two(self, partitioner, tmp_path):
+        journal = StreamJournal(tmp_path / "j")
+        journal.write_checkpoint(partitioner, {"applied_seq": -1})
+        journal.log_modifier(0, EdgeInsert(0, 9))
+        journal.log_modifier(1, EdgeInsert(0, 10))
+        journal.close()
+        return journal
+
+    def test_clean_file_untouched(self, partitioner, tmp_path):
+        journal = self._log_two(partitioner, tmp_path)
+        before = journal.log_path.read_bytes()
+        assert trim_torn_tail(journal.log_path) == 0
+        assert journal.log_path.read_bytes() == before
+
+    def test_missing_file_is_zero(self, tmp_path):
+        assert trim_torn_tail(tmp_path / "absent.log") == 0
+
+    def test_reports_bytes_removed(self, partitioner, tmp_path):
+        journal = self._log_two(partitioner, tmp_path)
+        torn = '{"r":"m","s":2,"t":"ei","u":0,'
+        with journal.log_path.open("a") as handle:
+            handle.write(torn)
+        assert trim_torn_tail(journal.log_path) == len(torn)
+        # Idempotent: the file is clean now.
+        assert trim_torn_tail(journal.log_path) == 0
+
+    def test_unterminated_valid_json_is_torn(
+        self, partitioner, tmp_path
+    ):
+        # A complete JSON object with no trailing newline is still a
+        # torn append: the newline is the commit marker.
+        journal = self._log_two(partitioner, tmp_path)
+        line = '{"r":"m","s":2,"t":"ei","u":0,"v":11}'
+        with journal.log_path.open("a") as handle:
+            handle.write(line)
+        assert trim_torn_tail(journal.log_path) == len(line)
+        state = StreamJournal(tmp_path / "j").load()
+        assert sorted(state.modifiers) == [0, 1]
+
+    def test_append_after_torn_tail_does_not_merge(
+        self, partitioner, tmp_path
+    ):
+        journal = self._log_two(partitioner, tmp_path)
+        with journal.log_path.open("a") as handle:
+            handle.write('{"r":"m","s":2,"t":"ei","u":0,')
+        # A recovered process appends: the torn line must be truncated
+        # first, or the new record glues onto the half-written one.
+        fresh = StreamJournal(tmp_path / "j")
+        fresh.log_modifier(2, EdgeInsert(3, 14))
+        fresh.close()
+        state = StreamJournal(tmp_path / "j").load()
+        assert state.modifiers[2] == EdgeInsert(3, 14)
+        assert sorted(state.modifiers) == [0, 1, 2]

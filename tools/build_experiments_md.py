@@ -43,6 +43,18 @@ def serve_artifact() -> str:
     return path.read_text().rstrip()
 
 
+def serve_chaos_artifact() -> str:
+    """The serve chaos-gate report; optional (serving is opt-in)."""
+    path = RESULTS / "serve_chaos.txt"
+    if not path.exists():
+        return (
+            "(no chaos run captured; "
+            "`python tools/serve_chaos_gate.py` writes "
+            "results/serve_chaos.txt)"
+        )
+    return path.read_text().rstrip()
+
+
 def graph_inventory() -> str:
     from repro.graph import BENCHMARKS, graph_summary, make_benchmark_graph
 
@@ -75,6 +87,7 @@ def main() -> int:
         "<<VARIANCE>>": artifact("variance"),
         "<<OBSTRACE>>": obs_artifact(),
         "<<SERVE>>": serve_artifact(),
+        "<<SERVECHAOS>>": serve_chaos_artifact(),
         "<<GRAPHS>>": graph_inventory(),
     }
     for key, value in substitutions.items():
