@@ -4,10 +4,10 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: check test perf-gate chaos-smoke analysis-gate obs-gate serve-gate serve-chaos lint chaos bench
+.PHONY: check test perf-gate chaos-smoke analysis-gate effects-gate obs-gate serve-gate serve-chaos lint effects chaos bench
 
-## The pre-merge bar: full test suite + all six deterministic gates.
-check: test perf-gate chaos-smoke analysis-gate obs-gate serve-gate serve-chaos
+## The pre-merge bar: full test suite + all seven deterministic gates.
+check: test perf-gate chaos-smoke analysis-gate effects-gate obs-gate serve-gate serve-chaos
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -21,6 +21,9 @@ chaos-smoke:
 analysis-gate:
 	$(PYTHON) tools/analysis_gate.py
 
+effects-gate:
+	$(PYTHON) tools/effects_gate.py
+
 obs-gate:
 	$(PYTHON) tools/obs_gate.py
 
@@ -32,7 +35,11 @@ serve-chaos:
 
 ## Lint only (no sanitizer sweep); fast inner-loop check.
 lint:
-	$(PYTHON) -m repro.analysis.cli --baseline tools/analysis_baseline.json src tools benchmarks examples
+	$(PYTHON) -m repro.analysis.cli --effects --baseline tools/analysis_baseline.json src tools benchmarks examples
+
+## Interprocedural effect invariants only.
+effects:
+	$(PYTHON) -m repro.analysis.cli --effects-only --baseline tools/analysis_baseline.json src/repro
 
 ## Full-scale (slower) variants.
 chaos:

@@ -1,7 +1,7 @@
 """Static analysis and dynamic sanitizers for the reproduction.
 
-Two complementary checkers live here, completing the gate trio started
-by the perf gate (``tools/perf_gate.py``) and the chaos gate
+Three complementary checkers live here, completing the gate trio
+started by the perf gate (``tools/perf_gate.py``) and the chaos gate
 (``tools/chaos_gate.py``):
 
 * **Warp-access sanitizer** (:mod:`repro.analysis.shadow`) — an opt-in
@@ -21,10 +21,20 @@ by the perf gate (``tools/perf_gate.py``) and the chaos gate
   on set iteration order, kernel charges land inside a priced
   ``ledger.kernel`` scope, bucket-pool writes go through the undo-log
   APIs, and exceptions are never silently swallowed.
+* **Interprocedural effect invariants** (:mod:`repro.analysis.effects`)
+  — a whole-repo pass that builds a project-wide call graph, infers
+  per-function effect signatures to a fixed point, and checks the
+  contracts no single-file rule can see: WAL/journal appends dominate
+  client acks in the serve ops, checkpoint/digest serialization never
+  reads the derived ``CutAccumulator``, device-array writes are covered
+  by priced ``ledger.kernel`` scopes on every entry path, backend
+  kernels stay ledger-free, and refinement hot paths never draw
+  unseeded randomness.
 
-Both are wired into ``make check`` through ``tools/analysis_gate.py``
-with a checked-in baseline for grandfathered findings; the ``repro-lint``
-console script exposes the lint pack directly.
+All are wired into ``make check`` through ``tools/analysis_gate.py``
+and ``tools/effects_gate.py`` with a checked-in baseline for
+grandfathered findings; the ``repro-lint`` console script exposes the
+lint pack directly (``--effects`` adds the interprocedural pass).
 """
 
 from repro.analysis.baseline import Baseline

@@ -2,10 +2,17 @@
 
 The gate's contract is "no *new* findings": existing, justified
 findings live in ``tools/analysis_baseline.json`` and are subtracted
-from every run.  Entries are keyed by ``(rule, path, message)`` with a
-count — deliberately *not* by line number, so reflowing a file does not
-invalidate the baseline, while adding a second instance of a
-grandfathered pattern does (the count goes up).
+from every run.  Entries are keyed by ``(rule, qualified symbol,
+message)`` with a count — deliberately *not* by line number or raw
+path, so reflowing a file or moving/renaming it does not invalidate
+the baseline, while adding a second instance of a grandfathered
+pattern does (the count goes up).
+
+Migration: baselines written before symbol keys existed carry no
+``symbol`` field.  Those legacy entries keep matching through the
+finding's ``(rule, path, message)`` identity, and one pass of
+``repro-lint --update-baseline`` rewrites them with symbols — after
+which the file is rename-stable.
 
 Each entry carries a human-written ``reason``; ``repro-lint
 --update-baseline`` preserves reasons for keys that survive and stamps
@@ -32,10 +39,17 @@ class BaselineEntry:
     message: str
     count: int
     reason: str = _TODO_REASON
+    #: Qualified enclosing symbol; empty for legacy (path-keyed) entries.
+    symbol: str = ""
 
     @property
     def key(self) -> tuple[str, str, str]:
-        return (self.rule, self.path, self.message)
+        """Primary identity: symbol-keyed when a symbol is recorded."""
+        return (self.rule, self.symbol or self.path, self.message)
+
+    @property
+    def is_legacy(self) -> bool:
+        return not self.symbol
 
 
 @dataclass
@@ -61,6 +75,7 @@ class Baseline:
                 message=raw["message"],
                 count=int(raw.get("count", 1)),
                 reason=raw.get("reason", _TODO_REASON),
+                symbol=raw.get("symbol", ""),
             )
             baseline.entries[entry.key] = entry
         return baseline
@@ -74,7 +89,8 @@ class Baseline:
         """Build a baseline covering ``findings`` exactly.
 
         ``reasons`` (typically the previous baseline's) is consulted so
-        regeneration keeps existing justifications.
+        regeneration keeps existing justifications; legacy path-keyed
+        reasons migrate onto the new symbol-keyed entries.
         """
         baseline = cls()
         reasons = reasons or {}
@@ -87,7 +103,11 @@ class Baseline:
                     path=finding.path,
                     message=finding.message,
                     count=1,
-                    reason=reasons.get(key, _TODO_REASON),
+                    reason=reasons.get(
+                        key,
+                        reasons.get(finding.legacy_key, _TODO_REASON),
+                    ),
+                    symbol=finding.symbol,
                 )
             else:
                 entry.count += 1
@@ -103,16 +123,22 @@ class Baseline:
         """Split findings into (new, stale-baseline-descriptions).
 
         For each key, up to ``count`` occurrences are absorbed by the
-        baseline; extras are new findings.  Baseline entries that no
+        baseline; extras are new findings.  A finding is matched first
+        through its symbol key and then through its legacy path key so
+        pre-migration baselines keep working.  Baseline entries that no
         longer match anything are reported as stale so the file gets
         pruned rather than silently rotting.
         """
         remaining = {key: e.count for key, e in self.entries.items()}
         new: list[Finding] = []
         for finding in findings:
-            key = finding.key
-            if remaining.get(key, 0) > 0:
-                remaining[key] -= 1
+            matched = None
+            for key in (finding.key, finding.legacy_key):
+                if remaining.get(key, 0) > 0:
+                    matched = key
+                    break
+            if matched is not None:
+                remaining[matched] -= 1
             else:
                 new.append(finding)
         stale = [
@@ -129,13 +155,14 @@ class Baseline:
         data = {
             "comment": (
                 "Grandfathered repro-lint findings.  Keys are "
-                "(rule, path, message) with counts; regenerate with "
+                "(rule, symbol, message) with counts; regenerate with "
                 "`repro-lint --update-baseline` and fill in reasons."
             ),
             "findings": [
                 {
                     "rule": e.rule,
                     "path": e.path,
+                    "symbol": e.symbol,
                     "message": e.message,
                     "count": e.count,
                     "reason": e.reason,

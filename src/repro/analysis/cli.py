@@ -6,6 +6,8 @@ Typical invocations::
     repro-lint --baseline tools/analysis_baseline.json src tools
     repro-lint --update-baseline tools/analysis_baseline.json src tools
     repro-lint --rules unseeded-rng,blind-except src
+    repro-lint --effects src            # lint rules + effect invariants
+    repro-lint --effects-only src/repro # just the interprocedural pass
     repro-lint --json src
 
 Exit status is 1 when any non-baselined finding remains (or when the
@@ -32,6 +34,7 @@ def _findings_json(findings: Sequence[Finding]) -> str:
                 "rule": f.rule,
                 "path": f.path,
                 "line": f.line,
+                "symbol": f.symbol,
                 "message": f.message,
             }
             for f in findings
@@ -73,6 +76,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="print the rule catalog and exit",
     )
     parser.add_argument(
+        "--effects",
+        action="store_true",
+        help="also run the interprocedural effect-invariant pass "
+        "(repro.analysis.effects) over the same paths",
+    )
+    parser.add_argument(
+        "--effects-only",
+        action="store_true",
+        help="run only the effect-invariant pass, skipping the "
+        "per-module lint rules",
+    )
+    parser.add_argument(
         "--json", action="store_true", help="emit findings as JSON"
     )
     args = parser.parse_args(argv)
@@ -89,7 +104,22 @@ def main(argv: Sequence[str] | None = None) -> int:
     except KeyError as exc:
         parser.error(str(exc.args[0]))
 
-    findings = lint_paths(args.paths, rules)
+    findings: list[Finding] = []
+    if not args.effects_only:
+        findings.extend(lint_paths(args.paths, rules))
+    if args.effects or args.effects_only:
+        # Imported lazily: the effects pass pulls in the whole
+        # call-graph machinery, which plain lint runs don't need.
+        from repro.analysis.effects import run_effects_analysis
+
+        effect_findings, timing = run_effects_analysis(args.paths)
+        findings.extend(effect_findings)
+        findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+        if not args.json:
+            print(
+                f"effects: {timing.n_functions} functions analyzed in "
+                f"{timing.total_seconds:.2f}s"
+            )
 
     if args.update_baseline:
         previous = Baseline.load(args.update_baseline)

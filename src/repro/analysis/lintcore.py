@@ -12,14 +12,19 @@ machinery:
   (``hot-path-loop``) fire solely in marked files.
 * ``# repro-lint: allow[rule-id] reason`` — suppresses ``rule-id`` on
   the line carrying the comment, or on the next code line when the
-  comment stands alone.  The reason is mandatory; an allow without one
-  is itself reported (rule id ``bad-pragma``), so every grandfathered
-  exception is justified in-place.
+  comment stands alone.  ``allow[a,b]`` suppresses several rules at
+  once, and a pragma on a decorator line extends to the decorated
+  ``def``.  The reason is mandatory; an allow without one is itself
+  reported (rule id ``bad-pragma``), so every grandfathered exception
+  is justified in-place.
 
 Pragmas are read with :mod:`tokenize` so they work in any position a
-real comment can occupy, and findings are keyed by ``(rule, path,
-message)`` rather than line numbers so the checked-in baseline survives
-unrelated edits (see :mod:`repro.analysis.baseline`).
+real comment can occupy (and *only* real comments — pragma-shaped text
+inside strings and f-strings is inert).  Findings are keyed by
+``(rule, qualified symbol, message)`` — the symbol is the enclosing
+``module.Class.function`` — rather than line numbers or raw paths, so
+the checked-in baseline survives unrelated edits *and* file
+renames/moves (see :mod:`repro.analysis.baseline`).
 """
 
 from __future__ import annotations
@@ -39,7 +44,7 @@ _PRAGMA_RE = re.compile(
     r"#\s*repro-lint:\s*(?P<body>.*\S)\s*$",
 )
 _ALLOW_RE = re.compile(
-    r"allow\[(?P<rule>[a-z0-9-]+)\]\s*(?P<reason>.*)$",
+    r"allow\[(?P<rules>[a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)\]\s*(?P<reason>.*)$",
 )
 
 
@@ -49,17 +54,31 @@ class Finding:
 
     ``message`` is written to be stable under unrelated edits: it names
     the construct (function, loop variable, call) rather than quoting
-    source text, because the baseline keys on ``(rule, path, message)``.
+    source text.  ``symbol`` is the qualified enclosing symbol
+    (``module.Class.function``); the baseline keys on ``(rule, symbol,
+    message)`` so findings survive file renames, falling back to the
+    path for module-scope findings in unresolvable trees.
     """
 
     rule: str
     path: str
     line: int
     message: str
+    symbol: str = ""
 
     @property
     def key(self) -> tuple[str, str, str]:
-        """Line-number-independent identity used by the baseline."""
+        """Rename-stable identity used by the baseline.
+
+        Keys on the qualified symbol when one was resolved (the shape
+        of the finding), and on the path only as a fallback.
+        """
+        return (self.rule, self.symbol or self.path, self.message)
+
+    @property
+    def legacy_key(self) -> tuple[str, str, str]:
+        """Pre-symbol identity: baselines written before symbols
+        existed are matched through this."""
         return (self.rule, self.path, self.message)
 
     def __str__(self) -> str:
@@ -101,6 +120,48 @@ class ModuleInfo:
         """True when ``rule`` is suppressed on ``line`` by a pragma."""
         return rule in self.allowed.get(line, {})
 
+    @property
+    def module_name(self) -> str:
+        """Dotted module name derived from the path.
+
+        ``.../src/repro/serve/server.py`` → ``repro.serve.server``;
+        trees without a ``src`` segment anchor on the last ``repro``
+        directory, then fall back to the stem.
+        """
+        parts = list(Path(self.path).parts)
+        if parts and parts[-1].endswith(".py"):
+            parts[-1] = parts[-1][: -len(".py")]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        if "src" in parts:
+            idx = len(parts) - 1 - parts[::-1].index("src")
+            tail = parts[idx + 1 :]
+            if tail:
+                return ".".join(tail)
+        if "repro" in parts:
+            return ".".join(parts[parts.index("repro") :])
+        return parts[-1] if parts else self.path
+
+    def qualified_symbol(self, node: ast.AST) -> str:
+        """``module.Class.function`` for the scope enclosing ``node``.
+
+        The node's own name is included when it *is* a def/class;
+        module-scope nodes resolve to the bare module name.  This is
+        the rename-stable identity findings key on.
+        """
+        names: list[str] = []
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            names.append(node.name)
+        for anc in self.ancestors(node):
+            if isinstance(
+                anc, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                names.append(anc.name)
+        names.append(self.module_name)
+        return ".".join(reversed(names))
+
 
 def load_module(path: str | Path) -> ModuleInfo:
     """Parse ``path`` into a :class:`ModuleInfo` (tree + pragmas + parents)."""
@@ -112,7 +173,32 @@ def load_module(path: str | Path) -> ModuleInfo:
     for parent in ast.walk(tree):
         for child in ast.iter_child_nodes(parent):
             info.parents[child] = parent
+    _extend_decorator_pragmas(info)
     return info
+
+
+def _extend_decorator_pragmas(info: ModuleInfo) -> None:
+    """A pragma on a decorator line also covers the decorated def.
+
+    Findings about a decorated function anchor on the ``def`` line,
+    but the natural place to write the pragma is often next to the
+    decorator that causes the finding — honor both.
+    """
+    for node in ast.walk(info.tree):
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        if not node.decorator_list:
+            continue
+        for deco in node.decorator_list:
+            allows = info.allowed.get(deco.lineno)
+            if not allows:
+                continue
+            for rule, reason in allows.items():
+                info.allowed.setdefault(node.lineno, {}).setdefault(
+                    rule, reason
+                )
 
 
 def _collect_pragmas(info: ModuleInfo) -> None:
@@ -160,7 +246,7 @@ def _collect_pragmas(info: ModuleInfo) -> None:
                 )
             )
             continue
-        rule = allow.group("rule")
+        rules = [r.strip() for r in allow.group("rules").split(",")]
         reason = allow.group("reason").strip()
         if not reason:
             info.pragma_findings.append(
@@ -168,7 +254,10 @@ def _collect_pragmas(info: ModuleInfo) -> None:
                     rule="bad-pragma",
                     path=info.path,
                     line=line,
-                    message=f"allow[{rule}] pragma is missing a reason",
+                    message=(
+                        f"allow[{','.join(rules)}] pragma is missing "
+                        "a reason"
+                    ),
                 )
             )
             continue
@@ -177,7 +266,8 @@ def _collect_pragmas(info: ModuleInfo) -> None:
             # Standalone comment: also covers the next line.
             targets.append(line + 1)
         for target in targets:
-            info.allowed.setdefault(target, {})[rule] = reason
+            for rule in rules:
+                info.allowed.setdefault(target, {})[rule] = reason
 
 
 class LintRule:
@@ -202,6 +292,7 @@ class LintRule:
             path=info.path,
             line=getattr(node, "lineno", 0),
             message=message,
+            symbol=info.qualified_symbol(node),
         )
 
 

@@ -143,7 +143,7 @@ class ShadowTracker:
     findings, launch digests, and the currently-open launch's events.
     """
 
-    def __init__(self, max_findings: int = MAX_FINDINGS):
+    def __init__(self, max_findings: int = MAX_FINDINGS) -> None:
         self.max_findings = max_findings
         self.findings: list[RaceFinding] = []
         self.n_conflicts = 0
@@ -483,7 +483,7 @@ class ShadowSession:
 
     def __init__(
         self, ctx: Any, tracker: "ShadowTracker | None" = None
-    ):
+    ) -> None:
         self.ctx = ctx
         self.tracker = tracker if tracker is not None else ShadowTracker()
         self._restore: list[tuple[Any, str, np.ndarray]] = []

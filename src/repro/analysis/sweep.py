@@ -17,6 +17,7 @@ as a flaky partition digest in the perf gate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.analysis.shadow import (
     LaunchTrace,
@@ -69,7 +70,9 @@ class SweepReport:
         )
 
 
-def _sweep_workload(n_vertices: int, batches: int, seed: int):
+def _sweep_workload(
+    n_vertices: int, batches: int, seed: int
+) -> "tuple[Any, Any]":
     """The bench_common seeded workload, regenerated in-process.
 
     Mirrors ``benchmarks/bench_common.seeded_workload`` (same generator,

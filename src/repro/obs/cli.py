@@ -34,9 +34,10 @@ from repro.obs.export import (
     validate_trace,
     write_chrome_trace,
 )
+from repro.obs.tracer import TraceEvent
 
 
-def _load_or_die(path: Path):
+def _load_or_die(path: Path) -> "tuple[dict, list[TraceEvent]]":
     errors = validate_trace(path)
     if errors:
         for error in errors[:10]:

@@ -138,7 +138,9 @@ class MetricsRegistry:
     def get(self, name: str) -> Optional[Metric]:
         return self._metrics.get(name)
 
-    def _register(self, cls, name: str, help: str, **kwargs) -> Metric:
+    def _register(
+        self, cls: type, name: str, help: str, **kwargs: object
+    ) -> Metric:
         existing = self._metrics.get(name)
         if existing is not None:
             if not isinstance(existing, cls):

@@ -145,7 +145,7 @@ class Tracer:
         self,
         ledger: CostLedger | None = None,
         session: str = "",
-    ):
+    ) -> None:
         self.ledger = ledger
         self.session = session
         self.events: List[TraceEvent] = []

@@ -135,6 +135,7 @@ class PartitionState:
             self.cut_acc.on_move(self.partition, u, source, int(target))
         weight = int(self._vwgt[u])
         if 0 <= source < self.k:
+            # repro-lint: allow[uncharged-device-write] scalar host-side move; the driving refinement/balancing kernels price moves in their own ledger scopes
             self.part_weights[source] -= weight
         elif source == self.pseudo_label:
             self.pseudo_weight -= weight
@@ -187,6 +188,7 @@ class PartitionState:
         )
         self.part_weights += part_delta
         self.pseudo_weight += pseudo_delta
+        # repro-lint: allow[uncharged-device-write] bulk label scatter priced by the refinement/balancing kernels that computed the move set
         self.partition[vertices] = targets
 
     # -- consistency ------------------------------------------------------------------
@@ -257,6 +259,7 @@ class PartitionState:
         ):
             raise PartitionError("snapshot does not match this state")
         self.epsilon = snapshot.epsilon
+        # repro-lint: allow[uncharged-device-write] rollback copy-back; core.transaction prices it in the coalesced txn_rollback kernel
         self.partition[:] = snapshot.partition
         self._vwgt[:] = snapshot._vwgt
         self.part_weights[:] = snapshot.part_weights

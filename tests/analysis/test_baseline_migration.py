@@ -1,0 +1,119 @@
+"""Finding-key stability: symbol keys, legacy baselines, renames."""
+
+import json
+import textwrap
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.lintcore import Finding, lint_paths
+from repro.analysis.rules import get_rules
+
+
+def _f(rule="r", path="p.py", line=1, message="m", symbol=""):
+    return Finding(
+        rule=rule, path=path, line=line, message=message, symbol=symbol
+    )
+
+
+class TestSymbolKeys:
+    def test_key_prefers_symbol(self):
+        f = _f(symbol="repro.core.mod.Cls.fn")
+        assert f.key == ("r", "repro.core.mod.Cls.fn", "m")
+
+    def test_key_falls_back_to_path(self):
+        assert _f().key == ("r", "p.py", "m")
+
+    def test_legacy_key_is_path_keyed(self):
+        f = _f(symbol="repro.core.mod.fn")
+        assert f.legacy_key == ("r", "p.py", "m")
+
+
+class TestRenameStability:
+    def test_file_move_keeps_the_baseline_match(self):
+        before = _f(path="src/a.py", symbol="repro.core.mod.fn")
+        baseline = Baseline.from_findings([before])
+        after = _f(path="src/b.py", symbol="repro.core.mod.fn")
+        new, stale = baseline.filter([after])
+        assert new == [] and stale == []
+
+    def test_symbol_rename_is_a_new_finding(self):
+        before = _f(path="src/a.py", symbol="repro.core.mod.fn")
+        baseline = Baseline.from_findings([before])
+        after = _f(path="src/other.py", symbol="repro.core.mod.renamed")
+        new, stale = baseline.filter([after])
+        assert len(new) == 1 and len(stale) == 1
+
+    def test_real_findings_key_identically_after_file_rename(self, tmp_path):
+        code = textwrap.dedent(
+            """
+            def risky():
+                try:
+                    pass
+                except Exception:
+                    pass
+            """
+        )
+        rules = get_rules(["blind-except"])
+        for name in ("before.py", "after.py"):
+            target = tmp_path / "src" / "repro" / "core" / name
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(code)
+        first = lint_paths([tmp_path / "src/repro/core/before.py"], rules)
+        second = lint_paths([tmp_path / "src/repro/core/after.py"], rules)
+        assert first and second
+        # Same rule+message, symbol differs only in module stem — the
+        # key must not embed the path.
+        assert first[0].key[0] == second[0].key[0]
+        assert first[0].symbol == "repro.core.before.risky"
+        assert second[0].symbol == "repro.core.after.risky"
+
+
+class TestLegacyBaselines:
+    def _legacy_file(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "findings": [
+                        {
+                            "rule": "r",
+                            "path": "p.py",
+                            "message": "m",
+                            "count": 1,
+                            "reason": "grandfathered: reviewed",
+                        }
+                    ]
+                }
+            )
+        )
+        return path
+
+    def test_legacy_entry_loads_as_path_keyed(self, tmp_path):
+        baseline = Baseline.load(self._legacy_file(tmp_path))
+        (entry,) = baseline.entries.values()
+        assert entry.is_legacy
+        assert entry.key == ("r", "p.py", "m")
+
+    def test_legacy_entry_filters_symbol_carrying_finding(self, tmp_path):
+        baseline = Baseline.load(self._legacy_file(tmp_path))
+        finding = _f(symbol="repro.core.mod.fn")
+        new, stale = baseline.filter([finding])
+        assert new == [] and stale == []
+
+    def test_update_migrates_to_symbol_keys_keeping_reason(self, tmp_path):
+        legacy = Baseline.load(self._legacy_file(tmp_path))
+        finding = _f(symbol="repro.core.mod.fn")
+        migrated = Baseline.from_findings([finding], reasons=legacy.reasons)
+        (entry,) = migrated.entries.values()
+        assert not entry.is_legacy
+        assert entry.key == ("r", "repro.core.mod.fn", "m")
+        assert entry.reason == "grandfathered: reviewed"
+
+    def test_migrated_save_roundtrips_symbol(self, tmp_path):
+        finding = _f(symbol="repro.core.mod.fn")
+        baseline = Baseline.from_findings([finding])
+        out = tmp_path / "migrated.json"
+        baseline.save(out)
+        raw = json.loads(out.read_text())
+        assert raw["findings"][0]["symbol"] == "repro.core.mod.fn"
+        reloaded = Baseline.load(out)
+        assert ("r", "repro.core.mod.fn", "m") in reloaded.entries

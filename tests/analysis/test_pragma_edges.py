@@ -1,0 +1,180 @@
+"""Pragma parsing edge cases: decorators, multi-rule allows, f-strings."""
+
+import textwrap
+
+from repro.analysis.lintcore import lint_paths, load_module
+from repro.analysis.rules import ALL_RULES
+
+
+def _load(tmp_path, code, relpath="src/repro/core/mod.py"):
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(code))
+    return load_module(target)
+
+
+class TestDecoratorLinePragma:
+    def test_pragma_on_decorator_covers_the_def(self, tmp_path):
+        info = _load(
+            tmp_path,
+            """
+            def deco(fn):
+                return fn
+
+            @deco  # repro-lint: allow[blind-except] decorator wraps the handler
+            def handler():
+                pass
+            """,
+        )
+        # The def itself sits one line below the decorator; findings
+        # about the function anchor there.
+        assert info.is_allowed("blind-except", 6)
+
+    def test_pragma_on_one_of_several_decorators(self, tmp_path):
+        info = _load(
+            tmp_path,
+            """
+            def a(fn):
+                return fn
+
+            def b(fn):
+                return fn
+
+            @a
+            @b  # repro-lint: allow[unseeded-rng] rng comes from the b wrapper
+            def handler():
+                pass
+            """,
+        )
+        assert info.is_allowed("unseeded-rng", 10)
+
+    def test_decorator_pragma_does_not_leak_to_other_defs(self, tmp_path):
+        info = _load(
+            tmp_path,
+            """
+            def deco(fn):
+                return fn
+
+            @deco  # repro-lint: allow[blind-except] scoped to handler only
+            def handler():
+                pass
+
+            def other():
+                pass
+            """,
+        )
+        assert not info.is_allowed("blind-except", 9)
+
+
+class TestMultiRuleAllow:
+    def test_allow_two_rules_on_one_line(self, tmp_path):
+        info = _load(
+            tmp_path,
+            """
+            x = 1  # repro-lint: allow[blind-except,unseeded-rng] both justified here
+            """,
+        )
+        assert info.is_allowed("blind-except", 2)
+        assert info.is_allowed("unseeded-rng", 2)
+        assert not info.is_allowed("hot-path-loop", 2)
+
+    def test_spaces_after_comma_accepted(self, tmp_path):
+        info = _load(
+            tmp_path,
+            """
+            x = 1  # repro-lint: allow[blind-except, unseeded-rng] spaced list
+            """,
+        )
+        assert info.is_allowed("unseeded-rng", 2)
+
+    def test_multi_rule_shares_one_reason(self, tmp_path):
+        info = _load(
+            tmp_path,
+            """
+            x = 1  # repro-lint: allow[blind-except,unseeded-rng] one reason for both
+            """,
+        )
+        assert (
+            info.allowed[2]["blind-except"]
+            == info.allowed[2]["unseeded-rng"]
+            == "one reason for both"
+        )
+
+
+class TestMissingReason:
+    def test_single_rule_without_reason_rejected(self, tmp_path):
+        info = _load(tmp_path, "x = 1  # repro-lint: allow[blind-except]\n")
+        assert not info.is_allowed("blind-except", 1)
+        assert any(
+            f.rule == "bad-pragma" and "missing" in f.message
+            for f in info.pragma_findings
+        )
+
+    def test_multi_rule_without_reason_rejected(self, tmp_path):
+        info = _load(
+            tmp_path, "x = 1  # repro-lint: allow[blind-except,unseeded-rng]\n"
+        )
+        assert not info.is_allowed("blind-except", 1)
+        assert not info.is_allowed("unseeded-rng", 1)
+        assert any(f.rule == "bad-pragma" for f in info.pragma_findings)
+
+    def test_missing_reason_surfaces_through_lint(self, tmp_path):
+        target = tmp_path / "src/repro/core/mod.py"
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text("x = 1  # repro-lint: allow[blind-except]\n")
+        findings = lint_paths([target], list(ALL_RULES))
+        assert any(f.rule == "bad-pragma" for f in findings)
+
+
+class TestFStringCorners:
+    def test_pragma_text_inside_fstring_is_inert(self, tmp_path):
+        info = _load(
+            tmp_path,
+            """
+            note = f"{1} # repro-lint: allow[blind-except] not a comment"
+            """,
+        )
+        assert not info.is_allowed("blind-except", 2)
+        assert info.pragma_findings == []
+
+    def test_pragma_text_inside_plain_string_is_inert(self, tmp_path):
+        info = _load(
+            tmp_path,
+            '''
+            doc = """
+            # repro-lint: allow[blind-except] documentation example
+            """
+            ''',
+        )
+        assert info.allowed == {}
+
+    def test_real_comment_after_fstring_still_works(self, tmp_path):
+        info = _load(
+            tmp_path,
+            """
+            note = f"{1}"  # repro-lint: allow[blind-except] real trailing comment
+            """,
+        )
+        assert info.is_allowed("blind-except", 2)
+
+    def test_hot_path_marker_inside_string_is_inert(self, tmp_path):
+        info = _load(
+            tmp_path,
+            """
+            doc = "# repro-lint: hot-path"
+            """,
+        )
+        assert not info.hot_path
+
+
+class TestStandaloneComment:
+    def test_standalone_pragma_covers_next_line(self, tmp_path):
+        info = _load(
+            tmp_path,
+            """
+            # repro-lint: allow[blind-except] statement below is long
+            x = 1
+            """,
+        )
+        assert info.is_allowed("blind-except", 2)
+        assert info.is_allowed("blind-except", 3)

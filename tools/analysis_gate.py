@@ -1,21 +1,28 @@
 """Static-analysis and sanitizer gate — the third leg of ``make check``.
 
-Four stages, each independently pass/fail:
+Five stages, each independently pass/fail:
 
 1. **Lint** — run the ``repro-lint`` rule pack over ``src``, ``tools``,
    ``benchmarks`` and ``examples`` (NOT ``tests`` — lint fixtures there
    violate rules on purpose) and subtract the checked-in baseline
    ``tools/analysis_baseline.json``.  Any new finding, or any stale
    baseline entry, fails.
-2. **Sanitizer self-test** — the deliberately racy fixture kernels must
-   be flagged (a silent sanitizer would let stage 3 pass vacuously) and
+2. **Effects self-test** — every interprocedural invariant must fire on
+   its seeded-bad fixture tree and stay silent on the corrected twin
+   (the repo-wide pass itself runs in ``tools/effects_gate.py``).
+3. **Sanitizer self-test** — the deliberately racy fixture kernels must
+   be flagged (a silent sanitizer would let stage 4 pass vacuously) and
    the clean fixture must produce zero findings (no false positives).
-3. **Sanitized sweep** — the seeded bench_common workload runs under
+4. **Sanitized sweep** — the seeded bench_common workload runs under
    shadow-memory mode twice; zero race findings and bit-identical
    access-trace digests are required.
-4. **Third-party tools** — ``ruff check`` and ``mypy`` run when the
+5. **Third-party tools** — ``ruff check`` and ``mypy`` run when the
    executables exist; when they are not installed the stage is skipped
    with a notice (the container does not ship them), never failed.
+
+A per-rule timing and finding-count summary is written to
+``results/analysis.txt`` so ``tools/build_experiments_md.py`` can fold
+it into EXPERIMENTS.md.
 
 Usage::
 
@@ -31,6 +38,7 @@ import argparse
 import shutil
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
@@ -41,7 +49,13 @@ from repro.analysis import (  # noqa: E402
     Baseline,
     Finding,
     get_rules,
-    lint_paths,
+)
+from repro.analysis.lintcore import (  # noqa: E402
+    iter_python_files,
+    load_module,
+)
+from repro.analysis.effects.fixtures import (  # noqa: E402
+    run_selftest as run_effects_selftest,
 )
 from repro.analysis.fixtures import (  # noqa: E402
     run_clean_kernel,
@@ -52,11 +66,50 @@ from repro.analysis.sweep import check_determinism  # noqa: E402
 
 LINT_TARGETS = ("src", "tools", "benchmarks", "examples")
 BASELINE_PATH = REPO_ROOT / "tools" / "analysis_baseline.json"
+SUMMARY_PATH = REPO_ROOT / "results" / "analysis.txt"
+
+#: (rule id, seconds, total findings pre-baseline) per lint rule —
+#: filled by stage_lint, rendered by write_summary.
+_rule_rows: list[tuple[str, float, int]] = []
 
 
 def stage_lint() -> list[str]:
     targets = [REPO_ROOT / t for t in LINT_TARGETS if (REPO_ROOT / t).exists()]
     baseline = Baseline.load(BASELINE_PATH)
+    # Parse every module once, then time each rule across the parsed
+    # set — findings are identical to one combined lint_paths pass
+    # (rules are independent), but the summary gets per-rule wall time
+    # without re-parsing the tree per rule.
+    findings: list[Finding] = []
+    infos = []
+    for path in iter_python_files(targets):
+        try:
+            infos.append(load_module(path))
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    rule="syntax-error",
+                    path=str(path),
+                    line=exc.lineno or 0,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+    for info in infos:
+        findings.extend(info.pragma_findings)
+    _rule_rows.clear()
+    for rule in get_rules():
+        start = time.perf_counter()
+        rule_findings = [
+            f
+            for info in infos
+            if rule.applies_to(info)
+            for f in rule.check(info)
+            if not info.is_allowed(rule.id, f.line)
+        ]
+        elapsed = time.perf_counter() - start
+        _rule_rows.append((rule.id, elapsed, len(rule_findings)))
+        findings.extend(rule_findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
     # Baseline keys are repo-relative; lint_paths reports the paths it
     # was given, so relativize before filtering.
     findings = [
@@ -65,13 +118,34 @@ def stage_lint() -> list[str]:
             path=Path(f.path).resolve().relative_to(REPO_ROOT).as_posix(),
             line=f.line,
             message=f.message,
+            symbol=f.symbol,
         )
-        for f in lint_paths(targets, get_rules())
+        for f in findings
     ]
     new, stale = baseline.filter(findings)
     failures = [f"new lint finding: {f}" for f in new]
     failures.extend(f"stale baseline entry: {s}" for s in stale)
     return failures
+
+
+def stage_effects_selftest() -> list[str]:
+    return [f"effects self-test: {f}" for f in run_effects_selftest()]
+
+
+def write_summary() -> None:
+    """Write the per-rule timing/finding table to results/analysis.txt."""
+    lines = ["# repro-lint gate summary"]
+    lines.append(f"{'rule':24s} {'seconds':>9s} {'findings':>9s}")
+    for rule_id, elapsed, count in _rule_rows:
+        lines.append(f"{rule_id:24s} {round(elapsed, 4):>9} {count:>9}")
+    total_s = sum(r[1] for r in _rule_rows)
+    total_n = sum(r[2] for r in _rule_rows)
+    lines.append(f"{'total':24s} {round(total_s, 4):>9} {total_n:>9}")
+    lines.append("")
+    lines.append("(findings are pre-baseline; the gate subtracts")
+    lines.append("tools/analysis_baseline.json before failing)")
+    SUMMARY_PATH.parent.mkdir(parents=True, exist_ok=True)
+    SUMMARY_PATH.write_text("\n".join(lines) + "\n", encoding="utf-8")
 
 
 def stage_selftest() -> list[str]:
@@ -140,9 +214,11 @@ def main(argv: list[str] | None = None) -> int:
 
     stages: list[tuple[str, list[str]]] = [
         ("lint", stage_lint()),
+        ("effects self-test", stage_effects_selftest()),
         ("sanitizer self-test", stage_selftest()),
         ("sanitized sweep", stage_sweep()),
     ]
+    write_summary()
     notices: list[str] = []
     if args.skip_external:
         notices.append("external tools skipped (--skip-external)")

@@ -55,6 +55,14 @@ def serve_chaos_artifact() -> str:
     return path.read_text().rstrip()
 
 
+def optional_artifact(name: str, command: str) -> str:
+    """A results/ artifact that an opt-in gate writes; absent is fine."""
+    path = RESULTS / f"{name}.txt"
+    if not path.exists():
+        return f"(not captured on this run; `{command}` writes {path.name})"
+    return path.read_text().rstrip()
+
+
 def graph_inventory() -> str:
     from repro.graph import BENCHMARKS, graph_summary, make_benchmark_graph
 
@@ -86,6 +94,12 @@ def main() -> int:
         "<<SELFCHECK>>": artifact("selfcheck"),
         "<<VARIANCE>>": artifact("variance"),
         "<<OBSTRACE>>": obs_artifact(),
+        "<<EFFECTS>>": optional_artifact(
+            "effects", "python tools/effects_gate.py"
+        ),
+        "<<ANALYSIS>>": optional_artifact(
+            "analysis", "python tools/analysis_gate.py"
+        ),
         "<<SERVE>>": serve_artifact(),
         "<<SERVECHAOS>>": serve_chaos_artifact(),
         "<<GRAPHS>>": graph_inventory(),

@@ -1,0 +1,142 @@
+"""Interprocedural effects gate — runs the whole-repo invariant pass.
+
+Three stages, each independently pass/fail:
+
+1. **Fixture self-test** — every invariant in the catalog must fire on
+   its seeded-bad fixture tree and stay silent on the corrected twin
+   (see :mod:`repro.analysis.effects.fixtures`).  A checker that cannot
+   re-find the seeded bugs would let stage 2 pass vacuously.
+2. **Repo-wide pass** — call-graph construction + effect inference +
+   invariant checking over ``src/repro``, filtered through the shared
+   ``tools/analysis_baseline.json``.  Any new finding or stale baseline
+   entry fails.
+3. **Performance budget** — the whole pass must finish in under the
+   budget (default 10s); an analysis too slow for ``make check`` would
+   get skipped, and a skipped gate is no gate.
+
+The deterministic report (call-graph stats, per-invariant timing,
+findings) is written to ``results/effects.txt``, which
+``tools/build_experiments_md.py`` folds into EXPERIMENTS.md.
+
+Usage::
+
+    python tools/effects_gate.py
+    python tools/effects_gate.py --budget 30 --no-report
+
+Exit status 0 = pass, 1 = any stage failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import Baseline, Finding  # noqa: E402
+from repro.analysis.effects import (  # noqa: E402
+    EffectsReport,
+    format_report,
+    run_effects_analysis,
+)
+from repro.analysis.effects.fixtures import run_selftest  # noqa: E402
+
+BASELINE_PATH = REPO_ROOT / "tools" / "analysis_baseline.json"
+REPORT_PATH = REPO_ROOT / "results" / "effects.txt"
+DEFAULT_BUDGET_SECONDS = 10.0
+
+
+def stage_selftest() -> list[str]:
+    return [f"fixture self-test: {f}" for f in run_selftest()]
+
+
+def stage_repo(
+    budget: float, report_path: Path | None
+) -> tuple[list[str], list[str]]:
+    """Run the repo-wide pass.  Returns (failures, notices)."""
+    failures: list[str] = []
+    notices: list[str] = []
+    findings, timing = run_effects_analysis([REPO_ROOT / "src" / "repro"])
+    # Baseline keys are repo-relative; relativize before filtering.
+    findings = [
+        Finding(
+            rule=f.rule,
+            path=Path(f.path).resolve().relative_to(REPO_ROOT).as_posix(),
+            line=f.line,
+            message=f.message,
+            symbol=f.symbol,
+        )
+        for f in findings
+    ]
+    baseline = Baseline.load(BASELINE_PATH)
+    new, stale = baseline.filter(findings)
+    # Stale entries for *lint* rules are expected here: the shared
+    # baseline also covers the per-module rule pack, which this gate
+    # does not run.  Only effect-invariant staleness is ours to report.
+    invariant_ids = {r.invariant.id for r in timing.results}
+    stale = [s for s in stale if any(f"[{i}]" in s for i in invariant_ids)]
+    failures.extend(f"new effects finding: {f}" for f in new)
+    failures.extend(f"stale baseline entry: {s}" for s in stale)
+    notices.append(
+        f"{timing.n_functions} functions, "
+        f"{len(findings)} finding(s) ({len(new)} new), "
+        f"{timing.total_seconds:.2f}s"
+    )
+    if timing.total_seconds > budget:
+        failures.append(
+            f"performance budget exceeded: {timing.total_seconds:.2f}s "
+            f"> {budget:.0f}s"
+        )
+    if report_path is not None:
+        report_path.parent.mkdir(parents=True, exist_ok=True)
+        report = EffectsReport(findings=new, timing=timing)
+        report_path.write_text(
+            format_report(report, timing.engine), encoding="utf-8"
+        )
+        notices.append(f"report written to {report_path.relative_to(REPO_ROOT)}")
+    return failures, notices
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=DEFAULT_BUDGET_SECONDS,
+        metavar="SECONDS",
+        help="fail when the repo-wide pass takes longer than this "
+        f"(default: {DEFAULT_BUDGET_SECONDS:.0f})",
+    )
+    parser.add_argument(
+        "--no-report",
+        action="store_true",
+        help="skip writing results/effects.txt",
+    )
+    args = parser.parse_args(argv)
+
+    report_path = None if args.no_report else REPORT_PATH
+    repo_failures, notices = stage_repo(args.budget, report_path)
+    stages = [
+        ("fixture self-test", stage_selftest()),
+        ("repo-wide invariants", repo_failures),
+    ]
+    failed = False
+    for name, failures in stages:
+        if failures:
+            failed = True
+            print(f"effects gate: {name} FAILED")
+            for failure in failures:
+                print(f"  {failure}")
+        else:
+            print(f"effects gate: {name} ok")
+    for notice in notices:
+        print(f"effects gate: note: {notice}")
+    print("effects gate:", "FAILED" if failed else "PASSED")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
