@@ -4,10 +4,10 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: check test perf-gate chaos-smoke analysis-gate effects-gate obs-gate serve-gate serve-chaos lint effects chaos bench
+.PHONY: check test perf-gate chaos-smoke analysis-gate effects-gate obs-gate serve-gate serve-chaos serve-obs lint effects chaos bench
 
-## The pre-merge bar: full test suite + all seven deterministic gates.
-check: test perf-gate chaos-smoke analysis-gate effects-gate obs-gate serve-gate serve-chaos
+## The pre-merge bar: full test suite + all eight deterministic gates.
+check: test perf-gate chaos-smoke analysis-gate effects-gate obs-gate serve-gate serve-chaos serve-obs
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -32,6 +32,9 @@ serve-gate:
 
 serve-chaos:
 	$(PYTHON) tools/serve_chaos_gate.py
+
+serve-obs:
+	$(PYTHON) tools/serve_obs_gate.py
 
 ## Lint only (no sanitizer sweep); fast inner-loop check.
 lint:

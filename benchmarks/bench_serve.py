@@ -14,7 +14,13 @@ changing any tenant's bits.  This bench measures both claims:
 * **tenant scaling** — 1, 2, and 4 tenants with identical per-tenant
   workloads over one shared device; reports aggregate and per-tenant
   host throughput and the per-worker cycle-attribution residual
-  (always ~0: attribution is exact by construction).
+  (always ~0: attribution is exact by construction);
+* **tracing overhead** — the per-call cost of the distributed-tracing
+  hooks when tracing is *off* (no ``TraceRecorder`` configured): one
+  inactive ``span()`` enter/exit plus one wire-trace parse of an
+  untraced request.  Asserted under ``MAX_DISABLED_TRACING_NS`` — the
+  same bound ``tools/obs_gate.py --max-off-ns`` enforces — so the PR 10
+  tracing plumbing stays free for servers that never turn it on.
 
 Host numbers are wall clock and machine-dependent; every cycle count
 and digest in the record is deterministic.
@@ -40,6 +46,8 @@ if str(REPO_ROOT / "src") not in sys.path:
 
 from repro.graph.generators import circuit_graph  # noqa: E402
 from repro.graph.modifiers import EdgeInsert  # noqa: E402
+from repro.obs.distrib import parse_wire_trace  # noqa: E402
+from repro.obs.tracer import span  # noqa: E402
 from repro.partition.config import PartitionConfig  # noqa: E402
 from repro.serve import (  # noqa: E402
     ServeClient,
@@ -56,6 +64,10 @@ FULL_SCALE = {"n_vertices": 1500, "modifiers": 600, "chunk": 25}
 GRAPH_SEED = 11
 PARTITION_SEED = 3
 K = 4
+
+#: Per-call budget for the disabled tracing path, matching the bound
+#: ``tools/obs_gate.py --max-off-ns`` holds the span tracer to.
+MAX_DISABLED_TRACING_NS = 5000.0
 
 
 def _graph_spec(n_vertices: int) -> dict:
@@ -160,6 +172,39 @@ def run_hosted(scale: dict, tenants: int) -> dict:
     }
 
 
+def run_tracing_overhead(iterations: int = 50_000) -> dict:
+    """Cost of the tracing hooks when no recorder is configured.
+
+    Measures the two per-request hooks an untraced server still
+    executes: an inactive ``span()`` (one global read) and
+    ``parse_wire_trace`` on a request that carries no ``"trace"``
+    field.  Both are pure host cost; the assertion pins their sum.
+    """
+    request = {"op": "submit", "session": "bench"}
+    start = time.perf_counter_ns()
+    for _ in range(iterations):
+        with span("serve.bench.probe"):
+            pass
+    span_off_ns = (time.perf_counter_ns() - start) / iterations
+    start = time.perf_counter_ns()
+    for _ in range(iterations):
+        parse_wire_trace(request)
+    wire_parse_ns = (time.perf_counter_ns() - start) / iterations
+    per_call = span_off_ns + wire_parse_ns
+    if per_call >= MAX_DISABLED_TRACING_NS:
+        raise AssertionError(
+            f"disabled tracing path costs {per_call:.0f} ns/call, "
+            f"over the {MAX_DISABLED_TRACING_NS:.0f} ns budget"
+        )
+    return {
+        "iterations": iterations,
+        "span_off_ns": span_off_ns,
+        "wire_parse_ns": wire_parse_ns,
+        "per_call_ns": per_call,
+        "max_ns": MAX_DISABLED_TRACING_NS,
+    }
+
+
 def run_bench(scale: dict, tmp: Path) -> dict:
     standalone = run_standalone(scale, tmp)
     hosted = run_hosted(scale, tenants=1)
@@ -190,6 +235,7 @@ def run_bench(scale: dict, tmp: Path) -> dict:
         },
         "standalone": standalone,
         "hosted": scaling,
+        "serve_tracing_overhead": run_tracing_overhead(),
         "protocol_overhead_ratio": (
             standalone["modifiers_per_second"]
             / max(scaling[0]["modifiers_per_second"], 1e-12)
@@ -202,6 +248,8 @@ def test_serve_bench_smoke(tmp_path):
     record = run_bench(SMOKE_SCALE, tmp_path)
     assert record["standalone"]["sha256"] == record["hosted"][0]["sha256"]
     assert all(r["attribution_residual"] < 1.0 for r in record["hosted"])
+    overhead = record["serve_tracing_overhead"]
+    assert overhead["per_call_ns"] < MAX_DISABLED_TRACING_NS
 
 
 def main(argv=None):
@@ -233,6 +281,14 @@ def main(argv=None):
             f"attribution residual {row['attribution_residual']:.3g}",
             file=sys.stderr,
         )
+    overhead = record["serve_tracing_overhead"]
+    print(
+        f"disabled tracing path: {overhead['per_call_ns']:.0f} ns/call "
+        f"(span {overhead['span_off_ns']:.0f} + wire parse "
+        f"{overhead['wire_parse_ns']:.0f}; budget "
+        f"{overhead['max_ns']:.0f})",
+        file=sys.stderr,
+    )
     return 0
 
 

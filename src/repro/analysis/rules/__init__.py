@@ -27,6 +27,9 @@ established in prose:
 * :mod:`retry` — ``unjittered-retry-loop``: retry loops pace their
   attempts with backoff and jitter instead of hammering in lockstep
   (the PR 8 serve-client contract).
+* :mod:`tenantmetric` — ``unlabeled-tenant-metric``:
+  ``serve_tenant_*`` series are registered in tenant-scoped registries
+  and exported with the tenant label (the PR 10 dashboard contract).
 """
 
 from __future__ import annotations
@@ -44,6 +47,7 @@ from repro.analysis.rules.pool import UntrackedPoolWriteRule
 from repro.analysis.rules.poolscan import PoolScanOutsideSanitizerRule
 from repro.analysis.rules.retry import UnjitteredRetryLoopRule
 from repro.analysis.rules.rng import UnseededRngRule
+from repro.analysis.rules.tenantmetric import UnlabeledTenantMetricRule
 
 #: All rules in the pack, in reporting order.
 ALL_RULES: tuple[LintRule, ...] = (
@@ -58,6 +62,7 @@ ALL_RULES: tuple[LintRule, ...] = (
     UnsortedDictExportRule(),
     BlockingCallInAsyncRule(),
     UnjitteredRetryLoopRule(),
+    UnlabeledTenantMetricRule(),
 )
 
 
@@ -82,6 +87,7 @@ __all__ = [
     "SpanLiteralRule",
     "UnchargedKernelRule",
     "UnjitteredRetryLoopRule",
+    "UnlabeledTenantMetricRule",
     "UnseededRngRule",
     "UnsortedDictExportRule",
     "UntrackedPoolWriteRule",

@@ -1,0 +1,156 @@
+"""``unlabeled-tenant-metric``: per-tenant metrics carry their label.
+
+The serve layer's multi-tenant scrape contract (PR 6/PR 10): every
+``serve_tenant_*`` series is registered in a *tenant-scoped* registry
+(each :class:`~repro.serve.quotas.TenantAccount` owns one) and rendered
+through :func:`~repro.obs.metrics.to_prometheus_labeled`, which stamps
+the ``tenant="..."`` label on every sample.  Two regressions defeat
+that contract and silently merge tenants in the scrape — and in every
+dashboard built on it:
+
+* registering a ``serve_tenant_*`` metric on a server-global registry
+  (``self.metrics.counter("serve_tenant_...")``): the series exists
+  once, unlabeled, and aggregates all tenants into one number;
+* exporting a tenant account's registry with the *unlabeled* renderer
+  (``account.registry.to_prometheus()``): the per-tenant series lose
+  their label, so identically named samples from different tenants
+  collide in the scrape.
+
+The rule flags both shapes:
+
+* a ``counter``/``gauge``/``histogram`` registration whose metric name
+  (a literal, or an f-string with a literal head) starts with
+  ``serve_tenant_``, made outside a tenant-scoped class (one whose
+  name mentions ``Tenant``);
+* a ``.to_prometheus()`` call whose receiver expression names a tenant
+  or account (``account.registry``, ``self.tenants[t]`` ...) — the
+  sanctioned exporter there is ``to_prometheus_labeled``.
+
+Deliberate exceptions (e.g. a migration shim) are grandfathered per
+line with ``# repro-lint: allow[unlabeled-tenant-metric] reason``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.lintcore import Finding, LintRule, ModuleInfo
+
+#: Registration methods on a MetricsRegistry.
+_REGISTER_METHODS = {"counter", "gauge", "histogram"}
+
+#: Prefix reserving a metric family for per-tenant, labeled scrapes.
+_TENANT_PREFIX = "serve_tenant_"
+
+#: Receiver-identifier substrings marking a tenant-owned registry.
+_TENANTISH = ("tenant", "account")
+
+
+def _literal_head(node: ast.AST) -> Optional[str]:
+    """The compile-time prefix of a metric-name expression.
+
+    A plain string literal is its own head; an f-string contributes its
+    leading literal segment (``f"serve_tenant_{op}"`` →
+    ``"serve_tenant_"``).  Anything else has no knowable head.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr) and node.values:
+        first = node.values[0]
+        if isinstance(first, ast.Constant) and isinstance(
+            first.value, str
+        ):
+            return first.value
+    return None
+
+
+def _receiver_identifiers(node: ast.AST) -> Iterator[str]:
+    """Every dotted-name component in a call receiver expression."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            yield sub.id
+        elif isinstance(sub, ast.Attribute):
+            yield sub.attr
+
+
+def _enclosing_class(
+    info: ModuleInfo, node: ast.AST
+) -> Optional[ast.ClassDef]:
+    for anc in info.ancestors(node):
+        if isinstance(anc, ast.ClassDef):
+            return anc
+    return None
+
+
+class UnlabeledTenantMetricRule(LintRule):
+    """Flag ``serve_tenant_*`` series that would scrape unlabeled."""
+
+    id = "unlabeled-tenant-metric"
+
+    def applies_to(self, info: ModuleInfo) -> bool:
+        return (
+            _TENANT_PREFIX in info.source
+            or "to_prometheus" in info.source
+        )
+
+    def check(self, info: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr in _REGISTER_METHODS:
+                finding = self._check_registration(info, node, func)
+                if finding is not None:
+                    yield finding
+            elif func.attr == "to_prometheus":
+                finding = self._check_export(info, node, func)
+                if finding is not None:
+                    yield finding
+
+    def _check_registration(
+        self, info: ModuleInfo, node: ast.Call, func: ast.Attribute
+    ) -> Optional[Finding]:
+        if not node.args:
+            return None
+        head = _literal_head(node.args[0])
+        if head is None or not head.startswith(_TENANT_PREFIX):
+            return None
+        owner = _enclosing_class(info, node)
+        if owner is not None and "tenant" in owner.name.lower():
+            return None
+        scope = (
+            f"class {owner.name!r}" if owner else "module scope"
+        )
+        return self.finding(
+            info,
+            node,
+            f"{func.attr}(...) registers a {_TENANT_PREFIX}* metric "
+            f"in {scope}; per-tenant series live in a tenant-scoped "
+            "registry (TenantAccount.registry) so the scrape renders "
+            "them with the tenant label",
+        )
+
+    def _check_export(
+        self, info: ModuleInfo, node: ast.Call, func: ast.Attribute
+    ) -> Optional[Finding]:
+        identifiers = [
+            ident.lower()
+            for ident in _receiver_identifiers(func.value)
+        ]
+        if not any(
+            marker in ident
+            for ident in identifiers
+            for marker in _TENANTISH
+        ):
+            return None
+        return self.finding(
+            info,
+            node,
+            "to_prometheus() on a tenant-owned registry drops the "
+            "tenant label, colliding identically named series across "
+            "tenants; render it with to_prometheus_labeled(registry, "
+            'tenant="...") instead',
+        )

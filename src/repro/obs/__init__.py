@@ -17,6 +17,12 @@ section 11):
   text, and Chrome trace-event exporters with schema validators.
 * :mod:`repro.obs.diff` — per-phase regression attribution between two
   traces (the ``repro-obs diff`` command).
+* :mod:`repro.obs.distrib` — distributed trace context for the serve
+  layer (:class:`TraceRecorder`, wire ``trace`` propagation) plus the
+  crash :class:`FlightRecorder` (``repro-flightrec-v1`` dumps).
+* :mod:`repro.obs.dashboard` — self-contained HTML dashboard rendered
+  from one Prometheus scrape (``GET /debug/dashboard`` /
+  ``repro-obs dashboard``).
 
 Quickstart::
 
@@ -30,6 +36,12 @@ Quickstart::
     # then: repro-obs summary run.jsonl / repro-obs chrome run.jsonl
 """
 
+from repro.obs.dashboard import (
+    dashboard_data,
+    extract_data_block,
+    parse_prometheus,
+    render_dashboard,
+)
 from repro.obs.diff import (
     PhaseAggregate,
     PhaseDelta,
@@ -49,6 +61,16 @@ from repro.obs.export import (
     write_chrome_trace,
     write_trace,
     write_trace_records,
+)
+from repro.obs.distrib import (
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    TraceRecorder,
+    load_flight,
+    make_trace_id,
+    parse_wire_trace,
+    validate_flight,
+    wire_trace,
 )
 from repro.obs.metrics import (
     Counter,
@@ -70,8 +92,10 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "FLIGHT_SCHEMA",
     "TRACE_SCHEMA",
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -79,24 +103,34 @@ __all__ = [
     "PhaseDelta",
     "TraceDiff",
     "TraceEvent",
+    "TraceRecorder",
     "Tracer",
     "active_tracer",
     "aggregate",
     "chrome_trace",
+    "dashboard_data",
     "default_registry",
     "diff_traces",
     "event_key",
+    "extract_data_block",
     "format_diff",
     "format_summary",
+    "load_flight",
     "load_trace",
     "escape_label_value",
+    "make_trace_id",
     "merge_into",
+    "parse_prometheus",
+    "parse_wire_trace",
+    "render_dashboard",
     "reset_default_registry",
     "span",
     "summarize",
     "to_prometheus_labeled",
     "validate_chrome_trace",
+    "validate_flight",
     "validate_trace",
+    "wire_trace",
     "write_chrome_trace",
     "write_trace",
     "write_trace_records",

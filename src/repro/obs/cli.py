@@ -1,10 +1,12 @@
 """``repro-obs``: trace tooling for the observability layer.
 
-Three subcommands::
+Five subcommands::
 
     repro-obs diff before.jsonl after.jsonl   # regression attribution
     repro-obs summary trace.jsonl             # per-span cost table
     repro-obs chrome trace.jsonl -o out.json  # flamegraph export
+    repro-obs dashboard scrape.prom -o d.html # HTML dashboard
+    repro-obs flightrec flightrec-*.jsonl     # validate a flight dump
 
 ``diff`` exits 1 when the traces disagree on *deterministic* evidence —
 a nonzero device-cycle delta or a phase appearing/disappearing — or,
@@ -23,12 +25,14 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+from repro.obs.dashboard import render_dashboard
 from repro.obs.diff import (
     HOST_ABSOLUTE_FLOOR,
     diff_traces,
     format_diff,
     format_summary,
 )
+from repro.obs.distrib import load_flight, validate_flight
 from repro.obs.export import (
     load_trace,
     validate_trace,
@@ -99,6 +103,42 @@ def cmd_chrome(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_dashboard(args: argparse.Namespace) -> int:
+    scrape = args.scrape.read_text()
+    page = render_dashboard(
+        scrape, title=args.title, slo_seconds=args.slo
+    )
+    out = args.out
+    if out is None:
+        out = args.scrape.with_suffix(".html")
+    out.write_text(page)
+    print(f"repro-obs: wrote {out}")
+    return 0
+
+
+def cmd_flightrec(args: argparse.Namespace) -> int:
+    failed = False
+    for path in args.dumps:
+        errors = validate_flight(path)
+        if errors:
+            failed = True
+            for error in errors[:10]:
+                print(f"repro-obs: {path}: {error}", file=sys.stderr)
+            continue
+        header, events = load_flight(path)
+        kinds: dict = {}
+        for event in events:
+            kinds[event["kind"]] = kinds.get(event["kind"], 0) + 1
+        summary = ", ".join(
+            f"{kind}={kinds[kind]}" for kind in sorted(kinds)
+        )
+        print(
+            f"{path}: valid ({header['reason']}; "
+            f"{len(events)} events: {summary or 'empty'})"
+        )
+    return 1 if failed else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-obs",
@@ -151,6 +191,32 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_chrome.add_argument("trace", type=Path)
     p_chrome.add_argument("-o", "--out", type=Path, default=None)
     p_chrome.set_defaults(func=cmd_chrome)
+
+    p_dash = sub.add_parser(
+        "dashboard",
+        help="render a /metrics scrape as a self-contained HTML page",
+    )
+    p_dash.add_argument(
+        "scrape", type=Path, help="Prometheus text scrape file"
+    )
+    p_dash.add_argument("-o", "--out", type=Path, default=None)
+    p_dash.add_argument(
+        "--title", default="repro-serve dashboard"
+    )
+    p_dash.add_argument(
+        "--slo",
+        type=float,
+        default=0.025,
+        help="latency SLO line in seconds (default %(default)s)",
+    )
+    p_dash.set_defaults(func=cmd_dashboard)
+
+    p_flight = sub.add_parser(
+        "flightrec",
+        help="validate and summarize flight-recorder dumps",
+    )
+    p_flight.add_argument("dumps", type=Path, nargs="+")
+    p_flight.set_defaults(func=cmd_flightrec)
 
     args = parser.parse_args(argv)
     return args.func(args)

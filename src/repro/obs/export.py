@@ -46,6 +46,22 @@ _EVENT_FIELDS: dict = {
     "count": int,
 }
 
+#: Optional keys (with allowed types): absent in traces written before
+#: the field existed, so old ``repro-trace-v1`` files stay valid.
+_OPTIONAL_EVENT_FIELDS: dict = {
+    "trace": (dict, type(None)),
+}
+
+#: Keys a ``trace`` context dict may carry (closed set), with types.
+_TRACE_CONTEXT_FIELDS: dict = {
+    "attempt": int,
+    "id": str,
+    "op": str,
+    "parent": (int, type(None)),
+    "tenant": str,
+    "worker": int,
+}
+
 _EVENT_KINDS = ("span", "kernel")
 
 
@@ -157,9 +173,20 @@ def _check_event(record: object, lineno: int, seen_ids: set) -> List[str]:
                 f"line {lineno}: field {key!r} has type "
                 f"{type(record[key]).__name__}"
             )
-    extra = sorted(set(record) - set(_EVENT_FIELDS))
+    for key, types in _OPTIONAL_EVENT_FIELDS.items():
+        if key in record and not isinstance(record[key], types):
+            errors.append(
+                f"line {lineno}: field {key!r} has type "
+                f"{type(record[key]).__name__}"
+            )
+    extra = sorted(
+        set(record) - set(_EVENT_FIELDS) - set(_OPTIONAL_EVENT_FIELDS)
+    )
     if extra:
         errors.append(f"line {lineno}: unknown fields {extra}")
+    if errors:
+        return errors
+    errors.extend(_check_trace_context(record.get("trace"), lineno))
     if errors:
         return errors
     if record["kind"] not in _EVENT_KINDS:
@@ -173,6 +200,35 @@ def _check_event(record: object, lineno: int, seen_ids: set) -> List[str]:
     for key in ("duration", "device_seconds", "device_cycles", "count"):
         if record[key] < 0:
             errors.append(f"line {lineno}: field {key!r} is negative")
+    return errors
+
+
+def _check_trace_context(trace: object, lineno: int) -> List[str]:
+    """Validate one event's optional distributed-trace context."""
+    if trace is None:
+        return []
+    assert isinstance(trace, dict)  # type-checked by the caller
+    errors: List[str] = []
+    extra = sorted(set(trace) - set(_TRACE_CONTEXT_FIELDS))
+    if extra:
+        errors.append(
+            f"line {lineno}: unknown trace context keys {extra}"
+        )
+    if not isinstance(trace.get("id"), str) or not trace.get("id"):
+        errors.append(
+            f"line {lineno}: trace context needs a non-empty string id"
+        )
+    for key, types in _TRACE_CONTEXT_FIELDS.items():
+        if key == "id":
+            continue
+        if key in trace and (
+            not isinstance(trace[key], types)
+            or isinstance(trace[key], bool)
+        ):
+            errors.append(
+                f"line {lineno}: trace context key {key!r} has type "
+                f"{type(trace[key]).__name__}"
+            )
     return errors
 
 
@@ -209,6 +265,10 @@ def chrome_trace(
         }
         if event.section is not None:
             args["section"] = event.section
+        if event.trace is not None:
+            args["trace"] = {
+                key: event.trace[key] for key in sorted(event.trace)
+            }
         if event.kind == "span":
             trace_events.append(
                 {

@@ -87,10 +87,19 @@ class TraceEvent:
     section: Optional[str] = None
     #: Number of launches aggregated into a kernel row (1 for spans).
     count: int = 1
+    #: Distributed trace context (``repro.obs.distrib``): a dict with
+    #: an ``"id"`` plus optional tenant/op/attempt/worker keys, or None
+    #: for plain engine traces.  Optional in the JSONL schema, so every
+    #: pre-existing ``repro-trace-v1`` file stays valid.
+    trace: Optional[dict] = None
 
     def as_dict(self) -> dict:
-        """Flat JSON-ready record (sorted keys happen at export)."""
-        return {
+        """Flat JSON-ready record (sorted keys happen at export).
+
+        ``trace`` is emitted only when set: engine-only traces keep the
+        exact byte shape earlier revisions wrote.
+        """
+        out = {
             "kind": self.kind,
             "name": self.name,
             "span_id": self.span_id,
@@ -108,6 +117,11 @@ class TraceEvent:
             "section": self.section,
             "count": self.count,
         }
+        if self.trace is not None:
+            out["trace"] = {
+                key: self.trace[key] for key in sorted(self.trace)
+            }
+        return out
 
 
 @dataclass

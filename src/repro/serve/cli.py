@@ -8,8 +8,11 @@ first stdout line so wrappers can parse it::
     {"host": "127.0.0.1", "http_port": 43211, "tcp_port": 38655}
 
 Scrape ``http://<host>:<http_port>/metrics`` for the live Prometheus
-text; speak the framed JSON protocol (see :mod:`repro.serve.protocol`)
-to the TCP port, e.g. via :class:`repro.serve.client.ServeClient`.
+text, or open ``http://<host>:<http_port>/debug/dashboard`` for the
+self-contained per-tenant HTML dashboard rendered from the same
+scrape; speak the framed JSON protocol (see
+:mod:`repro.serve.protocol`) to the TCP port, e.g. via
+:class:`repro.serve.client.ServeClient`.
 """
 
 from __future__ import annotations
@@ -95,6 +98,14 @@ def build_parser() -> argparse.ArgumentParser:
             "expose on a production server)"
         ),
     )
+    parser.add_argument(
+        "--flight-capacity", type=int, default=0,
+        help=(
+            "crash flight-recorder ring size; dumps to "
+            "<data-dir>/flightrec-*.jsonl on faults, worker death, "
+            "and crashes (0 = off)"
+        ),
+    )
     return parser
 
 
@@ -123,6 +134,7 @@ def config_from_args(args: argparse.Namespace) -> ServerConfig:
         idle_evict_after_ops=args.idle_evict_after_ops,
         recover=args.recover,
         enable_chaos=args.enable_chaos,
+        flight_capacity=args.flight_capacity,
     )
 
 

@@ -39,6 +39,7 @@ import time
 from typing import Callable, List, Optional, Sequence
 
 from repro.graph.modifiers import Modifier
+from repro.obs.distrib import TraceRecorder, make_trace_id, wire_trace
 from repro.serve.protocol import (
     AMBIGUOUS_CODES,
     E_INTERNAL,
@@ -67,6 +68,18 @@ class ServeClient:
             :meth:`submit_with_retry` (seconds).
         sleep: Injectable sleep for tests (defaults to
             :func:`time.sleep`).
+        trace_recorder: Optional :class:`~repro.obs.distrib.
+            TraceRecorder`.  When set, every request is stamped with a
+            deterministic ``trace`` context (id = per-client op
+            counter, never a clock) carried in the wire frame, and the
+            client records one ``client.<op>`` root span per call —
+            retry attempts of one logical submit share a trace id and
+            are distinguished by their ``attempt`` number.  Share the
+            recorder with an in-process server (``ServerConfig.
+            trace_recorder``) and the server's op/worker/engine spans
+            join the same trace under the client root.  None (the
+            default) keeps the request path trace-free at the cost of
+            one attribute read per call.
     """
 
     def __init__(
@@ -79,6 +92,7 @@ class ServeClient:
         backoff_base: float = 0.002,
         backoff_max: float = 0.05,
         sleep: Callable[[float], None] = time.sleep,
+        trace_recorder: Optional[TraceRecorder] = None,
     ):
         if backoff_base <= 0 or backoff_max <= 0:
             raise ValueError("backoff envelope must be positive")
@@ -90,6 +104,10 @@ class ServeClient:
         self.backoff_max = backoff_max
         self._rng = random.Random(retry_seed)
         self._sleep = sleep
+        self._trace_recorder = trace_recorder
+        #: Per-client request counter: the deterministic trace-id
+        #: source (two seeded runs number their requests identically).
+        self._trace_counter = 0
         self._sock: Optional[socket.socket] = None
         self.reconnect()
 
@@ -117,6 +135,7 @@ class ServeClient:
         self,
         op: str,
         timeout: Optional[float] = None,
+        trace_ctx: Optional[dict] = None,
         **fields,
     ) -> dict:
         """One request/response; raises typed :class:`ServeError` on a
@@ -125,11 +144,58 @@ class ServeClient:
         elapses.  Timeouts and mid-request disconnects poison the
         socket — the next call must :meth:`reconnect` first (the retry
         loop does this automatically).
+
+        ``trace_ctx`` (``{"id": ..., "attempt": ...}``) pins this call
+        to an existing trace — the retry loop uses it so every attempt
+        of one logical submit, plus its resync attaches, shares one
+        trace id.  Without it a traced call mints a fresh id from the
+        client's request counter.
         """
         if self._sock is None:
             raise ServeError("client is closed")
         request = {"op": op, "tenant": self.tenant}
         request.update(fields)
+        recorder = self._trace_recorder
+        if recorder is None:
+            return self._roundtrip(op, request, timeout)
+        if trace_ctx is None:
+            trace_id = make_trace_id(
+                self.tenant, op, self._trace_counter
+            )
+            self._trace_counter += 1
+            attempt = 0
+        else:
+            trace_id = trace_ctx["id"]
+            attempt = int(trace_ctx.get("attempt", 0))
+        span_id = recorder.next_span_id()
+        request["trace"] = wire_trace(
+            trace_id, parent_span=span_id, attempt=attempt
+        )
+        start = recorder.now()
+        try:
+            return self._roundtrip(op, request, timeout)
+        finally:
+            # Recorded even when the call fails: a timed-out or
+            # rejected attempt is exactly what the trace must show.
+            recorder.record_span(
+                f"client.{op}",
+                trace={
+                    "id": trace_id,
+                    "tenant": self.tenant,
+                    "op": op,
+                    "attempt": attempt,
+                },
+                span_id=span_id,
+                parent=None,
+                depth=0,
+                start=start,
+                duration=recorder.now() - start,
+            )
+
+    def _roundtrip(
+        self, op: str, request: dict, timeout: Optional[float]
+    ) -> dict:
+        """Encode, send, and await one framed request/response."""
         # Encode before touching the socket: an unencodable request
         # (e.g. over MAX_FRAME) is a caller bug, not a transport fault,
         # and must not poison the connection or read as retryable.
@@ -194,24 +260,35 @@ class ServeClient:
             fields["target_batch_size"] = target_batch_size
         return self.call("create", **fields)
 
-    def attach(self, session: str) -> dict:
-        return self.call("attach", session=session)
+    def attach(
+        self, session: str, trace_ctx: Optional[dict] = None
+    ) -> dict:
+        return self.call("attach", session=session, trace_ctx=trace_ctx)
 
     def submit(
         self,
         session: str,
         modifiers: Sequence[Modifier],
         timeout: Optional[float] = None,
+        trace_ctx: Optional[dict] = None,
     ) -> dict:
         return self.call(
             "submit",
             session=session,
             timeout=timeout,
+            trace_ctx=trace_ctx,
             modifiers=[encode_modifier(m) for m in modifiers],
         )
 
-    def flush(self, session: str, drain: bool = True) -> dict:
-        return self.call("flush", session=session, drain=drain)
+    def flush(
+        self,
+        session: str,
+        drain: bool = True,
+        trace_ctx: Optional[dict] = None,
+    ) -> dict:
+        return self.call(
+            "flush", session=session, drain=drain, trace_ctx=trace_ctx
+        )
 
     def checkpoint(self, session: str) -> dict:
         return self.call("checkpoint", session=session)
@@ -269,6 +346,12 @@ class ServeClient:
         A resynced slice that turns out to have fully landed yields a
         synthesized response with ``"resynced": True`` so accepted
         counts still sum to ``len(modifiers)``.
+
+        With a trace recorder attached, each slice gets one trace id;
+        every attempt (and each attempt's resync attach or recovery
+        flush) carries that id with an increasing ``attempt`` number,
+        so the exported trace links the whole retry history of one
+        logical submit.
         """
         responses: List[dict] = []
         pending = list(modifiers)
@@ -282,10 +365,31 @@ class ServeClient:
         next_seq = self.attach(session).get("next_seq")
         while pending:
             batch, rest = pending[:size], pending[size:]
+            slice_trace: Optional[dict] = None
+            if self._trace_recorder is not None:
+                slice_trace = {
+                    "id": make_trace_id(
+                        self.tenant, "submit", self._trace_counter
+                    )
+                }
+                self._trace_counter += 1
             for attempt in range(max_attempts):
+                # Only supply trace_ctx when tracing is on: untraced
+                # calls keep the pre-tracing signature.
+                traced = (
+                    {}
+                    if slice_trace is None
+                    else {
+                        "trace_ctx": {
+                            "id": slice_trace["id"],
+                            "attempt": attempt,
+                        }
+                    }
+                )
+                trace_ctx = traced.get("trace_ctx")
                 try:
                     response = self.submit(
-                        session, batch, timeout=timeout
+                        session, batch, timeout=timeout, **traced
                     )
                     responses.append(response)
                     next_seq = response["last_seq"] + 1
@@ -301,7 +405,7 @@ class ServeClient:
                         self.reconnect()
                     if err.code in AMBIGUOUS_CODES:
                         batch, next_seq, landed = self._resync(
-                            session, batch, next_seq
+                            session, batch, next_seq, trace_ctx
                         )
                         if landed is not None:
                             responses.append(landed)
@@ -309,7 +413,7 @@ class ServeClient:
                             break
                     elif not isinstance(err, ServeTimeout):
                         # Typed pre-engine reject: drain, then retry.
-                        self.flush(session, drain=True)
+                        self.flush(session, drain=True, **traced)
             pending = rest
         return responses
 
@@ -318,6 +422,7 @@ class ServeClient:
         session: str,
         batch: List[Modifier],
         expected_next: Optional[int],
+        trace_ctx: Optional[dict] = None,
     ):
         """Resolve an ambiguous failure: how much of ``batch`` landed?
 
@@ -327,7 +432,10 @@ class ServeClient:
         baseline, and a synthesized response covering the landed prefix
         (None when nothing landed).
         """
-        info = self.attach(session)
+        if trace_ctx is None:
+            info = self.attach(session)
+        else:
+            info = self.attach(session, trace_ctx=trace_ctx)
         observed = info.get("next_seq")
         if expected_next is None or observed is None:
             return batch, observed, None

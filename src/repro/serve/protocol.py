@@ -23,6 +23,15 @@ Modifiers ride the journal's compact encoding
 (:func:`repro.stream.journal.encode_modifier`), so the wire and the
 recovery log agree on one serialization.
 
+Any request may carry an optional ``"trace"`` object —
+``{"id": "<tenant>/<op>#<n>", "attempt": 0, "parent": 7}`` — minted
+by a tracing client (:func:`repro.obs.distrib.wire_trace`).  A server
+booted with a trace recorder joins its op/worker/engine spans to that
+id, so one trace shows client→server→kernel causality across retries
+and failover; servers without a recorder ignore the field, and a
+malformed context is rejected with ``bad-request`` rather than
+silently dropped (:func:`repro.obs.distrib.parse_wire_trace`).
+
 Error codes are a *closed* set (:data:`ERROR_CODES`): clients dispatch
 on the code, never the message, and the quota/shed codes carry
 ``"retryable": true`` so a generic retry loop needs no server-specific

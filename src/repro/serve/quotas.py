@@ -36,6 +36,38 @@ from repro.serve.protocol import (
     E_QUOTA_SESSIONS,
 )
 
+#: Ops whose per-tenant serve latency is histogrammed — the closed set
+#: of engine-touching wire ops (``hello``/``stats`` are free).
+SERVE_LATENCY_OPS = (
+    "attach",
+    "checkpoint",
+    "create",
+    "evict",
+    "flush",
+    "submit",
+)
+
+#: Latency bucket upper bounds (seconds).  Chosen around the serve
+#: SLO: the dashboard draws its threshold line at
+#: :data:`SERVE_LATENCY_SLO_SECONDS`, which is also a bucket bound so
+#: "within SLO" is exactly a cumulative bucket read.
+SERVE_LATENCY_BUCKETS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    1.0,
+    float("inf"),
+)
+
+#: Default per-op latency objective the dashboard visualizes.
+SERVE_LATENCY_SLO_SECONDS = 0.025
+
 
 @dataclass(frozen=True)
 class TenantQuota:
@@ -126,6 +158,18 @@ class TenantAccount:
             "permanently rejected modifiers recorded in this tenant's "
             "journals",
         )
+        #: Per-op serve latency histograms.  They live in the tenant's
+        #: own registry, so the /metrics scrape renders them through
+        #: ``to_prometheus_labeled`` with the tenant label attached —
+        #: the ``unlabeled-tenant-metric`` lint contract.
+        self._op_latency = {}
+        for op in SERVE_LATENCY_OPS:
+            self._op_latency[op] = self.registry.histogram(
+                f"serve_tenant_op_latency_seconds_{op}",
+                f"request latency of {op} ops for this tenant "
+                "(host seconds, cumulative buckets)",
+                buckets=SERVE_LATENCY_BUCKETS,
+            )
 
     # -- bookkeeping ---------------------------------------------------------------
 
@@ -137,6 +181,13 @@ class TenantAccount:
 
     def record_shed(self) -> None:
         self._shed.inc()
+
+    def observe_op_latency(self, op: str, seconds: float) -> None:
+        """Histogram one request's host latency (no-op for ops outside
+        :data:`SERVE_LATENCY_OPS`)."""
+        histogram = self._op_latency.get(op)
+        if histogram is not None:
+            histogram.observe(seconds)
 
     def publish_usage(self, live_sessions: int, queued: int) -> None:
         self._sessions_gauge.set(live_sessions)

@@ -189,6 +189,11 @@ class SessionEntry:
     #: resilience metrics stay observable while the session is evicted.
     quarantined: int = 0
     dead_lettered: int = 0
+    #: Trace id of the ``create`` request that made this session
+    #: (``repro.obs.distrib``).  Persisted in the serve WAL manifest,
+    #: so recovery and failover replay spans re-attach to the trace
+    #: that originated the session — across process restarts.
+    origin_trace: Optional[str] = None
 
     @property
     def live(self) -> bool:
@@ -280,6 +285,7 @@ class SessionRegistry:
         target_batch_size: Optional[int] = None,
         queue_capacity: int = 4096,
         policy: str = "reject",
+        origin_trace: Optional[str] = None,
     ) -> SessionEntry:
         """Create, start, and journal a new session.
 
@@ -307,7 +313,7 @@ class SessionRegistry:
         # WAL before state: the manifest line must be durable before
         # the session exists, so a crash at any later point still
         # recovers the session.
-        self.wal.append_create(tenant, name, params)
+        self.wal.append_create(tenant, name, params, trace=origin_trace)
         session = self._construct_session(params, journal_dir, csr=csr)
         worker = self._assign_worker()
         self._created += 1
@@ -317,6 +323,7 @@ class SessionRegistry:
             journal_dir=journal_dir,
             worker=worker,
             session=session,
+            origin_trace=origin_trace,
         )
         self._bind(entry)
         # start() writes the initial checkpoint, which (via the bound
@@ -476,6 +483,7 @@ class SessionRegistry:
                 name=name,
                 journal_dir=journal_dir,
                 worker=worker,
+                origin_trace=state.origin_traces.get(key),
             )
             settled = state.settled_cycles.get(key, 0.0)
             if settled > 0.0:

@@ -38,18 +38,28 @@ what makes hosted runs bit-identical to standalone ones.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import json
 import threading
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from tempfile import TemporaryDirectory
 from typing import Dict, Optional
 
+from repro.obs.dashboard import render_dashboard
+from repro.obs.distrib import (
+    FlightRecorder,
+    TraceRecorder,
+    make_trace_id,
+    parse_wire_trace,
+)
 from repro.obs.metrics import (
     MetricsRegistry,
     merge_into,
     to_prometheus_labeled,
 )
+from repro.obs.tracer import Tracer, span
 from repro.serve.protocol import (
     E_BACKPRESSURE,
     E_BAD_REQUEST,
@@ -63,7 +73,11 @@ from repro.serve.protocol import (
     read_frame_async,
     write_frame_async,
 )
-from repro.serve.quotas import TenantAccount, TenantQuota
+from repro.serve.quotas import (
+    SERVE_LATENCY_OPS,
+    TenantAccount,
+    TenantQuota,
+)
 from repro.serve.registry import (
     SessionEntry,
     SessionRegistry,
@@ -82,6 +96,51 @@ from repro.utils.faultinject import ServeFaultPlan
 
 #: Protocol/server version reported by the ``hello`` op.
 SERVE_PROTOCOL_VERSION = 1
+
+
+@dataclass
+class _RequestTrace:
+    """Per-request distributed-trace bookkeeping.
+
+    Lives in the task-local :data:`_REQ_TRACE` contextvar — never on
+    the server object — because concurrent connections interleave at
+    every ``await`` and a shared attribute would attribute one
+    request's cycles to another's span.
+    """
+
+    trace_id: str
+    op: str
+    tenant: str
+    attempt: int = 0
+    #: The client span id carried on the wire (this op span's parent).
+    parent: Optional[int] = None
+    #: This request's op span id (None when only the flight ring is on).
+    span_id: Optional[int] = None
+    depth: int = 0
+    start: float = 0.0
+    #: Settled ledger cycles accumulated while handling this request.
+    cycles: float = 0.0
+    worker: Optional[int] = None
+
+    def context(self, worker: Optional[int] = None) -> dict:
+        """The ``trace`` dict stamped on every span of this request."""
+        out: dict = {
+            "id": self.trace_id,
+            "op": self.op,
+            "attempt": self.attempt,
+        }
+        if self.tenant:
+            out["tenant"] = self.tenant
+        index = worker if worker is not None else self.worker
+        if index is not None:
+            out["worker"] = index
+        return out
+
+
+#: The in-flight request's trace context (asyncio-task-local).
+_REQ_TRACE: "contextvars.ContextVar[Optional[_RequestTrace]]" = (
+    contextvars.ContextVar("repro_serve_request_trace", default=None)
+)
 
 
 @dataclass(frozen=True)
@@ -114,6 +173,14 @@ class ServerConfig:
         fault_plan: Armed :class:`~repro.utils.faultinject.
             ServeFaultPlan` whose faults fire at the execute/response
             stages (ignored unless ``enable_chaos``).
+        trace_recorder: Shared :class:`~repro.obs.distrib.
+            TraceRecorder` joining server/worker/engine spans to the
+            client's; None (the default) disables tracing — every
+            trace branch then costs one attribute read.
+        flight_capacity: Ring size of the crash flight recorder; 0
+            (the default) disables it.  When on, the ring is dumped to
+            ``data_dir/flightrec-*.jsonl`` on chaos faults, worker
+            death, and unclean shutdown.
     """
 
     host: str = "127.0.0.1"
@@ -129,6 +196,8 @@ class ServerConfig:
     recover: bool = False
     enable_chaos: bool = False
     fault_plan: Optional[ServeFaultPlan] = None
+    trace_recorder: Optional[TraceRecorder] = None
+    flight_capacity: int = 0
 
 
 class PartitionServer:
@@ -177,10 +246,26 @@ class PartitionServer:
             self.metrics,
             shedder=self.shedder,
             on_recovery=self._on_recovery,
+            on_worker_dead=self._on_worker_dead,
         )
         self.fault_plan = (
             self.config.fault_plan if self.config.enable_chaos else None
         )
+        self.recorder = self.config.trace_recorder
+        self.flight: Optional[FlightRecorder] = (
+            FlightRecorder(
+                capacity=self.config.flight_capacity, session="serve"
+            )
+            if self.config.flight_capacity > 0
+            else None
+        )
+        self._flight_dumps = self.metrics.counter(
+            "serve_flight_dumps_total",
+            "flight-recorder dumps written on faults/crashes",
+        )
+        #: Server-minted trace ids for untraced requests (a counter,
+        #: never wall clock, so seeded runs stay bit-identical).
+        self._trace_counter = 0
         #: Set by :meth:`_crash`: the process "died" — shutdown must
         #: skip every graceful-close step so journals and the serve WAL
         #: are left exactly as a real crash would.
@@ -230,6 +315,9 @@ class PartitionServer:
                 # exactly the journal replay's cost.
                 account.record_recovery(entry.charged_cycles)
             account.charge_cycles(entry.charged_cycles)
+            self._record_replay(
+                "serve.recover.replay", entry, entry.charged_cycles
+            )
         self._publish_usage()
         return recovered
 
@@ -240,10 +328,68 @@ class PartitionServer:
         account = self.tenant(entry.tenant)
         account.record_recovery(replay_cycles)
         account.charge_cycles(replay_cycles)
+        self._record_replay(
+            "serve.failover.replay", entry, replay_cycles
+        )
+
+    def _record_replay(
+        self, name: str, entry: SessionEntry, replay_cycles: float
+    ) -> None:
+        """Trace + flight-record one journal replay (boot recovery or
+        failover), re-attached under the session's *originating* trace
+        so a trace query for the create shows its afterlife too."""
+        trace_id = entry.origin_trace or make_trace_id(
+            entry.tenant, entry.name, 0
+        )
+        recorder = self.recorder
+        if recorder is not None:
+            recorder.record_span(
+                name,
+                trace={
+                    "id": trace_id,
+                    "tenant": entry.tenant,
+                    "op": "replay",
+                    "worker": entry.worker.index,
+                },
+                start=recorder.now(),
+                duration=0.0,
+                device_cycles=replay_cycles,
+            )
+        if self.flight is not None:
+            self.flight.record(
+                "recovery",
+                name=name,
+                tenant=entry.tenant,
+                session=entry.name,
+                trace=trace_id,
+                replay_cycles=replay_cycles,
+            )
+
+    def _on_worker_dead(self, worker) -> None:
+        """Supervisor callback: a dead worker is about to be drained —
+        dump the flight ring so the black box survives the failover."""
+        if self.flight is None:
+            return
+        self.flight.record(
+            "worker_dead", worker=worker.index, fault=worker.fault
+        )
+        self._dump_flight(f"worker-{worker.index}-dead")
+
+    def _dump_flight(self, reason: str) -> Optional[Path]:
+        """Write the flight ring next to the WAL (None when off)."""
+        flight = self.flight
+        if flight is None:
+            return None
+        path = flight.dump(self.registry.data_dir, reason)
+        self._flight_dumps.inc()
+        return path
 
     def _crash(self) -> None:
         """Simulate a process kill: listeners vanish, nothing is
         flushed, suspended, compacted, or closed gracefully."""
+        if self.flight is not None:
+            self.flight.record("crash", reason="crash_after_wal")
+            self._dump_flight("crash")
         self.crashed = True
         for server in (self._tcp_server, self._http_server):
             if server is not None:
@@ -342,6 +488,17 @@ class PartitionServer:
         if fault is None:
             await write_frame_async(writer, response)
             return False
+        if self.flight is not None:
+            self.flight.record(
+                "fault",
+                stage="response",
+                fault=fault.kind,
+                op=request.get("op"),
+            )
+            if fault.kind != "crash_after_wal":
+                # crash_after_wal dumps inside _crash, with the crash
+                # event ringed after the fault event.
+                self._dump_flight(f"fault-{fault.kind}")
         if fault.kind == "delay_response":
             await asyncio.sleep(fault.delay)
             await write_frame_async(writer, response)
@@ -364,10 +521,24 @@ class PartitionServer:
         handler = _OPS.get(op)
         if handler is None:
             self._rejected.inc()
+            if self.flight is not None:
+                self.flight.record(
+                    "reject", op=str(op), code=E_UNKNOWN_OP
+                )
             return error_response(
                 E_UNKNOWN_OP, f"unknown op {op!r}"
             )
         self._op_in_flight = op if isinstance(op, str) else None
+        started = time.perf_counter()
+        try:
+            tctx = self._trace_begin(request, op)
+        except ValueError as err:
+            self._rejected.inc()
+            self._op_in_flight = None
+            return error_response(
+                E_BAD_REQUEST, f"malformed trace context: {err}"
+            )
+        token = _REQ_TRACE.set(tctx)
         try:
             response = await handler(self, request)
         except ServeError as err:
@@ -385,7 +556,11 @@ class PartitionServer:
                 E_INTERNAL, f"{type(err).__name__}: {err}"
             )
         finally:
+            _REQ_TRACE.reset(token)
             self._op_in_flight = None
+        self._finish_request(
+            tctx, op, request, response, time.perf_counter() - started
+        )
         # Supervision before the response leaves: a worker that died
         # during this op has its sessions restored on survivors *now*,
         # so the client's retry of the failed (retryable) request finds
@@ -402,6 +577,155 @@ class PartitionServer:
             self._evictions.inc(len(evicted))
         self._publish_usage()
         return response
+
+    # -- request tracing -----------------------------------------------------------
+
+    def _trace_begin(
+        self, request: dict, op
+    ) -> Optional[_RequestTrace]:
+        """Open the request's trace context (None when tracing and the
+        flight ring are both off — the zero-cost path).
+
+        A malformed wire ``trace`` raises ``ValueError``, which dispatch
+        maps to a typed ``bad-request``: a corrupt trace header must
+        never be silently treated as an untraced request.
+        """
+        recorder = self.recorder
+        flight = self.flight
+        if recorder is None and flight is None:
+            return None
+        wire = parse_wire_trace(request)
+        tenant = request.get("tenant")
+        tenant = tenant if isinstance(tenant, str) else ""
+        if wire is not None:
+            trace_id = wire["id"]
+            parent = wire["parent"]
+            attempt = wire["attempt"]
+        else:
+            # Untraced client: mint a server-side id so the request's
+            # spans still group (a counter, never clock or RNG).
+            trace_id = make_trace_id(
+                tenant or "-", str(op), self._trace_counter
+            )
+            self._trace_counter += 1
+            parent = None
+            attempt = 0
+        tctx = _RequestTrace(
+            trace_id=trace_id,
+            op=str(op),
+            tenant=tenant,
+            attempt=attempt,
+            parent=parent,
+        )
+        if recorder is not None:
+            tctx.span_id = recorder.next_span_id()
+            tctx.depth = 1 if parent is not None else 0
+            tctx.start = recorder.now()
+        if flight is not None:
+            flight.record(
+                "request",
+                op=str(op),
+                tenant=tenant,
+                trace=trace_id,
+                attempt=attempt,
+            )
+        return tctx
+
+    def _finish_request(
+        self,
+        tctx: Optional[_RequestTrace],
+        op,
+        request: dict,
+        response: dict,
+        elapsed: float,
+    ) -> None:
+        """Close out one dispatched request: latency histogram, op
+        span (with its settled cycle attribution), flight records."""
+        if isinstance(op, str) and op in SERVE_LATENCY_OPS:
+            tenant = request.get("tenant")
+            account = (
+                self.tenants.get(tenant)
+                if isinstance(tenant, str)
+                else None
+            )
+            if account is not None:
+                account.observe_op_latency(op, elapsed)
+        if tctx is None:
+            return
+        recorder = self.recorder
+        event = None
+        if recorder is not None:
+            event = recorder.record_span(
+                f"serve.{tctx.op}",
+                trace=tctx.context(),
+                span_id=tctx.span_id,
+                parent=tctx.parent,
+                depth=tctx.depth,
+                start=tctx.start,
+                duration=recorder.now() - tctx.start,
+                device_cycles=tctx.cycles,
+            )
+        flight = self.flight
+        if flight is not None:
+            if event is not None:
+                flight.note_span(event)
+            flight.record(
+                "response",
+                op=tctx.op,
+                ok=bool(response.get("ok")),
+                code=response.get("code"),
+                trace=tctx.trace_id,
+            )
+
+    def _charge(
+        self, entry: SessionEntry, account: TenantAccount
+    ) -> float:
+        """Settle the entry's ledger delta onto worker + tenant,
+        mirroring it into the in-flight request's trace context —
+        the same float, so op-span attribution is bit-exact against
+        ``serve_tenant_device_cycles_total``."""
+        delta = self.registry.settle_cycles(entry)
+        account.charge_cycles(delta)
+        tctx = _REQ_TRACE.get()
+        if tctx is not None:
+            tctx.cycles += delta
+            tctx.worker = entry.worker.index
+        return delta
+
+    def _run_traced(
+        self,
+        entry: SessionEntry,
+        tctx: _RequestTrace,
+        recorder: TraceRecorder,
+        fn,
+    ):
+        """Run ``fn()`` with an engine tracer active, then graft its
+        spans and kernel aggregates under the request's op span.
+
+        The module-global tracer is activated only around this fully
+        *synchronous* call — never across an ``await`` — so concurrent
+        requests interleaving on the event loop can never cross their
+        tracers.
+        """
+        ledger = (
+            entry.session.partitioner.ctx.ledger if entry.live else None
+        )
+        tracer = Tracer(ledger=ledger, session=tctx.trace_id)
+        offset = recorder.now()
+        try:
+            with tracer.activate():
+                with span("serve.worker.execute"):
+                    return fn()
+        finally:
+            # Fold even on failure: a faulted execute keeps its partial
+            # engine spans, which is what the post-mortem wants.
+            recorder.fold(
+                tracer.events,
+                trace=tctx.context(worker=entry.worker.index),
+                parent=tctx.span_id,
+                base_depth=tctx.depth + 1,
+                start_offset=offset,
+            )
 
     # -- op helpers ----------------------------------------------------------------
 
@@ -451,11 +775,24 @@ class PartitionServer:
             )
             if fault is not None:
                 entry.worker.fail(f"injected {fault.kind}")
+                if self.flight is not None:
+                    self.flight.record(
+                        "fault",
+                        stage="execute",
+                        fault=fault.kind,
+                        op=self._op_in_flight,
+                        worker=entry.worker.index,
+                    )
+                    self._dump_flight(f"fault-{fault.kind}")
                 raise WorkerFault(
                     f"device worker {entry.worker.index} aborted "
                     "(injected fault)"
                 )
             try:
+                recorder = self.recorder
+                tctx = _REQ_TRACE.get()
+                if recorder is not None and tctx is not None:
+                    return self._run_traced(entry, tctx, recorder, fn)
                 return fn()
             except ReproError:
                 raise
@@ -466,9 +803,7 @@ class PartitionServer:
                     f"{type(err).__name__}: {err}"
                 ) from err
             finally:
-                account.charge_cycles(
-                    self.registry.settle_cycles(entry)
-                )
+                self._charge(entry, account)
 
     async def _settle(
         self, entry: SessionEntry, account: TenantAccount
@@ -514,16 +849,44 @@ class PartitionServer:
                 "target_batch_size must be a positive integer",
                 code=E_BAD_REQUEST,
             )
-        entry = self.registry.create(
-            tenant_name,
-            session_name,
-            graph_spec,
-            k=k,
-            seed=int(request.get("seed", 0)),
-            target_batch_size=target,
-            queue_capacity=int(request.get("queue_capacity", 4096)),
-            policy=str(request.get("policy", "reject")),
-        )
+        tctx = _REQ_TRACE.get()
+
+        def construct():
+            return self.registry.create(
+                tenant_name,
+                session_name,
+                graph_spec,
+                k=k,
+                seed=int(request.get("seed", 0)),
+                target_batch_size=target,
+                queue_capacity=int(request.get("queue_capacity", 4096)),
+                policy=str(request.get("policy", "reject")),
+                origin_trace=(
+                    tctx.trace_id if tctx is not None else None
+                ),
+            )
+
+        recorder = self.recorder
+        if recorder is not None and tctx is not None:
+            # Construction runs before the session has a worker, so it
+            # is traced here (synchronously, on the loop thread) rather
+            # than in _run_on_worker; its cycles settle via _settle.
+            tracer = Tracer(session=tctx.trace_id)
+            offset = recorder.now()
+            try:
+                with tracer.activate():
+                    with span("serve.registry.create"):
+                        entry = construct()
+            finally:
+                recorder.fold(
+                    tracer.events,
+                    trace=tctx.context(),
+                    parent=tctx.span_id,
+                    base_depth=tctx.depth + 1,
+                    start_offset=offset,
+                )
+        else:
+            entry = construct()
         await self._settle(entry, account)
         return ok_response(
             cut=entry.session.cut_size(),
@@ -563,6 +926,13 @@ class PartitionServer:
             account.record_shed()
             account.record_reject()
             self._rejected.inc()
+            if self.flight is not None:
+                self.flight.record(
+                    "reject",
+                    op="submit",
+                    tenant=tenant_name,
+                    code=E_SHED_OVERLOAD,
+                )
             return error_response(
                 E_SHED_OVERLOAD,
                 "server is shedding submits under backlog pressure "
@@ -578,6 +948,13 @@ class PartitionServer:
         if code is not None:
             account.record_reject()
             self._rejected.inc()
+            if self.flight is not None:
+                self.flight.record(
+                    "reject",
+                    op="submit",
+                    tenant=tenant_name,
+                    code=code,
+                )
             return error_response(
                 code,
                 f"tenant {tenant_name!r} quota {code} rejected a "
@@ -641,7 +1018,7 @@ class PartitionServer:
         entry = self.registry.get(tenant_name, name)
         was_live = entry.live
         async with entry.worker.lock:
-            account.charge_cycles(self.registry.settle_cycles(entry))
+            self._charge(entry, account)
             self.registry.evict(tenant_name, name)
         if was_live:
             self._evictions.inc()
@@ -771,6 +1148,13 @@ class PartitionServer:
                 content_type = (
                     "text/plain; version=0.0.4; charset=utf-8"
                 )
+                status = "200 OK"
+            elif path.split("?")[0] == "/debug/dashboard":
+                body = render_dashboard(
+                    self.prometheus(),
+                    title="repro-serve live dashboard",
+                ).encode("utf-8")
+                content_type = "text/html; charset=utf-8"
                 status = "200 OK"
             elif path.split("?")[0] == "/healthz":
                 if self.supervisor.degraded:

@@ -65,10 +65,18 @@ class WorkerSupervisor:
         on_recovery: Optional[
             Callable[[SessionEntry, float], None]
         ] = None,
+        on_worker_dead: Optional[
+            Callable[[DeviceWorker], None]
+        ] = None,
     ):
         self.registry = registry
         self.shedder = shedder
         self.on_recovery = on_recovery
+        #: Fired once per dead worker, before its sessions drain — the
+        #: server's flight recorder dumps its ring here so the black
+        #: box captures the pool state *at* the failure, not after the
+        #: failover already rewrote it.
+        self.on_worker_dead = on_worker_dead
         #: Workers marked dead whose sessions were already drained.
         self._drained: set = set()
         self._alive_gauge = metrics.gauge(
@@ -146,6 +154,8 @@ class WorkerSupervisor:
         for worker in self.registry.workers:
             if worker.alive or worker.index in self._drained:
                 continue
+            if self.on_worker_dead is not None:
+                self.on_worker_dead(worker)
             restored.extend(self._drain(worker))
             self._drained.add(worker.index)
         if restored or self._publish_pool():

@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, TextIO, Tuple
 
+from repro.obs.tracer import span
 from repro.stream.journal import trim_torn_tail
 from repro.utils.errors import JournalError
 
@@ -60,6 +61,12 @@ class ManifestState:
     creates: List[Tuple[str, str, dict]] = field(default_factory=list)
     #: Latest settled lifetime cycles per ``(tenant, name)``.
     settled_cycles: Dict[Tuple[str, str], float] = field(
+        default_factory=dict
+    )
+    #: Originating trace id per ``(tenant, name)`` — the distributed
+    #: trace of the ``create`` request, when the client sent one.  Kept
+    #: out of ``creates`` so its tuples stay ``(tenant, name, params)``.
+    origin_traces: Dict[Tuple[str, str], str] = field(
         default_factory=dict
     )
 
@@ -83,26 +90,36 @@ class ServeWAL:
 
     def _append(self, record: dict) -> None:
         """Durable append: the record survives a crash after return."""
-        if self._log is None:
-            trim_torn_tail(self.path)
-            self._log = self.path.open("a", encoding="utf-8")
-        self._log.write(
-            json.dumps(record, separators=(",", ":")) + "\n"
-        )
-        self._log.flush()
-        os.fsync(self._log.fileno())
+        with span("serve.wal.append"):
+            if self._log is None:
+                trim_torn_tail(self.path)
+                self._log = self.path.open("a", encoding="utf-8")
+            self._log.write(
+                json.dumps(record, separators=(",", ":")) + "\n"
+            )
+            self._log.flush()
+            os.fsync(self._log.fileno())
 
     def append_create(
-        self, tenant: str, name: str, params: dict
+        self,
+        tenant: str,
+        name: str,
+        params: dict,
+        trace: Optional[str] = None,
     ) -> None:
         """Journal a session's existence before constructing it.
 
         ``params`` must be the complete, JSON-able construction
         signature (graph spec, k, seed, scheduler/queue settings) —
         recovery rebuilds the session from nothing but this record and
-        the session's own journal directory.
+        the session's own journal directory.  ``trace`` optionally
+        records the originating distributed-trace id (``"tr"`` key), so
+        recovery replay spans can re-attach to the create's trace.
         """
-        self._append({"r": "c", "t": tenant, "n": name, "p": params})
+        record = {"r": "c", "t": tenant, "n": name, "p": params}
+        if trace is not None:
+            record["tr"] = trace
+        self._append(record)
 
     def append_settle(
         self, tenant: str, name: str, cycles: float
@@ -147,6 +164,9 @@ class ServeWAL:
                             f"non-object params"
                         )
                     state.creates.append((key[0], key[1], params))
+                    trace = record.get("tr")
+                    if isinstance(trace, str) and trace:
+                        state.origin_traces[key] = trace
                 elif kind == "s":
                     key = (record["t"], record["n"])
                     state.settled_cycles[key] = float(record["c"])
@@ -170,11 +190,17 @@ class ServeWAL:
             self._log = None
         lines: List[str] = []
         for tenant, name, params in state.creates:
+            create: dict = {
+                "r": "c",
+                "t": tenant,
+                "n": name,
+                "p": params,
+            }
+            trace = state.origin_traces.get((tenant, name))
+            if trace is not None:
+                create["tr"] = trace
             lines.append(
-                json.dumps(
-                    {"r": "c", "t": tenant, "n": name, "p": params},
-                    separators=(",", ":"),
-                )
+                json.dumps(create, separators=(",", ":"))
             )
             cycles = state.settled_cycles.get((tenant, name))
             if cycles is not None:

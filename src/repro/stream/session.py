@@ -606,6 +606,10 @@ class StreamSession:
         if self.journal is None:
             raise StreamError("session has no journal configured")
         self._require_started()
+        with span("stream.checkpoint"):
+            self._checkpoint_now()
+
+    def _checkpoint_now(self) -> None:
         # Charge boundary: drain the cut accumulator's pending work so
         # the ledger reading at this cursor is exactly reproducible by
         # checkpoint-load + replay (the accumulator itself is not
@@ -665,6 +669,16 @@ class StreamSession:
         parameters (thresholds, scheduler, queue bound) are restored
         from the checkpoint metadata.
         """
+        with span("stream.recover"):
+            return cls._recover_impl(journal_dir, ctx=ctx, clock=clock)
+
+    @classmethod
+    def _recover_impl(
+        cls,
+        journal_dir: "str | Path",
+        ctx: GpuContext | None = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> "StreamSession":
         journal = StreamJournal(journal_dir)
         state = journal.load(ctx=ctx)
         meta = state.meta

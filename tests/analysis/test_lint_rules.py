@@ -389,7 +389,7 @@ class TestFramework:
 
     def test_rule_ids_unique_and_kebab(self):
         ids = [rule.id for rule in ALL_RULES]
-        assert len(ids) == len(set(ids)) == 11
+        assert len(ids) == len(set(ids)) == 12
         assert all(i == i.lower() and " " not in i for i in ids)
 
 
@@ -877,5 +877,109 @@ class TestUnjitteredRetryLoop:
                     except OSError:
                         continue
             """,
+        )
+        assert findings == []
+
+
+class TestUnlabeledTenantMetric:
+    def test_global_registration_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/serve/bad_server.py",
+            """
+            class PartitionServer:
+                def __init__(self, metrics):
+                    self.requests = metrics.counter(
+                        "serve_tenant_requests_total", "doc"
+                    )
+            """,
+            rules=["unlabeled-tenant-metric"],
+        )
+        assert [f.rule for f in findings] == ["unlabeled-tenant-metric"]
+        assert "tenant-scoped registry" in findings[0].message
+
+    def test_fstring_head_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/serve/bad_hist.py",
+            """
+            def register(metrics, op):
+                return metrics.histogram(
+                    f"serve_tenant_op_latency_seconds_{op}", "doc"
+                )
+            """,
+            rules=["unlabeled-tenant-metric"],
+        )
+        assert [f.rule for f in findings] == ["unlabeled-tenant-metric"]
+        assert "module scope" in findings[0].message
+
+    def test_tenant_scoped_registration_exempt(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/serve/good_quotas.py",
+            """
+            class TenantAccount:
+                def __init__(self, registry):
+                    self.requests = registry.counter(
+                        "serve_tenant_requests_total", "doc"
+                    )
+            """,
+            rules=["unlabeled-tenant-metric"],
+        )
+        assert findings == []
+
+    def test_other_metric_names_exempt(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/serve/good_server.py",
+            """
+            class PartitionServer:
+                def __init__(self, metrics):
+                    self.requests = metrics.counter(
+                        "serve_requests_total", "doc"
+                    )
+            """,
+            rules=["unlabeled-tenant-metric"],
+        )
+        assert findings == []
+
+    def test_unlabeled_export_of_account_registry_flagged(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/serve/bad_scrape.py",
+            """
+            def scrape(accounts):
+                parts = []
+                for account in accounts.values():
+                    parts.append(account.registry.to_prometheus())
+                return "".join(parts)
+            """,
+            rules=["unlabeled-tenant-metric"],
+        )
+        assert [f.rule for f in findings] == ["unlabeled-tenant-metric"]
+        assert "to_prometheus_labeled" in findings[0].message
+
+    def test_global_registry_export_exempt(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/serve/good_scrape.py",
+            """
+            def scrape(server):
+                return server.metrics.to_prometheus()
+            """,
+            rules=["unlabeled-tenant-metric"],
+        )
+        assert findings == []
+
+    def test_allow_pragma_with_reason(self, tmp_path):
+        findings = _lint_snippet(
+            tmp_path,
+            "src/repro/serve/shim.py",
+            """
+            def scrape(account):
+                # repro-lint: allow[unlabeled-tenant-metric] migration shim
+                return account.registry.to_prometheus()
+            """,
+            rules=["unlabeled-tenant-metric"],
         )
         assert findings == []

@@ -1,0 +1,237 @@
+"""Distributed trace context + flight recorder unit tests.
+
+Covers the wire ``trace`` field (mint/validate), the shared
+:class:`TraceRecorder` (span allocation, engine-trace folding,
+grouping, determinism digest, export schema), and the
+:class:`FlightRecorder` ring (capacity, dump artifact, validator).
+"""
+
+import pytest
+
+from repro.obs.distrib import (
+    FLIGHT_SCHEMA,
+    FlightRecorder,
+    TraceRecorder,
+    load_flight,
+    make_trace_id,
+    parse_wire_trace,
+    validate_flight,
+    wire_trace,
+)
+from repro.obs.export import load_trace, validate_trace
+from repro.obs.tracer import Tracer, span
+
+
+class TestWireTrace:
+    def test_trace_id_is_counter_derived(self):
+        assert make_trace_id("acme", "submit", 3) == "acme/submit#3"
+
+    def test_wire_roundtrip(self):
+        request = {
+            "op": "submit",
+            "trace": wire_trace("acme/submit#0", parent_span=7, attempt=2),
+        }
+        parsed = parse_wire_trace(request)
+        assert parsed == {
+            "id": "acme/submit#0",
+            "parent": 7,
+            "attempt": 2,
+        }
+
+    def test_untraced_request_is_none(self):
+        assert parse_wire_trace({"op": "hello"}) is None
+
+    def test_parent_omitted_when_absent(self):
+        assert "parent" not in wire_trace("t/x#0")
+        parsed = parse_wire_trace({"trace": wire_trace("t/x#0")})
+        assert parsed["parent"] is None and parsed["attempt"] == 0
+
+    @pytest.mark.parametrize(
+        "trace",
+        [
+            "not-a-dict",
+            {"id": ""},
+            {"id": 7},
+            {"id": "t/x#0", "parent": "root"},
+            {"id": "t/x#0", "parent": True},
+            {"id": "t/x#0", "attempt": -1},
+            {"id": "t/x#0", "attempt": "second"},
+        ],
+    )
+    def test_malformed_context_raises(self, trace):
+        with pytest.raises(ValueError):
+            parse_wire_trace({"trace": trace})
+
+
+class TestTraceRecorder:
+    def test_span_ids_allocate_sequentially(self):
+        recorder = TraceRecorder()
+        a = recorder.record_span("client.hello")
+        b = recorder.record_span("client.hello")
+        assert (a.span_id, b.span_id) == (0, 1)
+
+    def test_record_span_stamps_context(self):
+        recorder = TraceRecorder()
+        event = recorder.record_span(
+            "serve.submit",
+            trace={"id": "t/submit#0", "tenant": "t"},
+            parent=4,
+            depth=1,
+            device_cycles=12.5,
+        )
+        assert event.trace == {"id": "t/submit#0", "tenant": "t"}
+        assert event.parent == 4
+        assert recorder.events[-1] is event
+
+    def test_fold_remaps_reparents_and_stamps(self):
+        recorder = TraceRecorder()
+        root = recorder.record_span("serve.submit", depth=1)
+        tracer = Tracer(session="t/submit#0")
+        with tracer.activate():
+            with span("outer"):
+                with span("inner"):
+                    pass
+        grafted = recorder.fold(
+            tracer.events,
+            trace={"id": "t/submit#0"},
+            parent=root.span_id,
+            base_depth=2,
+            start_offset=5.0,
+        )
+        by_name = {event.name: event for event in grafted}
+        outer, inner = by_name["outer"], by_name["inner"]
+        # Engine ids are remapped through the recorder's counter...
+        assert {outer.span_id, inner.span_id} == {1, 2}
+        # ...the engine root re-parents under the op span, internal
+        # parent/child links survive, depths shift, context lands.
+        assert outer.parent == root.span_id
+        assert inner.parent == outer.span_id
+        assert (outer.depth, inner.depth) == (2, 3)
+        assert inner.start >= 5.0
+        assert all(e.trace == {"id": "t/submit#0"} for e in grafted)
+
+    def test_traces_groups_by_id(self):
+        recorder = TraceRecorder()
+        recorder.record_span("client.a", trace={"id": "t/a#0"})
+        recorder.record_span("serve.a", trace={"id": "t/a#0"})
+        recorder.record_span("client.b", trace={"id": "t/b#1"})
+        recorder.record_span("loose")
+        groups = recorder.traces()
+        assert {k: len(v) for k, v in groups.items()} == {
+            "t/a#0": 2,
+            "t/b#1": 1,
+            "": 1,
+        }
+
+    def test_structure_digest_ignores_host_time_only(self):
+        def build(duration):
+            recorder = TraceRecorder()
+            recorder.record_span(
+                "serve.submit",
+                trace={"id": "t/submit#0"},
+                start=duration,
+                duration=duration,
+                device_cycles=99.0,
+            )
+            return recorder
+
+        assert (
+            build(0.1).structure_digest()
+            == build(0.9).structure_digest()
+        )
+        other = TraceRecorder()
+        other.record_span(
+            "serve.submit",
+            trace={"id": "t/submit#1"},
+            device_cycles=99.0,
+        )
+        assert build(0.1).structure_digest() != other.structure_digest()
+
+    def test_export_is_valid_trace_schema(self, tmp_path):
+        recorder = TraceRecorder(session="unit")
+        root = recorder.record_span(
+            "client.submit", trace={"id": "t/submit#0", "attempt": 0}
+        )
+        recorder.record_span(
+            "serve.submit",
+            trace={"id": "t/submit#0"},
+            parent=root.span_id,
+            depth=1,
+        )
+        path = recorder.export(tmp_path / "trace.jsonl")
+        assert validate_trace(path) == []
+        header, events = load_trace(path)
+        assert header["session"] == "unit"
+        assert [e.name for e in events] == ["client.submit", "serve.submit"]
+        assert events[0].trace == {"id": "t/submit#0", "attempt": 0}
+
+
+class TestFlightRecorder:
+    def test_capacity_rolls_oldest_off(self):
+        flight = FlightRecorder(capacity=3)
+        for index in range(5):
+            flight.record("request", op=f"op{index}")
+        ops = [record["op"] for record in flight.snapshot()]
+        assert ops == ["op2", "op3", "op4"]
+        # seq keeps counting even as entries roll off.
+        assert [r["seq"] for r in flight.snapshot()] == [2, 3, 4]
+
+    def test_unknown_kind_rejected(self):
+        flight = FlightRecorder(capacity=4)
+        with pytest.raises(ValueError, match="unknown flight event"):
+            flight.record("explosion")
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_note_span_compacts_event(self):
+        flight = FlightRecorder(capacity=4)
+        recorder = TraceRecorder()
+        event = recorder.record_span(
+            "serve.submit",
+            trace={"id": "t/submit#0"},
+            device_cycles=3.5,
+        )
+        flight.note_span(event)
+        (record,) = flight.snapshot()
+        assert record["kind"] == "span"
+        assert record["name"] == "serve.submit"
+        assert record["trace"] == {"id": "t/submit#0"}
+        assert record["device_cycles"] == 3.5
+
+    def test_dump_validates_and_roundtrips(self, tmp_path):
+        flight = FlightRecorder(capacity=8, session="unit")
+        flight.record("request", op="submit", tenant="acme")
+        flight.record("worker_dead", worker=0)
+        path = flight.dump(tmp_path, reason="worker-0-dead")
+        assert path.name.startswith("flightrec-")
+        assert validate_flight(path) == []
+        header, events = load_flight(path)
+        assert header["schema"] == FLIGHT_SCHEMA
+        assert header["reason"] == "worker-0-dead"
+        assert header["events"] == 2
+        assert [e["kind"] for e in events] == ["request", "worker_dead"]
+
+    def test_dumps_in_same_second_do_not_collide(self, tmp_path):
+        flight = FlightRecorder(capacity=2)
+        flight.record("crash", reason="test")
+        first = flight.dump(tmp_path, reason="a")
+        second = flight.dump(tmp_path, reason="b")
+        assert first != second
+        assert validate_flight(second) == []
+
+    def test_validator_rejects_corruption(self, tmp_path):
+        flight = FlightRecorder(capacity=4)
+        flight.record("request", op="submit")
+        flight.record("response", op="submit")
+        path = flight.dump(tmp_path, reason="ok")
+        lines = path.read_text().splitlines()
+        # Swap the two events: seq goes non-increasing.
+        path.write_text("\n".join([lines[0], lines[2], lines[1]]) + "\n")
+        assert any("not increasing" in e for e in validate_flight(path))
+        # Decapitate: missing header is the first thing reported.
+        path.write_text("")
+        assert validate_flight(path) == [
+            "empty flight dump (missing header line)"
+        ]

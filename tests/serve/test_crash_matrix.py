@@ -12,11 +12,16 @@ before and after the write-ahead record, plus after the op acks.
 """
 
 import shutil
+from pathlib import Path
 
 import pytest
 
 from repro.graph.modifiers import EdgeInsert
+from repro.obs.distrib import load_flight, validate_flight
+from repro.serve import ServeClient, ServerConfig, ServerThread
 from repro.serve.registry import SessionRegistry, partition_sha256
+from repro.utils.errors import ServeError
+from repro.utils.faultinject import ServeFaultPlan
 
 SPEC = {
     "generator": "circuit",
@@ -149,3 +154,98 @@ class TestCrashMatrix:
         assert (
             fresh.get("t", "s").session.queue.next_seq == pre_seq + 1
         )
+
+
+def _dump_reasons(data_dir):
+    """reason -> dump path for every flight artifact in ``data_dir``,
+    each one validated clean first."""
+    reasons = {}
+    for path in sorted(Path(data_dir).glob("flightrec-*.jsonl")):
+        assert validate_flight(path) == []
+        header, _events = load_flight(path)
+        reasons[header["reason"]] = path
+    return reasons
+
+
+class TestFlightDumpPerFault:
+    """Every injected fault leaves a black box on disk.
+
+    Crosses the crash matrix into the live server: each armed
+    :class:`ServeFaultPlan` kind must trigger a flight-recorder dump
+    that validates clean and records the fault itself."""
+
+    def _run(self, tmp_path, plan, expect_server_death=False):
+        data_dir = str(tmp_path / "d")
+        config = ServerConfig(
+            workers=2,
+            data_dir=data_dir,
+            enable_chaos=True,
+            fault_plan=plan,
+            flight_capacity=64,
+        )
+        with ServerThread(config) as thread:
+            with ServeClient(
+                "127.0.0.1",
+                thread.tcp_port,
+                tenant="t",
+                sleep=lambda _d: None,
+            ) as client:
+                client.create("s", SPEC, k=2, seed=3)
+                try:
+                    client.submit_with_retry("s", _mods(8))
+                    client.flush("s", drain=True)
+                    died = False
+                except (ServeError, OSError):
+                    died = True
+        assert died == expect_server_death
+        assert not plan.armed, "armed fault never fired"
+        return data_dir
+
+    @pytest.mark.parametrize(
+        "kind",
+        ["torn_response", "drop_connection", "delay_response"],
+    )
+    def test_transport_fault_dumps(self, tmp_path, kind):
+        plan = ServeFaultPlan(seed=7)
+        plan.arm(kind, op="submit", delay=0.01)
+        data_dir = self._run(tmp_path, plan)
+        reasons = _dump_reasons(data_dir)
+        path = reasons[f"fault-{kind}"]
+        _header, events = load_flight(path)
+        faults = [e for e in events if e["kind"] == "fault"]
+        assert any(
+            e["fault"] == kind and e["op"] == "submit"
+            for e in faults
+        )
+        # The ring kept the request history leading up to the fault.
+        assert any(e["kind"] == "request" for e in events)
+
+    def test_worker_abort_dumps(self, tmp_path):
+        plan = ServeFaultPlan(seed=7)
+        plan.arm("worker_abort", op="submit")
+        data_dir = self._run(tmp_path, plan)
+        reasons = _dump_reasons(data_dir)
+        _header, events = load_flight(
+            reasons["fault-worker_abort"]
+        )
+        assert any(
+            e["kind"] == "fault" and e["stage"] == "execute"
+            for e in events
+        )
+
+    def test_crash_after_wal_dumps_with_crash_reason(self, tmp_path):
+        plan = ServeFaultPlan(seed=7)
+        plan.arm("crash_after_wal", op="submit")
+        data_dir = self._run(
+            tmp_path, plan, expect_server_death=True
+        )
+        reasons = _dump_reasons(data_dir)
+        _header, events = load_flight(reasons["crash"])
+        kinds = [e["kind"] for e in events]
+        # The fault event rings first, then the crash marker.
+        assert "fault" in kinds and "crash" in kinds
+        assert kinds.index("fault") < kinds.index("crash")
+
+    def test_no_faults_no_dumps(self, tmp_path):
+        data_dir = self._run(tmp_path, ServeFaultPlan(seed=7))
+        assert _dump_reasons(data_dir) == {}

@@ -7,9 +7,15 @@ from repro.serve.protocol import (
     E_QUOTA_QUEUE,
     E_QUOTA_SESSIONS,
 )
-from repro.serve.quotas import TenantAccount, TenantQuota
+from repro.serve.quotas import (
+    SERVE_LATENCY_BUCKETS,
+    SERVE_LATENCY_OPS,
+    SERVE_LATENCY_SLO_SECONDS,
+    TenantAccount,
+    TenantQuota,
+)
 from repro.serve.shedding import LoadShedder, ShedPolicy
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, to_prometheus_labeled
 
 
 class TestQuotaValidation:
@@ -82,6 +88,67 @@ class TestAdmission:
         assert snapshot["serve_tenant_device_cycles_total"] == 12.5
         assert snapshot["serve_tenant_sessions_live"] == 2
         assert snapshot["serve_tenant_queued_modifiers"] == 7
+
+
+class TestOpLatencyHistograms:
+    def test_every_latency_op_registered(self):
+        account = TenantAccount("t", TenantQuota())
+        for op in SERVE_LATENCY_OPS:
+            metric = account.registry.get(
+                f"serve_tenant_op_latency_seconds_{op}"
+            )
+            assert metric is not None
+            assert metric.buckets == SERVE_LATENCY_BUCKETS
+
+    def test_slo_is_an_exact_bucket_bound(self):
+        # The dashboard reads "within SLO" straight off one cumulative
+        # bucket; that only works while the SLO is a bound.
+        assert SERVE_LATENCY_SLO_SECONDS in SERVE_LATENCY_BUCKETS
+
+    def test_observations_are_cumulative(self):
+        account = TenantAccount("t", TenantQuota())
+        account.observe_op_latency("submit", 0.0004)
+        account.observe_op_latency("submit", 0.003)
+        account.observe_op_latency("submit", 0.02)
+        account.observe_op_latency("submit", 0.4)
+        snapshot = account.registry.as_dict()
+        base = "serve_tenant_op_latency_seconds_submit"
+        assert snapshot[f"{base}_count"] == 4
+        assert snapshot[f"{base}_sum"] == pytest.approx(0.4234)
+        # Cumulative: each bound counts everything at or below it.
+        assert snapshot[f"{base}_bucket_0.0005"] == 1
+        assert snapshot[f"{base}_bucket_0.005"] == 2
+        assert snapshot[f"{base}_bucket_0.025"] == 3
+        assert snapshot[f"{base}_bucket_1.0"] == 4
+        assert snapshot[f"{base}_bucket_+Inf"] == 4
+
+    def test_unknown_op_is_a_noop(self):
+        account = TenantAccount("t", TenantQuota())
+        account.observe_op_latency("hello", 1.0)
+        snapshot = account.registry.as_dict()
+        assert all(
+            snapshot[f"serve_tenant_op_latency_seconds_{op}_count"] == 0
+            for op in SERVE_LATENCY_OPS
+        )
+
+    def test_labeled_export_carries_tenant_and_le(self):
+        acme = TenantAccount("acme", TenantQuota())
+        bravo = TenantAccount("bravo", TenantQuota())
+        acme.observe_op_latency("flush", 0.01)
+        bravo.observe_op_latency("flush", 0.3)
+        text = to_prometheus_labeled(
+            {"acme": acme.registry, "bravo": bravo.registry},
+            label="tenant",
+        )
+        base = "serve_tenant_op_latency_seconds_flush"
+        assert f'{base}_bucket{{tenant="acme",le="0.01"}} 1' in text
+        assert f'{base}_bucket{{tenant="acme",le="0.025"}} 1' in text
+        assert f'{base}_bucket{{tenant="bravo",le="0.025"}} 0' in text
+        assert f'{base}_bucket{{tenant="bravo",le="+Inf"}} 1' in text
+        assert f'{base}_count{{tenant="acme"}} 1' in text
+        assert f'{base}_sum{{tenant="bravo"}} 0.3' in text
+        # One TYPE header for the family, ahead of every sample.
+        assert text.count(f"# TYPE {base} histogram") == 1
 
 
 class TestShedding:

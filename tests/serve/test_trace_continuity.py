@@ -1,0 +1,213 @@
+"""Trace continuity across restarts and failover.
+
+A session's *originating* trace id (the ``client.create`` trace) is
+persisted in the serve WAL, so every journal replay the session ever
+undergoes — boot recovery after a crash, failover off a dead worker —
+re-attaches to that trace.  Querying the create's trace id therefore
+shows the session's whole afterlife.
+"""
+
+import pytest
+
+from repro.graph.modifiers import EdgeInsert
+from repro.obs.distrib import TraceRecorder, make_trace_id
+from repro.serve import ServeClient, ServerConfig, ServerThread
+from repro.serve.registry import SessionRegistry, build_graph
+from repro.serve.wal import ServeWAL
+
+SPEC = {
+    "generator": "circuit",
+    "args": {"num_vertices": 96, "edge_ratio": 1.3, "seed": 11},
+}
+
+
+def _clean_mods(n, spec=SPEC, start=0):
+    """Insert-only edges absent from ``spec``'s graph, so replay
+    cost accounting is exact (no poisoned modifiers)."""
+    nv = spec["args"]["num_vertices"]
+    graph = build_graph(spec)
+    out, seen, candidate = [], set(), start
+    while len(out) < n:
+        u = candidate % nv
+        v = (u + 17 + candidate // nv) % nv
+        candidate += 1
+        key = (min(u, v), max(u, v))
+        if u == v or key in seen or graph.has_edge(u, v):
+            continue
+        seen.add(key)
+        out.append(EdgeInsert(u=u, v=v))
+    return out
+
+
+def _create_trace_ids(recorder):
+    """Trace id of every ``client.create`` root span, by session."""
+    return {
+        event.trace["id"]
+        for event in recorder.events
+        if event.name == "client.create"
+    }
+
+
+def _replay_spans(recorder, name):
+    return [e for e in recorder.events if e.name == name]
+
+
+class TestRecoveryReplayTrace:
+    def test_boot_recovery_reattaches_origin_trace(self, tmp_path):
+        data_dir = str(tmp_path / "d")
+        first = TraceRecorder(session="run-1")
+        with ServerThread(
+            ServerConfig(
+                workers=2, data_dir=data_dir, trace_recorder=first
+            )
+        ) as thread:
+            with ServeClient(
+                "127.0.0.1",
+                thread.tcp_port,
+                tenant="acme",
+                trace_recorder=first,
+            ) as client:
+                client.create("s", SPEC, k=3, seed=4)
+                client.submit("s", _clean_mods(12))
+                client.flush("s")
+        origins = _create_trace_ids(first)
+        assert len(origins) == 1
+
+        second = TraceRecorder(session="run-2")
+        with ServerThread(
+            ServerConfig(
+                workers=2,
+                data_dir=data_dir,
+                recover=True,
+                trace_recorder=second,
+            )
+        ):
+            pass
+        replays = _replay_spans(second, "serve.recover.replay")
+        assert len(replays) == 1
+        (replay,) = replays
+        # The replay joins the create's trace, on a fresh recorder
+        # that never saw the original run.
+        assert replay.trace["id"] in origins
+        assert replay.trace["tenant"] == "acme"
+        assert replay.trace["op"] == "replay"
+        assert "worker" in replay.trace
+
+    def test_recovered_session_groups_with_its_create(self, tmp_path):
+        """With ONE recorder across both runs, traces() puts the
+        create and its recovery replay in the same group."""
+        data_dir = str(tmp_path / "d")
+        recorder = TraceRecorder(session="both-runs")
+        with ServerThread(
+            ServerConfig(
+                workers=1, data_dir=data_dir, trace_recorder=recorder
+            )
+        ) as thread:
+            with ServeClient(
+                "127.0.0.1",
+                thread.tcp_port,
+                tenant="acme",
+                trace_recorder=recorder,
+            ) as client:
+                client.create("s", SPEC, k=2, seed=9)
+                client.submit("s", _clean_mods(8))
+                client.flush("s")
+        with ServerThread(
+            ServerConfig(
+                workers=1,
+                data_dir=data_dir,
+                recover=True,
+                trace_recorder=recorder,
+            )
+        ):
+            pass
+        (origin,) = _create_trace_ids(recorder)
+        group = recorder.traces()[origin]
+        names = [event.name for event in group]
+        assert "client.create" in names
+        assert "serve.recover.replay" in names
+
+
+class TestFailoverReplayTrace:
+    def test_failover_replays_under_origin_traces(self, tmp_path):
+        recorder = TraceRecorder(session="failover")
+        config = ServerConfig(
+            workers=2,
+            data_dir=str(tmp_path / "d"),
+            enable_chaos=True,
+            trace_recorder=recorder,
+        )
+        with ServerThread(config) as thread:
+            with ServeClient(
+                "127.0.0.1",
+                thread.tcp_port,
+                tenant="acme",
+                trace_recorder=recorder,
+            ) as client:
+                # Two sessions; with two workers at least one lives
+                # on worker 0.
+                client.create("a", SPEC, k=3, seed=1)
+                client.create("b", SPEC, k=3, seed=2)
+                client.submit("a", _clean_mods(10))
+                client.submit("b", _clean_mods(10, start=40))
+                client.flush("a")
+                client.flush("b")
+                before_a = client.digest("a")["sha256"]
+                before_b = client.digest("b")["sha256"]
+                client.kill_worker(0, reason="trace continuity")
+                # Failover is synchronous with the kill ack: the
+                # replay spans already exist.
+                replays = _replay_spans(
+                    recorder, "serve.failover.replay"
+                )
+                origins = _create_trace_ids(recorder)
+                assert len(replays) >= 1
+                assert all(
+                    r.trace["id"] in origins for r in replays
+                )
+                assert all(
+                    r.trace["op"] == "replay" for r in replays
+                )
+                # State survives the failover bit-exactly.
+                assert client.digest("a")["sha256"] == before_a
+                assert client.digest("b")["sha256"] == before_b
+
+
+class TestOriginTracePersistence:
+    def test_wal_compaction_keeps_origin_trace(self, tmp_path):
+        wal = ServeWAL(tmp_path)
+        wal.append_create(
+            "acme", "s", {"k": 3}, trace="acme/create#0"
+        )
+        wal.append_create("acme", "untr", {"k": 2})
+        wal.compact()
+        state = ServeWAL(tmp_path).load()
+        assert state.origin_traces[("acme", "s")] == "acme/create#0"
+        assert ("acme", "untr") not in state.origin_traces
+
+    def test_untraced_create_falls_back_to_counter_zero(
+        self, tmp_path
+    ):
+        """Sessions created without a client trace (pre-tracing WALs,
+        untraced clients) still replay under a deterministic id."""
+        data_dir = tmp_path / "d"
+        registry = SessionRegistry(data_dir, workers=1)
+        entry = registry.create("acme", "s", SPEC, k=2, seed=3)
+        for mod in _clean_mods(6):
+            entry.session.submit(mod)
+        entry.session.drain()
+        registry.settle_cycles(entry)
+        assert entry.origin_trace is None
+
+        recorder = TraceRecorder(session="fallback")
+        with ServerThread(
+            ServerConfig(
+                workers=1,
+                data_dir=str(data_dir),
+                recover=True,
+                trace_recorder=recorder,
+            )
+        ):
+            pass
+        (replay,) = _replay_spans(recorder, "serve.recover.replay")
+        assert replay.trace["id"] == make_trace_id("acme", "s", 0)
